@@ -1,0 +1,70 @@
+// Ablation: trial-partitioning strategy for the parallel engine. The paper
+// assigns one thread per trial with OpenMP's default scheduling; with
+// Poisson/negative-binomial trial sizes the work per trial varies, so
+// static block partitioning can load-imbalance where dynamic/guided
+// self-balance at the cost of contention on the work cursor.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace are;
+using bench::Scale;
+
+const Scale kScale = Scale::current();
+
+/// A deliberately skewed YET: negative-binomial with low dispersion makes
+/// some trials several times larger than others.
+const yet::YearEventTable& skewed_yet() {
+  static const yet::YearEventTable table = [] {
+    yet::YetConfig config;
+    config.num_trials = kScale.trials / 2;
+    config.events_per_trial = kScale.events_per_trial;
+    config.count_model = yet::CountModel::kNegativeBinomial;
+    config.dispersion = 2.0;  // Var = mean * (1 + mean/2): heavy skew
+    config.seed = 99;
+    return yet::generate_uniform_yet(config, kScale.catalog_size);
+  }();
+  return table;
+}
+
+void partition_bench(benchmark::State& state) {
+  const auto partition = static_cast<parallel::Partition>(state.range(0));
+  const auto chunk = static_cast<std::size_t>(state.range(1));
+  static const core::Portfolio portfolio = bench::make_portfolio(kScale, 1, 15);
+
+  core::ParallelOptions options;
+  options.partition = partition;
+  options.chunk = chunk;
+  for (auto _ : state) {
+    auto ylt = core::run_parallel(portfolio, skewed_yet(), options);
+    benchmark::DoNotOptimize(ylt);
+  }
+  switch (partition) {
+    case parallel::Partition::kStatic: state.SetLabel("static"); break;
+    case parallel::Partition::kDynamic: state.SetLabel("dynamic"); break;
+    case parallel::Partition::kGuided: state.SetLabel("guided"); break;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::print_note(
+      "partition ablation on a skewed (negative-binomial) YET: dynamic/"
+      "guided self-balance variable trial sizes; static has no cursor "
+      "contention. On a single-core host all are equivalent (run on a "
+      "multicore host to see the spread).");
+  for (int partition = 0; partition < 3; ++partition) {
+    for (long chunk : {16, 256}) {
+      benchmark::RegisterBenchmark("ablation/partition", partition_bench)
+          ->Args({partition, chunk})
+          ->Unit(benchmark::kMillisecond)
+          ->UseRealTime();
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

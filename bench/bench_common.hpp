@@ -1,0 +1,94 @@
+#pragma once
+
+// Shared harness for the per-figure benchmark binaries.
+//
+// Scale: the paper's headline workload is 1M trials x 1000 events x 15 ELTs
+// (15 billion lookups), minutes of wall time per point on one core. Every
+// binary therefore defaults to a calibrated sub-scale that preserves the
+// reported *shapes* (the algorithm is linear in every size parameter — see
+// bench_fig2*), and honours ARE_BENCH_FULL=1 to run paper scale.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "core/engine.hpp"
+#include "elt/synthetic.hpp"
+#include "yet/generator.hpp"
+
+namespace are::bench {
+
+inline bool full_scale() {
+  const char* env = std::getenv("ARE_BENCH_FULL");
+  return env != nullptr && std::strcmp(env, "0") != 0;
+}
+
+/// Workload sizes for the measured benchmarks.
+struct Scale {
+  std::size_t catalog_size;
+  std::uint64_t trials;
+  double events_per_trial;
+  std::size_t elt_entries;
+
+  static Scale current() {
+    if (full_scale()) {
+      // The paper's configuration: 2M-event catalog, 1M trials, 1000
+      // events/trial, ELTs of 20K losses.
+      return {2'000'000, 1'000'000, 1000.0, 20'000};
+    }
+    // Calibrated sub-scale: one engine pass in the hundreds of
+    // milliseconds; all shape relationships preserved.
+    return {200'000, 10'000, 200.0, 4'000};
+  }
+};
+
+inline core::Portfolio make_portfolio(const Scale& scale, std::size_t num_layers,
+                                      std::size_t elts_per_layer,
+                                      elt::LookupKind kind = elt::LookupKind::kDirectAccess) {
+  core::Portfolio portfolio;
+  for (std::size_t l = 0; l < num_layers; ++l) {
+    core::Layer layer;
+    layer.id = static_cast<std::uint32_t>(l + 1);
+    layer.terms.occurrence_retention = 500e3;
+    layer.terms.occurrence_limit = 10e6;
+    layer.terms.aggregate_retention = 1e6;
+    layer.terms.aggregate_limit = 200e6;
+    for (std::size_t e = 0; e < elts_per_layer; ++e) {
+      elt::SyntheticEltConfig config;
+      config.catalog_size = scale.catalog_size;
+      config.entries = scale.elt_entries;
+      config.elt_id = l * 1000 + e;
+      core::LayerElt layer_elt;
+      layer_elt.lookup =
+          elt::make_lookup(kind, elt::make_synthetic_elt(config), scale.catalog_size);
+      layer_elt.terms.occurrence_retention = 50e3;
+      layer_elt.terms.share = 0.9;
+      layer.elts.push_back(std::move(layer_elt));
+    }
+    portfolio.layers.push_back(std::move(layer));
+  }
+  return portfolio;
+}
+
+inline yet::YearEventTable make_yet(const Scale& scale, std::uint64_t trials,
+                                    double events_per_trial) {
+  yet::YetConfig config;
+  config.num_trials = trials;
+  config.events_per_trial = events_per_trial;
+  config.count_model = yet::CountModel::kFixed;  // the paper's benchmark setup
+  config.seed = 2012;
+  return yet::generate_uniform_yet(config, scale.catalog_size);
+}
+
+/// Prints a machine-greppable series row shared by all figure benches:
+///   [series] <figure>,<x-name>=<x>,<y-name>=<y>
+inline void print_row(const char* figure, const char* x_name, double x, const char* y_name,
+                      double y) {
+  std::printf("[series] %s,%s=%g,%s=%.4f\n", figure, x_name, x, y_name, y);
+}
+
+inline void print_note(const char* text) { std::printf("[note] %s\n", text); }
+
+}  // namespace are::bench

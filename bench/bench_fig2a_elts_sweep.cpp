@@ -1,0 +1,45 @@
+// Figure 2a: sequential single-core runtime vs. average number of ELTs per
+// layer (paper: varied 3..15 with 1 layer, 1M trials, 1000 events/trial;
+// observed linear scaling).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace are;
+using bench::Scale;
+
+const Scale kScale = Scale::current();
+
+void fig2a(benchmark::State& state) {
+  const auto elts = static_cast<std::size_t>(state.range(0));
+  static const yet::YearEventTable yet_table =
+      bench::make_yet(kScale, kScale.trials, kScale.events_per_trial);
+  const core::Portfolio portfolio = bench::make_portfolio(kScale, 1, elts);
+
+  for (auto _ : state) {
+    auto ylt = core::run_sequential(portfolio, yet_table);
+    benchmark::DoNotOptimize(ylt);
+  }
+  state.counters["elts_per_layer"] = static_cast<double>(elts);
+  state.counters["lookups"] = static_cast<double>(
+      core::predict_access_counts(portfolio, yet_table).elt_lookups);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::print_note(
+      "Fig 2a reproduction: runtime vs ELTs/layer (3..15), 1 layer. "
+      "Paper reports linear scaling; compare the time column across rows.");
+  if (!bench::full_scale()) {
+    bench::print_note("running at calibrated sub-scale; set ARE_BENCH_FULL=1 for paper scale");
+  }
+  for (int elts = 3; elts <= 15; elts += 3) {
+    benchmark::RegisterBenchmark("fig2a/elts", fig2a)->Arg(elts)->Unit(benchmark::kMillisecond);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

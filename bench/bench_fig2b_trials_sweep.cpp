@@ -1,0 +1,45 @@
+// Figure 2b: sequential single-core runtime vs. number of trials (paper:
+// 200K..1M trials, 1 layer, 15 ELTs, 1000 events/trial; linear scaling).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace are;
+using bench::Scale;
+
+const Scale kScale = Scale::current();
+
+void fig2b(benchmark::State& state) {
+  const auto trials = static_cast<std::uint64_t>(state.range(0));
+  static const core::Portfolio portfolio = bench::make_portfolio(kScale, 1, 15);
+  const yet::YearEventTable yet_table =
+      bench::make_yet(kScale, trials, kScale.events_per_trial);
+
+  for (auto _ : state) {
+    auto ylt = core::run_sequential(portfolio, yet_table);
+    benchmark::DoNotOptimize(ylt);
+  }
+  state.counters["trials"] = static_cast<double>(trials);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::print_note(
+      "Fig 2b reproduction: runtime vs number of trials (20%..100% of base), "
+      "1 layer x 15 ELTs. Paper reports linear scaling.");
+  if (!bench::full_scale()) {
+    bench::print_note("running at calibrated sub-scale; set ARE_BENCH_FULL=1 for paper scale");
+  }
+  for (int fraction = 1; fraction <= 5; ++fraction) {
+    const auto trials = static_cast<long>(kScale.trials * fraction / 5);
+    benchmark::RegisterBenchmark("fig2b/trials", fig2b)
+        ->Arg(trials)
+        ->Unit(benchmark::kMillisecond);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Figure 2c: sequential single-core runtime vs. number of layers (paper:
+// 1..5 layers, 15 ELTs/layer, 1M trials, 1000 events/trial; linear).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace are;
+using bench::Scale;
+
+const Scale kScale = Scale::current();
+
+void fig2c(benchmark::State& state) {
+  const auto layers = static_cast<std::size_t>(state.range(0));
+  static const yet::YearEventTable yet_table =
+      bench::make_yet(kScale, kScale.trials, kScale.events_per_trial);
+  const core::Portfolio portfolio = bench::make_portfolio(kScale, layers, 15);
+
+  for (auto _ : state) {
+    auto ylt = core::run_sequential(portfolio, yet_table);
+    benchmark::DoNotOptimize(ylt);
+  }
+  state.counters["layers"] = static_cast<double>(layers);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::print_note(
+      "Fig 2c reproduction: runtime vs number of layers (1..5), 15 ELTs "
+      "per layer. Paper reports linear scaling.");
+  if (!bench::full_scale()) {
+    bench::print_note("running at calibrated sub-scale; set ARE_BENCH_FULL=1 for paper scale");
+  }
+  for (int layers = 1; layers <= 5; ++layers) {
+    benchmark::RegisterBenchmark("fig2c/layers", fig2c)
+        ->Arg(layers)
+        ->Unit(benchmark::kMillisecond);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

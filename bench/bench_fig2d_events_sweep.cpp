@@ -1,0 +1,47 @@
+// Figure 2d: sequential single-core runtime vs. events per trial (paper:
+// 800..1200 events, 1 layer, 15 ELTs, 100K trials; linear).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace are;
+using bench::Scale;
+
+const Scale kScale = Scale::current();
+
+void fig2d(benchmark::State& state) {
+  const double events = static_cast<double>(state.range(0));
+  static const core::Portfolio portfolio = bench::make_portfolio(kScale, 1, 15);
+  // The paper uses 100K trials (a tenth of its headline count) for this
+  // sweep; mirror that ratio.
+  const yet::YearEventTable yet_table = bench::make_yet(kScale, kScale.trials / 10, events);
+
+  for (auto _ : state) {
+    auto ylt = core::run_sequential(portfolio, yet_table);
+    benchmark::DoNotOptimize(ylt);
+  }
+  state.counters["events_per_trial"] = events;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::print_note(
+      "Fig 2d reproduction: runtime vs events per trial (80%..120% of "
+      "base), 1 layer x 15 ELTs, trials/10. Paper reports linear scaling.");
+  if (!bench::full_scale()) {
+    bench::print_note("running at calibrated sub-scale; set ARE_BENCH_FULL=1 for paper scale");
+  }
+  // Paper sweeps 800..1200 with base 1000: the same 0.8x..1.2x band.
+  for (int percent = 80; percent <= 120; percent += 10) {
+    const auto events = static_cast<long>(kScale.events_per_trial * percent / 100);
+    benchmark::RegisterBenchmark("fig2d/events", fig2d)
+        ->Arg(events)
+        ->Unit(benchmark::kMillisecond);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Figure 3a: multi-core speedup vs. core count. The paper measured
+// 1.5x / 2.2x / 2.6x at 2 / 4 / 8 cores on an i7-2600 and attributes the
+// saturation to shared memory bandwidth.
+//
+// This binary reports two things:
+//   1. the perfmodel roofline prediction parameterized like the paper's
+//      machine (regenerates the published curve), and
+//   2. measured wall-clock on *this* host's thread pool (on a single-core
+//      container the measured curve is flat — see EXPERIMENTS.md).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "perfmodel/cpu_model.hpp"
+
+namespace {
+
+using namespace are;
+using bench::Scale;
+
+const Scale kScale = Scale::current();
+
+void fig3a_measured(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  static const yet::YearEventTable yet_table =
+      bench::make_yet(kScale, kScale.trials, kScale.events_per_trial);
+  static const core::Portfolio portfolio = bench::make_portfolio(kScale, 1, 15);
+
+  core::ParallelOptions options;
+  options.num_threads = threads;
+  for (auto _ : state) {
+    auto ylt = core::run_parallel(portfolio, yet_table, options);
+    benchmark::DoNotOptimize(ylt);
+  }
+  state.counters["threads"] = static_cast<double>(threads);
+}
+
+void print_model_series() {
+  const perfmodel::MachineSpec machine = perfmodel::MachineSpec::core_i7_2600();
+  const double t1 =
+      perfmodel::predict_cpu_time(1'000'000, 1000.0, 15.0, 1, machine, 1).seconds;
+  bench::print_note("perfmodel i7-2600 prediction, paper workload (1M x 1000 x 15):");
+  for (int threads : {1, 2, 4, 8}) {
+    const auto prediction =
+        perfmodel::predict_cpu_time(1'000'000, 1000.0, 15.0, 1, machine, threads);
+    bench::print_row("fig3a_model", "cores", threads, "seconds", prediction.seconds);
+    bench::print_row("fig3a_model", "cores", threads, "speedup",
+                     t1 / prediction.seconds);
+  }
+  bench::print_note("paper reference: speedup 1.5x @2, 2.2x @4, 2.6x @8");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_model_series();
+  if (!bench::full_scale()) {
+    bench::print_note("measured series at calibrated sub-scale; ARE_BENCH_FULL=1 for paper scale");
+  }
+  for (int threads : {1, 2, 4, 8}) {
+    benchmark::RegisterBenchmark("fig3a/measured_threads", fig3a_measured)
+        ->Arg(threads)
+        ->Unit(benchmark::kMillisecond)
+        ->UseRealTime();
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

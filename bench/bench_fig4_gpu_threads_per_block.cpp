@@ -1,0 +1,56 @@
+// Figure 4: basic GPU kernel runtime vs. threads per CUDA block (paper:
+// 128..640 on the Tesla C2075; at least 128 needed, best at 256,
+// diminishing beyond). Reported from the simgpu device cost model; see
+// DESIGN.md for the hardware substitution rationale.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "simgpu/kernel_model.hpp"
+
+namespace {
+
+using namespace are;
+
+const simgpu::DeviceSpec kDevice = simgpu::DeviceSpec::tesla_c2075();
+
+simgpu::WorkloadShape paper_workload() {
+  simgpu::WorkloadShape shape;
+  shape.num_trials = 1'000'000;
+  shape.events_per_trial = 1000.0;
+  shape.elts_per_layer = 15.0;
+  return shape;
+}
+
+void fig4_model(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  const simgpu::WorkloadShape shape = paper_workload();
+  simgpu::KernelEstimate estimate;
+  for (auto _ : state) {
+    estimate = simgpu::estimate_basic_kernel(kDevice, shape, threads);
+    benchmark::DoNotOptimize(estimate);
+  }
+  state.counters["threads_per_block"] = threads;
+  state.counters["predicted_seconds"] = estimate.seconds;
+  state.counters["warp_occupancy"] = estimate.occupancy.warp_occupancy;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::print_note(
+      "Fig 4 reproduction: basic GPU kernel, threads/block sweep on the "
+      "modelled Tesla C2075, paper workload (1M x 1000 x 15).");
+  for (int threads : {128, 192, 256, 320, 384, 448, 512, 576, 640}) {
+    const auto estimate =
+        simgpu::estimate_basic_kernel(kDevice, paper_workload(), threads);
+    bench::print_row("fig4_model", "threads_per_block", threads, "seconds", estimate.seconds);
+  }
+  bench::print_note("paper reference: >=128 required, improvement at 256, flat beyond");
+
+  for (int threads : {128, 256, 384, 512, 640}) {
+    benchmark::RegisterBenchmark("fig4/model_threads", fig4_model)->Arg(threads);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

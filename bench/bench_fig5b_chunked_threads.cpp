@@ -1,0 +1,54 @@
+// Figure 5b: optimised (chunked) GPU kernel runtime vs. threads per block
+// at chunk size 4. Paper: threads range in warp multiples; with chunk 4
+// the shared-memory budget caps the block at 192 threads; only a small
+// gradual improvement as threads increase.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "simgpu/kernel_model.hpp"
+
+namespace {
+
+using namespace are;
+
+const simgpu::DeviceSpec kDevice = simgpu::DeviceSpec::tesla_c2075();
+
+simgpu::WorkloadShape paper_workload() {
+  simgpu::WorkloadShape shape;
+  shape.num_trials = 1'000'000;
+  shape.events_per_trial = 1000.0;
+  shape.elts_per_layer = 15.0;
+  return shape;
+}
+
+void fig5b_model(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  simgpu::KernelEstimate estimate;
+  for (auto _ : state) {
+    estimate = simgpu::estimate_chunked_kernel(kDevice, paper_workload(), threads, 4);
+    benchmark::DoNotOptimize(estimate);
+  }
+  state.counters["threads_per_block"] = threads;
+  state.counters["predicted_seconds"] = estimate.seconds;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int max_threads = simgpu::max_threads_for_chunk(kDevice, 4);
+  std::printf("[note] max threads/block supported at chunk 4: %d (paper: 192)\n", max_threads);
+
+  bench::print_note("Fig 5b reproduction: chunked kernel, threads/block sweep at chunk 4.");
+  for (int threads = 32; threads <= max_threads; threads += 32) {
+    const auto estimate = simgpu::estimate_chunked_kernel(kDevice, paper_workload(), threads, 4);
+    bench::print_row("fig5b_model", "threads_per_block", threads, "seconds", estimate.seconds);
+  }
+  bench::print_note("paper reference: small gradual improvement up to the 192-thread cap");
+
+  for (int threads = 32; threads <= max_threads; threads += 32) {
+    benchmark::RegisterBenchmark("fig5b/model_threads", fig5b_model)->Arg(threads);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Table I companion: the four layer terms (TOccR, TOccL, TAggR, TAggL) and
+// their effect. Table I itself is a definitions table; this bench sweeps
+// term regimes over a fixed book and reports both the runtime (term
+// application is branch-light arithmetic — runtime should be flat) and the
+// resulting expected ceded loss (which the terms reshape dramatically).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "metrics/statistics.hpp"
+
+namespace {
+
+using namespace are;
+using bench::Scale;
+
+const Scale kScale = Scale::current();
+
+struct TermRegime {
+  const char* name;
+  financial::LayerTerms terms;
+};
+
+std::vector<TermRegime> regimes() {
+  return {
+      {"ground_up", financial::LayerTerms{}},
+      {"cat_xl_low", financial::LayerTerms::cat_xl(100e3, 5e6)},
+      {"cat_xl_high", financial::LayerTerms::cat_xl(2e6, 20e6)},
+      {"agg_xl", financial::LayerTerms::aggregate_xl(5e6, 50e6)},
+      {"combined", {500e3, 10e6, 1e6, 100e6}},
+  };
+}
+
+void table1_regime(benchmark::State& state) {
+  const auto regime = regimes()[static_cast<std::size_t>(state.range(0))];
+  static const yet::YearEventTable yet_table =
+      bench::make_yet(kScale, kScale.trials / 2, kScale.events_per_trial);
+  core::Portfolio portfolio = bench::make_portfolio(kScale, 1, 15);
+  portfolio.layers[0].terms = regime.terms;
+
+  double expected_loss = 0.0;
+  for (auto _ : state) {
+    auto ylt = core::run_sequential(portfolio, yet_table);
+    expected_loss = metrics::summarize(ylt.layer_losses(0)).mean();
+    benchmark::DoNotOptimize(ylt);
+  }
+  state.counters["expected_loss"] = expected_loss;
+  state.SetLabel(regime.name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::print_note(
+      "Table I companion: layer-term regimes. Runtime should be flat "
+      "across regimes (terms are O(1) arithmetic); expected ceded loss "
+      "should differ by orders of magnitude.");
+  for (std::size_t regime = 0; regime < regimes().size(); ++regime) {
+    benchmark::RegisterBenchmark("table1/regime", table1_regime)
+        ->Arg(static_cast<long>(regime))
+        ->Unit(benchmark::kMillisecond);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,138 @@
+// Post-event desk report: when a major catastrophe strikes, produce the
+// portfolio's position within seconds — per-layer immediate losses, the
+// event's place among the book's drivers, the conditional year outlook,
+// capital attribution, and a severity-stressed re-run (climate loading).
+//
+// Exercises: metrics/event_response, metrics/allocation, elt/scaled_lookup,
+// core/windowed_engine and the io/report renderer.
+//
+//   $ ./event_response
+//
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "core/engine.hpp"
+#include "core/windowed_engine.hpp"
+#include "elt/scaled_lookup.hpp"
+#include "elt/synthetic.hpp"
+#include "io/report.hpp"
+#include "metrics/allocation.hpp"
+#include "metrics/ep_curve.hpp"
+#include "metrics/event_response.hpp"
+#include "yet/generator.hpp"
+
+int main() {
+  using namespace are;
+  constexpr std::size_t kCatalogSize = 100'000;
+
+  // The book: three layers over shared synthetic ELTs (shared events =>
+  // correlated layers, like books written on the same region).
+  std::vector<std::shared_ptr<const elt::ILossLookup>> lookups;
+  for (std::uint64_t e = 0; e < 6; ++e) {
+    elt::SyntheticEltConfig config;
+    config.catalog_size = kCatalogSize;
+    config.entries = 10'000;
+    config.elt_id = e;
+    config.loss_scale = 300e3;
+    lookups.push_back(elt::make_lookup(elt::LookupKind::kDirectAccess,
+                                       elt::make_synthetic_elt(config), kCatalogSize));
+  }
+
+  core::Portfolio portfolio;
+  const double attachments[] = {2e6, 5e6, 10e6};
+  for (std::uint32_t l = 0; l < 3; ++l) {
+    core::Layer layer;
+    layer.id = 100 + l;
+    layer.terms = financial::LayerTerms::cat_xl(attachments[l], attachments[l]);
+    for (std::uint64_t e = l; e < l + 4; ++e) {  // overlapping ELT coverage
+      layer.elts.push_back({lookups[e], financial::FinancialTerms{0.0, financial::kUnlimited,
+                                                                  0.9, 1.0}});
+    }
+    portfolio.layers.push_back(std::move(layer));
+  }
+
+  yet::YetConfig yet_config;
+  yet_config.num_trials = 10'000;
+  yet_config.events_per_trial = 800.0;
+  yet_config.count_model = yet::CountModel::kPoisson;
+  const auto yet_table = yet::generate_uniform_yet(yet_config, kCatalogSize);
+  const auto ylt = core::run_parallel(portfolio, yet_table);
+
+  // --- 1. The event strikes: immediate position ----------------------------
+  // Pick the book's single worst driver as "the event that just happened".
+  const auto drivers =
+      metrics::top_contributing_events(portfolio.layers[2], yet_table, kCatalogSize, 5);
+  const yet::EventId the_event = drivers.front().event;
+
+  std::printf("== post-event report: catalog event %u ==\n\n", the_event);
+  io::TextTable impact({"layer", "immediate ceded loss", "conditional-year EL"});
+  const auto losses = metrics::event_losses(portfolio, the_event);
+  for (std::size_t l = 0; l < portfolio.num_layers(); ++l) {
+    impact.add_row({"layer_" + std::to_string(portfolio.layers[l].id),
+                    io::format_money(losses[l]),
+                    io::format_money(metrics::conditional_expected_loss(ylt, l, yet_table,
+                                                                        the_event))});
+  }
+  std::cout << impact << "\n";
+
+  // --- 2. Where the event sits among the book's drivers ---------------------
+  io::TextTable top({"rank", "event", "occurrences", "per-occurrence loss", "annual EL"});
+  for (std::size_t rank = 0; rank < drivers.size(); ++rank) {
+    top.add_row({std::to_string(rank + 1), std::to_string(drivers[rank].event),
+                 std::to_string(drivers[rank].occurrences),
+                 io::format_money(drivers[rank].occurrence_loss),
+                 io::format_money(drivers[rank].expected_annual_loss)});
+  }
+  std::printf("top drivers of layer_%u:\n", portfolio.layers[2].id);
+  std::cout << top << "\n";
+
+  // --- 3. Capital attribution ------------------------------------------------
+  const auto allocation = metrics::allocate_tvar(ylt, 0.99);
+  io::TextTable capital({"layer", "co-TVaR(99%)", "share"});
+  for (std::size_t l = 0; l < portfolio.num_layers(); ++l) {
+    capital.add_row({"layer_" + std::to_string(portfolio.layers[l].id),
+                     io::format_money(allocation.layer_contributions[l]),
+                     io::format_percent(allocation.layer_shares[l])});
+  }
+  std::cout << "capital attribution (sums to portfolio TVaR "
+            << io::format_money(allocation.portfolio_tvar) << "):\n"
+            << capital << "\n";
+  std::printf("diversification benefit: %s\n\n",
+              io::format_percent(metrics::diversification_benefit(ylt, 0.99)).c_str());
+
+  // --- 4. Severity stress (+20% climate loading on every ELT) ----------------
+  core::Portfolio stressed = portfolio;
+  for (auto& layer : stressed.layers) {
+    for (auto& layer_elt : layer.elts) {
+      layer_elt.lookup = std::make_shared<elt::ScaledLookup>(layer_elt.lookup, 1.2);
+    }
+  }
+  const auto stressed_ylt = core::run_parallel(stressed, yet_table);
+  io::TextTable stress({"layer", "base EL", "stressed EL", "change"});
+  for (std::size_t l = 0; l < portfolio.num_layers(); ++l) {
+    const metrics::EpCurve base_curve(ylt.layer_losses(l));
+    const metrics::EpCurve stressed_curve(stressed_ylt.layer_losses(l));
+    const double change =
+        stressed_curve.expected_loss() / std::max(base_curve.expected_loss(), 1.0) - 1.0;
+    stress.add_row({"layer_" + std::to_string(portfolio.layers[l].id),
+                    io::format_money(base_curve.expected_loss()),
+                    io::format_money(stressed_curve.expected_loss()),
+                    io::format_percent(change)});
+  }
+  std::cout << "+20% severity stress (input-side, so remote layers attach):\n" << stress << "\n";
+
+  // --- 5. Rest-of-season exposure --------------------------------------------
+  // The event struck at mid-year: what does the remaining half-year hold?
+  const auto remainder = core::run_windowed(portfolio, yet_table, {0.5f, 1.0f});
+  io::TextTable season({"layer", "full-year EL", "remaining-half EL"});
+  for (std::size_t l = 0; l < portfolio.num_layers(); ++l) {
+    const metrics::EpCurve full(ylt.layer_losses(l));
+    const metrics::EpCurve half(remainder.layer_losses(l));
+    season.add_row({"layer_" + std::to_string(portfolio.layers[l].id),
+                    io::format_money(full.expected_loss()),
+                    io::format_money(half.expected_loss())});
+  }
+  std::cout << "rest-of-year outlook (coverage window [0.5, 1.0)):\n" << season;
+  return 0;
+}

@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "catalog/types.hpp"
+
+namespace are::catalog {
+
+/// One stochastic event: "a mathematical representation of the natural
+/// occurrence patterns and characteristics of catastrophe perils"
+/// (paper §I). The rate feeds the Year Event Table sampler; the severity
+/// parameters feed the catastrophe model that turns exposure into ELTs.
+struct CatalogEvent {
+  EventId id = 0;
+  Peril peril = Peril::kHurricane;
+  Region region = Region::kNorthAtlantic;
+  /// Mean annual occurrence frequency of this event (Poisson intensity).
+  double annual_rate = 0.0;
+  /// Lognormal hazard-intensity parameters at the event's epicentre.
+  double intensity_mu = 0.0;
+  double intensity_sigma = 0.5;
+  /// Footprint decay: how fast hazard intensity falls off with normalized
+  /// distance from the event centre (larger = more localized event).
+  double footprint_decay = 1.0;
+  /// Normalized event centre in [0,1)^2 within its region.
+  float centre_x = 0.5f;
+  float centre_y = 0.5f;
+};
+
+/// An immutable catalog of stochastic events with dense ids [0, size).
+class EventCatalog {
+ public:
+  EventCatalog() = default;
+  explicit EventCatalog(std::vector<CatalogEvent> events);
+
+  std::size_t size() const noexcept { return events_.size(); }
+  bool empty() const noexcept { return events_.empty(); }
+  const CatalogEvent& operator[](EventId id) const noexcept { return events_[id]; }
+  std::span<const CatalogEvent> events() const noexcept { return events_; }
+
+  /// Sum of annual rates: the expected number of catalog-event occurrences
+  /// per contractual year (controls YET trial sizes).
+  double total_annual_rate() const noexcept { return total_rate_; }
+
+  /// Per-event rates, in id order — the weight vector for the YET sampler.
+  std::vector<double> rates() const;
+
+  /// Number of events of the given peril.
+  std::size_t count_of(Peril peril) const noexcept;
+
+ private:
+  std::vector<CatalogEvent> events_;
+  double total_rate_ = 0.0;
+};
+
+/// Configuration for the synthetic catalog builder.
+struct CatalogConfig {
+  /// Number of events; industrial catalogs run to the millions
+  /// (the paper's worked example uses a 2M-event catalog).
+  std::size_t num_events = 100'000;
+  /// Target expected events per year across the whole catalog. The paper's
+  /// YETs carry 800-1500 events per trial; default matches the midpoint.
+  double expected_events_per_year = 1000.0;
+  /// Peril mix (weights, normalised internally); index by Peril.
+  double peril_weights[kPerilCount] = {0.30, 0.25, 0.20, 0.15, 0.10};
+  /// Dispersion of per-event rates: rates are Gamma(shape, ·) distributed,
+  /// so a small shape gives a few high-frequency events and a long tail of
+  /// rare ones, which is what real catalogs look like.
+  double rate_shape = 0.5;
+  std::uint64_t seed = 20120901;  // SC'12 vintage
+};
+
+/// Builds a reproducible synthetic catalog.
+EventCatalog build_catalog(const CatalogConfig& config);
+
+/// Seasonality profile: Beta(a,b) density over the fraction-of-year axis.
+/// Hurricanes cluster in late summer, winter storms in winter, earthquakes
+/// are uniform. Used by the YET generator to place timestamps.
+struct SeasonalityProfile {
+  double alpha = 1.0;
+  double beta = 1.0;
+};
+
+SeasonalityProfile seasonality_for(Peril peril) noexcept;
+
+}  // namespace are::catalog

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace are::catalog {
+
+/// Identifier of a stochastic event in the catalog. Event ids are dense in
+/// [0, catalog_size) — the property the direct access table exploits.
+using EventId = std::uint32_t;
+
+inline constexpr EventId kInvalidEvent = ~EventId{0};
+
+/// Natural perils covered by the synthetic catalog. Mirrors the paper's
+/// "global event catalog covering multiple perils".
+enum class Peril : std::uint8_t {
+  kHurricane = 0,
+  kEarthquake,
+  kFlood,
+  kWinterStorm,
+  kTornado,
+};
+
+inline constexpr int kPerilCount = 5;
+
+constexpr std::string_view to_string(Peril peril) noexcept {
+  switch (peril) {
+    case Peril::kHurricane: return "hurricane";
+    case Peril::kEarthquake: return "earthquake";
+    case Peril::kFlood: return "flood";
+    case Peril::kWinterStorm: return "winter_storm";
+    case Peril::kTornado: return "tornado";
+  }
+  return "unknown";
+}
+
+/// Coarse geographic regions used to correlate exposure sites with event
+/// footprints.
+enum class Region : std::uint8_t {
+  kNorthAtlantic = 0,
+  kGulfCoast,
+  kPacificRim,
+  kContinentalInterior,
+  kNorthernEurope,
+};
+
+inline constexpr int kRegionCount = 5;
+
+constexpr std::string_view to_string(Region region) noexcept {
+  switch (region) {
+    case Region::kNorthAtlantic: return "north_atlantic";
+    case Region::kGulfCoast: return "gulf_coast";
+    case Region::kPacificRim: return "pacific_rim";
+    case Region::kContinentalInterior: return "continental_interior";
+    case Region::kNorthernEurope: return "northern_europe";
+  }
+  return "unknown";
+}
+
+}  // namespace are::catalog

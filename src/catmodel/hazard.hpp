@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cmath>
+
+#include "catalog/event_catalog.hpp"
+#include "exposure/exposure.hpp"
+
+namespace are::catmodel {
+
+/// Hazard intensity experienced at a site from one event: the event's
+/// epicentral intensity attenuated by an exponential footprint in
+/// normalized distance. Sites in a different region are unaffected.
+///
+/// `epicentral_intensity` is drawn once per event by the model (lognormal
+/// with the event's mu/sigma); this function is the deterministic spatial
+/// part, so the same event produces spatially coherent damage across the
+/// exposure set — the mechanism that makes catastrophe losses correlated
+/// within an ELT.
+inline double intensity_at_site(const catalog::CatalogEvent& event,
+                                const exposure::Site& site,
+                                double epicentral_intensity) noexcept {
+  if (site.region != event.region) return 0.0;
+  const double dx = static_cast<double>(site.x) - static_cast<double>(event.centre_x);
+  const double dy = static_cast<double>(site.y) - static_cast<double>(event.centre_y);
+  const double distance = std::sqrt(dx * dx + dy * dy);
+  return epicentral_intensity * std::exp(-event.footprint_decay * distance);
+}
+
+/// Footprint radius beyond which intensity is below `threshold` — used to
+/// skip far-away sites cheaply.
+inline double footprint_radius(const catalog::CatalogEvent& event, double epicentral_intensity,
+                               double threshold) noexcept {
+  if (epicentral_intensity <= threshold) return 0.0;
+  return std::log(epicentral_intensity / threshold) / event.footprint_decay;
+}
+
+}  // namespace are::catmodel

@@ -1,0 +1,103 @@
+#include "core/distribution_engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "financial/discretize.hpp"
+#include "financial/terms.hpp"
+
+namespace are::core {
+
+namespace {
+
+/// Combined mean loss of one event across the layer's ELTs, net of the
+/// ELT-level financial terms (the same combination the scalar engine uses).
+double combined_mean_loss(const Layer& layer, yet::EventId event) noexcept {
+  double combined = 0.0;
+  for (const LayerElt& layer_elt : layer.elts) {
+    combined += layer_elt.terms.apply(layer_elt.lookup->lookup(event));
+  }
+  return combined;
+}
+
+double auto_bin_width(const Layer& layer, const yet::YearEventTable& yet_table,
+                      std::size_t grid_size) {
+  // Grid top: the aggregate limit when finite, else 4x the mean trial loss.
+  double top = 0.0;
+  if (layer.terms.aggregate_limit != financial::kUnlimited) {
+    top = layer.terms.aggregate_retention + layer.terms.aggregate_limit;
+  } else {
+    double total = 0.0;
+    for (std::size_t trial = 0; trial < yet_table.num_trials(); ++trial) {
+      for (const yet::EventId event : yet_table.trial_events(trial)) {
+        total += layer.terms.apply_occurrence(combined_mean_loss(layer, event));
+      }
+    }
+    const double mean_trial =
+        total / std::max<double>(1.0, static_cast<double>(yet_table.num_trials()));
+    top = 4.0 * mean_trial;
+  }
+  if (top <= 0.0) top = 1.0;
+  return top / static_cast<double>(grid_size - 1);
+}
+
+}  // namespace
+
+double expected_loss_of(const financial::LossDistribution& distribution) {
+  return distribution.mean();
+}
+
+DistributionResult run_distribution_analysis(const Portfolio& portfolio,
+                                             const yet::YearEventTable& yet_table,
+                                             const DistributionOptions& options) {
+  portfolio.validate();
+  if (options.grid_size < 2) throw std::invalid_argument("grid must have >= 2 points");
+  if (options.bin_width < 0.0) throw std::invalid_argument("bin width must be >= 0");
+  if (yet_table.num_trials() == 0) throw std::invalid_argument("YET has no trials");
+
+  DistributionResult result;
+  result.layer_distributions.reserve(portfolio.layers.size());
+  result.bin_widths.reserve(portfolio.layers.size());
+
+  for (const Layer& layer : portfolio.layers) {
+    const double bin_width = options.bin_width > 0.0
+                                 ? options.bin_width
+                                 : auto_bin_width(layer, yet_table, options.grid_size);
+
+    // Equal-weight mixture across trials, accumulated directly on the grid.
+    std::vector<double> annual_mass(options.grid_size, 0.0);
+    const double trial_weight = 1.0 / static_cast<double>(yet_table.num_trials());
+
+    for (std::size_t trial = 0; trial < yet_table.num_trials(); ++trial) {
+      financial::LossDistribution trial_dist =
+          financial::LossDistribution::point_mass(0.0, bin_width, 1);
+
+      for (const yet::EventId event : yet_table.trial_events(trial)) {
+        const double mean = combined_mean_loss(layer, event);
+        if (mean <= 0.0) continue;  // zero-mass event: convolution identity
+
+        financial::LossDistribution severity = financial::discretize_lognormal(
+            mean, options.coefficient_of_variation, bin_width, options.grid_size);
+        // Occurrence terms apply per event *before* aggregation.
+        severity = severity.apply_excess_of_loss(layer.terms.occurrence_retention,
+                                                 layer.terms.occurrence_limit);
+        trial_dist = trial_dist.convolve(severity, options.grid_size);
+      }
+
+      // Aggregate terms on the trial's aggregate-loss distribution.
+      const financial::LossDistribution ceded = trial_dist.apply_excess_of_loss(
+          layer.terms.aggregate_retention, layer.terms.aggregate_limit);
+
+      const auto mass = ceded.mass();
+      for (std::size_t k = 0; k < mass.size() && k < annual_mass.size(); ++k) {
+        annual_mass[k] += trial_weight * mass[k];
+      }
+    }
+
+    result.layer_distributions.emplace_back(std::move(annual_mass), bin_width);
+    result.bin_widths.push_back(bin_width);
+  }
+  return result;
+}
+
+}  // namespace are::core

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <vector>
+
+#include "core/layer.hpp"
+#include "financial/loss_distribution.hpp"
+#include "yet/year_event_table.hpp"
+
+namespace are::core {
+
+/// Options for distribution-mode aggregate analysis — the paper's §IV
+/// extension: "if the system is extended to represent losses as a
+/// distribution (rather than a simple mean) then the algorithm would likely
+/// benefit from use of a numerical library for convolution."
+///
+/// Each event's loss is modelled as a lognormal around the ELT's mean loss
+/// with the given coefficient of variation, discretized onto a uniform
+/// grid. Per trial, the event severity distributions pass through the
+/// occurrence terms and are convolved into the trial's aggregate-loss
+/// distribution, which then passes through the aggregate terms. The
+/// per-layer annual loss distribution is the equal-weight mixture over
+/// trials.
+struct DistributionOptions {
+  std::size_t grid_size = 256;
+  /// Bin width of the shared loss grid. 0 = auto: sized so the layer's
+  /// aggregate limit (or a multiple of the mean trial loss when unlimited)
+  /// spans the grid.
+  double bin_width = 0.0;
+  /// Secondary uncertainty around each event's mean loss.
+  double coefficient_of_variation = 0.5;
+};
+
+struct DistributionResult {
+  /// One annual ceded-loss distribution per layer.
+  std::vector<financial::LossDistribution> layer_distributions;
+  /// Grid actually used per layer (equals options.bin_width unless auto).
+  std::vector<double> bin_widths;
+};
+
+/// Runs distribution-mode aggregate analysis. O(trials * events * grid^2):
+/// intended for focused books (the extension's accuracy study), not the
+/// 1M-trial production path — which is exactly why the paper defers it to
+/// a convolution library.
+DistributionResult run_distribution_analysis(const Portfolio& portfolio,
+                                             const yet::YearEventTable& yet_table,
+                                             const DistributionOptions& options = {});
+
+/// Mean-mode cross-check: with coefficient_of_variation == 0 every event
+/// distribution is a point mass and the distribution engine must reproduce
+/// the scalar engine's expected losses (up to grid quantisation). Exposed
+/// as a helper so tests and examples can quantify the grid error.
+double expected_loss_of(const financial::LossDistribution& distribution);
+
+}  // namespace are::core

@@ -1,0 +1,103 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/layer.hpp"
+#include "core/year_loss_table.hpp"
+#include "parallel/parallel_for.hpp"
+#include "yet/year_event_table.hpp"
+
+namespace are::core {
+
+/// Aggregate analysis, sequential reference implementation — a faithful
+/// transcription of the paper's "Basic Algorithm for Aggregate Risk
+/// Analysis": for every layer, for every trial, (1) look up each event's
+/// loss in each covered ELT, (2) apply the ELT financial terms and combine
+/// across ELTs, (3) apply occurrence terms, (4) accumulate and apply
+/// aggregate terms; the net trial loss lands in the YLT.
+YearLossTable run_sequential(const Portfolio& portfolio, const yet::YearEventTable& yet_table);
+
+struct ParallelOptions {
+  /// Worker threads; 0 = hardware concurrency.
+  std::size_t num_threads = 0;
+  parallel::Partition partition = parallel::Partition::kStatic;
+  /// Trials per dynamic/guided chunk.
+  std::size_t chunk = 256;
+};
+
+/// Trial-parallel engine: one logical task per block of trials on a thread
+/// pool, mirroring the paper's OpenMP implementation ("a single thread is
+/// employed per trial"). Bit-identical output to run_sequential.
+YearLossTable run_parallel(const Portfolio& portfolio, const yet::YearEventTable& yet_table,
+                           const ParallelOptions& options = {});
+
+/// Reuses an existing pool (cheaper when an application runs many analyses,
+/// e.g. the real-time pricing scenario).
+YearLossTable run_parallel(const Portfolio& portfolio, const yet::YearEventTable& yet_table,
+                           parallel::ThreadPool& pool, const ParallelOptions& options = {});
+
+struct ChunkedOptions {
+  /// Events processed per chunk — the paper's GPU "chunk size" knob
+  /// (Fig 5a: best at 4, flat to 12, cliff beyond shared-memory capacity).
+  std::size_t chunk_size = 4;
+  /// Threads for the trial-parallel outer loop (0 = hardware concurrency,
+  /// 1 = fully sequential chunked execution).
+  std::size_t num_threads = 1;
+};
+
+/// Chunked engine: the CPU analogue of the paper's optimised GPU kernel.
+/// Each of the algorithm's phases runs over a fixed-size block of events
+/// held in small scratch buffers (the stand-in for per-SM shared memory),
+/// with the path-dependent aggregate state carried across chunks by
+/// TrialAccumulator. Bit-identical output to run_sequential.
+YearLossTable run_chunked(const Portfolio& portfolio, const yet::YearEventTable& yet_table,
+                          const ChunkedOptions& options = {});
+
+/// Phase attribution for the instrumented engine (Fig 6b of the paper:
+/// event fetch / ELT lookup / financial terms / layer terms).
+struct PhaseBreakdown {
+  double fetch_seconds = 0.0;
+  double lookup_seconds = 0.0;
+  double financial_seconds = 0.0;
+  double layer_seconds = 0.0;
+
+  double total_seconds() const noexcept {
+    return fetch_seconds + lookup_seconds + financial_seconds + layer_seconds;
+  }
+  double fetch_fraction() const noexcept { return fetch_seconds / total_seconds(); }
+  double lookup_fraction() const noexcept { return lookup_seconds / total_seconds(); }
+  double financial_fraction() const noexcept { return financial_seconds / total_seconds(); }
+  double layer_fraction() const noexcept { return layer_seconds / total_seconds(); }
+};
+
+/// Memory-access counts per run — the inputs to the perfmodel and simgpu
+/// cost models. "Random" accesses are dependent loads with no locality
+/// (ELT lookups); "streaming" accesses are sequential scans (event fetch).
+struct AccessCounts {
+  std::uint64_t events_fetched = 0;       // streaming reads of E_{i,k}
+  std::uint64_t elt_lookups = 0;          // random reads into lookup tables
+  std::uint64_t financial_applications = 0;
+  std::uint64_t layer_term_applications = 0;
+};
+
+struct InstrumentedResult {
+  YearLossTable ylt;
+  PhaseBreakdown phases;
+  AccessCounts accesses;
+};
+
+/// Runs the analysis with per-phase timers and access counters. The phase
+/// structure matches the paper's line-by-line algorithm (each phase sweeps
+/// the trial's event buffer), so attribution is directly comparable to
+/// Fig 6b. Output YLT is bit-identical to run_sequential.
+InstrumentedResult run_instrumented(const Portfolio& portfolio,
+                                    const yet::YearEventTable& yet_table);
+
+/// Pure access-count prediction without running the simulation (used by the
+/// analytical models and asserted against the instrumented engine's actual
+/// counters in tests).
+AccessCounts predict_access_counts(const Portfolio& portfolio,
+                                   const yet::YearEventTable& yet_table) noexcept;
+
+}  // namespace are::core

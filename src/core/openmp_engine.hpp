@@ -1,0 +1,21 @@
+#pragma once
+
+#include "core/engine.hpp"
+
+namespace are::core {
+
+/// True when the library was compiled with OpenMP support.
+bool openmp_available() noexcept;
+
+/// The paper's multi-core CPU implementation: "threading is implemented by
+/// introducing OpenMP directives into the C++ source", one logical thread
+/// per trial with static scheduling. Bit-identical output to
+/// run_sequential.
+///
+/// When the library is built without OpenMP this transparently falls back
+/// to the thread-pool engine with the same thread count (also
+/// bit-identical), so callers need no #ifdefs.
+YearLossTable run_openmp(const Portfolio& portfolio, const yet::YearEventTable& yet_table,
+                         int num_threads = 0);
+
+}  // namespace are::core

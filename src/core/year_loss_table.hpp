@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace are::core {
+
+/// The Year Loss Table: the output of aggregate analysis — one ceded loss
+/// per (layer, trial). Trial losses for one layer are stored contiguously
+/// because every downstream consumer (EP curves, TVaR, pricing) scans a
+/// single layer's losses end to end.
+class YearLossTable {
+ public:
+  YearLossTable() = default;
+
+  YearLossTable(std::vector<std::uint32_t> layer_ids, std::size_t num_trials)
+      : layer_ids_(std::move(layer_ids)),
+        num_trials_(num_trials),
+        losses_(layer_ids_.size() * num_trials, 0.0) {}
+
+  std::size_t num_layers() const noexcept { return layer_ids_.size(); }
+  std::size_t num_trials() const noexcept { return num_trials_; }
+  std::span<const std::uint32_t> layer_ids() const noexcept { return layer_ids_; }
+
+  std::span<double> layer_losses(std::size_t layer_index) noexcept {
+    return {losses_.data() + layer_index * num_trials_, num_trials_};
+  }
+  std::span<const double> layer_losses(std::size_t layer_index) const noexcept {
+    return {losses_.data() + layer_index * num_trials_, num_trials_};
+  }
+
+  double& at(std::size_t layer_index, std::size_t trial) noexcept {
+    return losses_[layer_index * num_trials_ + trial];
+  }
+  double at(std::size_t layer_index, std::size_t trial) const noexcept {
+    return losses_[layer_index * num_trials_ + trial];
+  }
+
+  /// Index of the layer with the given external id.
+  std::size_t index_of(std::uint32_t layer_id) const {
+    for (std::size_t i = 0; i < layer_ids_.size(); ++i) {
+      if (layer_ids_[i] == layer_id) return i;
+    }
+    throw std::out_of_range("layer id not present in YLT");
+  }
+
+  /// Portfolio-level trial losses: sum across layers per trial.
+  std::vector<double> portfolio_losses() const {
+    std::vector<double> total(num_trials_, 0.0);
+    for (std::size_t layer = 0; layer < num_layers(); ++layer) {
+      const auto losses = layer_losses(layer);
+      for (std::size_t trial = 0; trial < num_trials_; ++trial) {
+        total[trial] += losses[trial];
+      }
+    }
+    return total;
+  }
+
+ private:
+  std::vector<std::uint32_t> layer_ids_;
+  std::size_t num_trials_ = 0;
+  std::vector<double> losses_;
+};
+
+}  // namespace are::core

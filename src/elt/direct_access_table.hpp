@@ -1,0 +1,42 @@
+#pragma once
+
+#include <vector>
+
+#include "elt/lookup.hpp"
+
+namespace are::elt {
+
+/// The paper's chosen ELT representation: a dense array of losses indexed
+/// directly by event id. "Highly sparse ... very fast lookup performance at
+/// the cost of high memory usage" — e.g. a 2M-event catalog with a 20K-entry
+/// ELT stores 2M doubles of which 1.98M are zero, but every lookup is a
+/// single memory access, which matters because aggregate analysis is
+/// memory-access bound (78% of time in ELT lookups, Fig 6b).
+class DirectAccessTable final : public ILossLookup {
+ public:
+  DirectAccessTable(const EventLossTable& table, std::size_t catalog_size);
+
+  double lookup(EventId event) const noexcept override {
+    // A single dependent load; out-of-universe ids return 0 via the guard.
+    return event < losses_.size() ? losses_[event] : 0.0;
+  }
+
+  std::size_t memory_bytes() const noexcept override {
+    return losses_.size() * sizeof(double);
+  }
+
+  LookupKind kind() const noexcept override { return LookupKind::kDirectAccess; }
+  std::size_t entry_count() const noexcept override { return entries_; }
+  const DirectAccessTable* as_direct_access() const noexcept override { return this; }
+
+  /// Raw dense view for the chunked/simgpu kernels, which model coalesced
+  /// array access explicitly.
+  const double* data() const noexcept { return losses_.data(); }
+  std::size_t universe() const noexcept { return losses_.size(); }
+
+ private:
+  std::vector<double> losses_;
+  std::size_t entries_ = 0;
+};
+
+}  // namespace are::elt

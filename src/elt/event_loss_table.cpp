@@ -1,0 +1,44 @@
+#include "elt/event_loss_table.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace are::elt {
+
+EventLossTable::EventLossTable(std::vector<EventLoss> records) : records_(std::move(records)) {
+  for (const EventLoss& record : records_) {
+    if (!(record.loss >= 0.0) || !std::isfinite(record.loss)) {
+      throw std::invalid_argument("event losses must be finite and non-negative");
+    }
+    if (record.event == catalog::kInvalidEvent) {
+      throw std::invalid_argument("invalid event id in ELT record");
+    }
+  }
+  std::sort(records_.begin(), records_.end(),
+            [](const EventLoss& a, const EventLoss& b) { return a.event < b.event; });
+  // Coalesce duplicates by summation.
+  std::size_t write = 0;
+  for (std::size_t read = 0; read < records_.size(); ++read) {
+    if (write > 0 && records_[write - 1].event == records_[read].event) {
+      records_[write - 1].loss += records_[read].loss;
+    } else {
+      records_[write++] = records_[read];
+    }
+  }
+  records_.resize(write);
+}
+
+double EventLossTable::loss_for(EventId event) const noexcept {
+  const auto it = std::lower_bound(
+      records_.begin(), records_.end(), event,
+      [](const EventLoss& record, EventId id) { return record.event < id; });
+  return (it != records_.end() && it->event == event) ? it->loss : 0.0;
+}
+
+double EventLossTable::total_loss() const noexcept {
+  double total = 0.0;
+  for (const EventLoss& record : records_) total += record.loss;
+  return total;
+}
+
+}  // namespace are::elt

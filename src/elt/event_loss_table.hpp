@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "catalog/types.hpp"
+
+namespace are::elt {
+
+using catalog::EventId;
+
+/// One record of an Event Loss Table: an event and its expected loss with
+/// respect to one exposure set (paper §II-A, `EL_i = {E_i, l_i}`).
+struct EventLoss {
+  EventId event = 0;
+  double loss = 0.0;
+
+  friend bool operator==(const EventLoss&, const EventLoss&) = default;
+};
+
+/// The canonical compact ELT: records sorted by event id, unique events.
+/// This is the *source of truth* representation produced by the catastrophe
+/// model; the engine-facing lookup structures (direct access table, hashes,
+/// ...) are built from it.
+class EventLossTable {
+ public:
+  EventLossTable() = default;
+
+  /// Takes records in any order; sorts and validates. Duplicate event ids
+  /// are summed (two sub-exposures of the same event accumulate).
+  explicit EventLossTable(std::vector<EventLoss> records);
+
+  std::size_t size() const noexcept { return records_.size(); }
+  bool empty() const noexcept { return records_.empty(); }
+  std::span<const EventLoss> records() const noexcept { return records_; }
+
+  /// Largest event id present, or 0 when empty.
+  EventId max_event() const noexcept { return records_.empty() ? 0 : records_.back().event; }
+
+  /// Exact lookup by binary search — reference semantics for tests; the
+  /// performance-critical paths use the lookup structures instead.
+  double loss_for(EventId event) const noexcept;
+
+  double total_loss() const noexcept;
+
+ private:
+  std::vector<EventLoss> records_;
+};
+
+}  // namespace are::elt

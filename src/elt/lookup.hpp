@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string_view>
+
+#include "elt/event_loss_table.hpp"
+
+namespace are::elt {
+
+/// The representations evaluated in the paper's design discussion
+/// (§III-B): the direct access table it selects, and the compact
+/// alternatives it argues against (sorted + binary search, classic hashing,
+/// cuckoo hashing). `bench_ablation_elt_structures` measures the trade-off.
+enum class LookupKind {
+  kDirectAccess = 0,
+  kSortedVector,
+  kRobinHood,
+  kCuckoo,
+  /// Paged direct access: two accesses per lookup, memory proportional to
+  /// touched pages — a midpoint the paper's design study motivates but
+  /// does not evaluate.
+  kPagedDirect,
+};
+
+constexpr std::string_view to_string(LookupKind kind) noexcept {
+  switch (kind) {
+    case LookupKind::kDirectAccess: return "direct_access";
+    case LookupKind::kSortedVector: return "sorted_vector";
+    case LookupKind::kRobinHood: return "robin_hood";
+    case LookupKind::kCuckoo: return "cuckoo";
+    case LookupKind::kPagedDirect: return "paged_direct";
+  }
+  return "unknown";
+}
+
+class DirectAccessTable;
+
+/// Type-erased loss lookup. The engines are also templated on the concrete
+/// types for zero-overhead dispatch; this interface exists for runtime
+/// selection (CLI flags, ablation benches) and tests.
+class ILossLookup {
+ public:
+  virtual ~ILossLookup() = default;
+
+  /// Expected loss for `event`, 0.0 when the event is not in the table.
+  virtual double lookup(EventId event) const noexcept = 0;
+
+  /// Resident memory of the structure in bytes (the axis the paper trades
+  /// against access count).
+  virtual std::size_t memory_bytes() const noexcept = 0;
+
+  virtual LookupKind kind() const noexcept = 0;
+
+  /// Number of non-zero entries.
+  virtual std::size_t entry_count() const noexcept = 0;
+
+  /// Non-null iff this object really is a plain DirectAccessTable whose raw
+  /// dense array the engines may read directly. Decorators (e.g.
+  /// ScaledLookup over a direct table) must return null so the engines take
+  /// the virtual path. Safer than trusting kind() for the downcast.
+  virtual const DirectAccessTable* as_direct_access() const noexcept { return nullptr; }
+};
+
+/// Builds the requested representation from a compact ELT.
+/// `catalog_size` bounds the event-id universe; required by the direct
+/// access table (it allocates one slot per catalog event) and validated
+/// against by all implementations.
+std::unique_ptr<ILossLookup> make_lookup(LookupKind kind, const EventLossTable& table,
+                                         std::size_t catalog_size);
+
+}  // namespace are::elt

@@ -1,0 +1,51 @@
+#include "elt/synthetic.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+
+#include "rng/distributions.hpp"
+#include "rng/stream.hpp"
+
+namespace are::elt {
+
+EventLossTable make_synthetic_elt(const SyntheticEltConfig& config) {
+  if (config.entries > config.catalog_size) {
+    throw std::invalid_argument("synthetic ELT cannot have more entries than catalog events");
+  }
+  if (config.entries == 0) return EventLossTable{};
+
+  rng::Stream stream(config.seed, /*stream_id=*/4, /*substream_id=*/config.elt_id);
+
+  std::vector<EventLoss> records;
+  records.reserve(config.entries);
+
+  if (config.entries * 3 >= config.catalog_size) {
+    // Dense regime: Floyd's algorithm would thrash; do a selection sweep.
+    std::size_t needed = config.entries;
+    std::size_t remaining = config.catalog_size;
+    for (std::size_t id = 0; id < config.catalog_size && needed > 0; ++id, --remaining) {
+      if (stream.uniform_below(remaining) < needed) {
+        const double loss =
+            rng::sample_pareto_lomax(stream, config.loss_alpha, config.loss_scale) + 1.0;
+        records.push_back({static_cast<EventId>(id), loss});
+        --needed;
+      }
+    }
+  } else {
+    // Sparse regime: rejection sampling of distinct ids.
+    std::unordered_set<EventId> chosen;
+    chosen.reserve(config.entries * 2);
+    while (chosen.size() < config.entries) {
+      const auto id = static_cast<EventId>(stream.uniform_below(config.catalog_size));
+      if (chosen.insert(id).second) {
+        const double loss =
+            rng::sample_pareto_lomax(stream, config.loss_alpha, config.loss_scale) + 1.0;
+        records.push_back({id, loss});
+      }
+    }
+  }
+
+  return EventLossTable(std::move(records));
+}
+
+}  // namespace are::elt

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <cstdint>
+
+#include "elt/event_loss_table.hpp"
+
+namespace are::elt {
+
+/// Configuration for direct synthetic ELT generation. Engine-scale
+/// benchmarks need ELTs with the paper's shape — 10K-30K non-zero losses
+/// out of a catalog of up to 2M events — without paying for a full
+/// catastrophe-model run; this generator produces that shape directly.
+struct SyntheticEltConfig {
+  std::size_t catalog_size = 2'000'000;
+  std::size_t entries = 20'000;
+  /// Pareto-Lomax severity for the losses (heavy tail, like real ELTs).
+  double loss_alpha = 1.5;
+  double loss_scale = 250'000.0;
+  std::uint64_t seed = 1;
+  /// Distinguishes the ELTs of one layer from each other.
+  std::uint64_t elt_id = 0;
+};
+
+/// Draws `entries` distinct event ids uniformly from the catalog universe
+/// with heavy-tailed losses. Deterministic in (seed, elt_id).
+EventLossTable make_synthetic_elt(const SyntheticEltConfig& config);
+
+}  // namespace are::elt

@@ -1,0 +1,181 @@
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+#include "elt/cuckoo_table.hpp"
+#include "elt/direct_access_table.hpp"
+#include "elt/paged_direct_table.hpp"
+#include "elt/robin_hood_table.hpp"
+#include "elt/sorted_table.hpp"
+
+namespace are::elt {
+
+namespace {
+
+void validate_universe(const EventLossTable& table, std::size_t catalog_size) {
+  if (!table.empty() && table.max_event() >= catalog_size) {
+    throw std::invalid_argument("ELT contains an event id outside the catalog universe");
+  }
+}
+
+std::size_t next_pow2(std::size_t n) {
+  return n <= 1 ? 1 : std::bit_ceil(n);
+}
+
+}  // namespace
+
+DirectAccessTable::DirectAccessTable(const EventLossTable& table, std::size_t catalog_size) {
+  validate_universe(table, catalog_size);
+  losses_.assign(catalog_size, 0.0);
+  for (const EventLoss& record : table.records()) {
+    losses_[record.event] = record.loss;
+    ++entries_;
+  }
+}
+
+SortedTable::SortedTable(const EventLossTable& table, std::size_t catalog_size) {
+  validate_universe(table, catalog_size);
+  events_.reserve(table.size());
+  losses_.reserve(table.size());
+  for (const EventLoss& record : table.records()) {
+    events_.push_back(record.event);
+    losses_.push_back(record.loss);
+  }
+}
+
+RobinHoodTable::RobinHoodTable(const EventLossTable& table, std::size_t catalog_size) {
+  validate_universe(table, catalog_size);
+  const std::size_t capacity =
+      next_pow2(static_cast<std::size_t>(static_cast<double>(table.size()) / kMaxLoadFactor) + 1);
+  slots_.assign(capacity, Slot{});
+  mask_ = capacity - 1;
+  for (const EventLoss& record : table.records()) insert(record.event, record.loss);
+}
+
+void RobinHoodTable::insert(EventId event, double loss) {
+  std::size_t index = hash(event) & mask_;
+  Slot incoming{event, 0, loss, true};
+  for (;;) {
+    Slot& slot = slots_[index];
+    if (!slot.occupied) {
+      slot = incoming;
+      ++entries_;
+      return;
+    }
+    if (slot.event == incoming.event) {
+      slot.loss = incoming.loss;
+      return;
+    }
+    if (incoming.distance > slot.distance) std::swap(incoming, slot);
+    index = (index + 1) & mask_;
+    ++incoming.distance;
+  }
+}
+
+std::uint32_t RobinHoodTable::max_probe_distance() const noexcept {
+  std::uint32_t max_distance = 0;
+  for (const Slot& slot : slots_) {
+    if (slot.occupied) max_distance = std::max(max_distance, slot.distance);
+  }
+  return max_distance;
+}
+
+PagedDirectTable::PagedDirectTable(const EventLossTable& table, std::size_t catalog_size) {
+  validate_universe(table, catalog_size);
+  const std::size_t num_pages = (catalog_size + kPageSize - 1) / kPageSize;
+  page_table_.assign(num_pages, 0);  // everything points at the zero page
+  pages_.emplace_back();             // pages_[0]: shared all-zero page
+  pages_[0].fill(0.0);
+
+  for (const EventLoss& record : table.records()) {
+    const std::uint32_t page = record.event >> kPageBits;
+    if (page_table_[page] == 0) {
+      page_table_[page] = static_cast<std::uint32_t>(pages_.size());
+      pages_.emplace_back();
+      pages_.back().fill(0.0);
+    }
+    pages_[page_table_[page]][record.event & kPageMask] = record.loss;
+    ++entries_;
+  }
+}
+
+CuckooTable::CuckooTable(const EventLossTable& table, std::size_t catalog_size) {
+  validate_universe(table, catalog_size);
+  build(table);
+}
+
+void CuckooTable::build(const EventLossTable& table) {
+  // Each of the two tables holds `capacity` slots; combined load <= 50% at
+  // the initial sizing, which keeps insertion cycles rare.
+  std::size_t capacity = next_pow2(table.size() + 1);
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    buckets_[0].assign(capacity, Slot{});
+    buckets_[1].assign(capacity, Slot{});
+    mask_ = capacity - 1;
+    entries_ = 0;
+    bool ok = true;
+    for (const EventLoss& record : table.records()) {
+      if (!try_insert(record.event, record.loss)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return;
+    // Cycle: rehash with fresh seeds; every other failure, also grow.
+    ++rebuilds_;
+    seed0_ = seed0_ * 6364136223846793005ULL + 1442695040888963407ULL;
+    seed1_ = seed1_ * 2862933555777941757ULL + 3037000493ULL;
+    if (rebuilds_ % 2 == 0) capacity *= 2;
+  }
+  throw std::runtime_error("cuckoo table failed to build after 64 rehash attempts");
+}
+
+bool CuckooTable::try_insert(EventId event, double loss) {
+  // Update in place if present.
+  for (int side = 0; side < 2; ++side) {
+    const std::size_t index =
+        (side == 0 ? hash0(event) : hash1(event)) & mask_;
+    Slot& slot = buckets_[side][index];
+    if (slot.occupied && slot.event == event) {
+      slot.loss = loss;
+      return true;
+    }
+  }
+
+  Slot incoming{event, loss, true};
+  int side = 0;
+  // The displacement chain length bound: past this we declare a cycle.
+  const int max_kicks = 32 + static_cast<int>(std::bit_width(mask_ + 1)) * 4;
+  for (int kick = 0; kick < max_kicks; ++kick) {
+    const std::size_t index =
+        (side == 0 ? hash0(incoming.event) : hash1(incoming.event)) & mask_;
+    Slot& slot = buckets_[side][index];
+    if (!slot.occupied) {
+      slot = incoming;
+      ++entries_;
+      return true;
+    }
+    std::swap(incoming, slot);
+    side ^= 1;
+  }
+  return false;
+}
+
+std::unique_ptr<ILossLookup> make_lookup(LookupKind kind, const EventLossTable& table,
+                                         std::size_t catalog_size) {
+  switch (kind) {
+    case LookupKind::kDirectAccess:
+      return std::make_unique<DirectAccessTable>(table, catalog_size);
+    case LookupKind::kSortedVector:
+      return std::make_unique<SortedTable>(table, catalog_size);
+    case LookupKind::kRobinHood:
+      return std::make_unique<RobinHoodTable>(table, catalog_size);
+    case LookupKind::kCuckoo:
+      return std::make_unique<CuckooTable>(table, catalog_size);
+    case LookupKind::kPagedDirect:
+      return std::make_unique<PagedDirectTable>(table, catalog_size);
+  }
+  throw std::invalid_argument("unknown lookup kind");
+}
+
+}  // namespace are::elt

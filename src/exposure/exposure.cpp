@@ -1,0 +1,63 @@
+#include "exposure/exposure.hpp"
+
+#include <stdexcept>
+
+#include "rng/distributions.hpp"
+#include "rng/stream.hpp"
+
+namespace are::exposure {
+
+double ExposureSet::total_insured_value() const noexcept {
+  double total = 0.0;
+  for (const Site& site : sites_) total += site.value;
+  return total;
+}
+
+ExposureSet build_exposure(const ExposureConfig& config) {
+  if (config.num_sites == 0) throw std::invalid_argument("exposure set must have sites");
+  if (!(config.value_sigma >= 0.0)) throw std::invalid_argument("value sigma must be >= 0");
+  if (config.deductible_fraction < 0.0 || config.limit_fraction <= 0.0) {
+    throw std::invalid_argument("invalid site term fractions");
+  }
+
+  std::vector<catalog::Region> regions = config.regions;
+  if (regions.empty()) {
+    for (int r = 0; r < catalog::kRegionCount; ++r) {
+      regions.push_back(static_cast<catalog::Region>(r));
+    }
+  }
+
+  std::vector<Site> sites(config.num_sites);
+  for (std::size_t i = 0; i < config.num_sites; ++i) {
+    rng::Stream stream(config.seed, /*stream_id=*/2, /*substream_id=*/i);
+    Site& site = sites[i];
+    site.id = static_cast<std::uint32_t>(i);
+    site.region = regions[stream.uniform_below(regions.size())];
+    site.x = static_cast<float>(stream.uniform01());
+    site.y = static_cast<float>(stream.uniform01());
+
+    const double cu = stream.uniform01();
+    site.construction = cu < 0.45   ? ConstructionClass::kWoodFrame
+                        : cu < 0.70 ? ConstructionClass::kMasonry
+                        : cu < 0.85 ? ConstructionClass::kReinforcedConcrete
+                        : cu < 0.95 ? ConstructionClass::kSteelFrame
+                                    : ConstructionClass::kLightMetal;
+
+    const double ou = stream.uniform01();
+    site.occupancy = ou < 0.6   ? Occupancy::kResidential
+                     : ou < 0.9 ? Occupancy::kCommercial
+                                : Occupancy::kIndustrial;
+
+    double value = rng::sample_lognormal(stream, config.value_mu, config.value_sigma);
+    // Commercial/industrial books skew to larger values.
+    if (site.occupancy == Occupancy::kCommercial) value *= 4.0;
+    if (site.occupancy == Occupancy::kIndustrial) value *= 12.0;
+    site.value = value;
+    site.deductible = config.deductible_fraction * value;
+    site.limit = config.limit_fraction * value;
+  }
+
+  return ExposureSet(std::move(sites));
+}
+
+}  // namespace are::exposure

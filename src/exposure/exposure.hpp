@@ -1,0 +1,107 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "catalog/types.hpp"
+
+namespace are::exposure {
+
+/// Structural class of an insured building; drives vulnerability.
+enum class ConstructionClass : std::uint8_t {
+  kWoodFrame = 0,
+  kMasonry,
+  kReinforcedConcrete,
+  kSteelFrame,
+  kLightMetal,
+};
+
+inline constexpr int kConstructionCount = 5;
+
+constexpr std::string_view to_string(ConstructionClass c) noexcept {
+  switch (c) {
+    case ConstructionClass::kWoodFrame: return "wood_frame";
+    case ConstructionClass::kMasonry: return "masonry";
+    case ConstructionClass::kReinforcedConcrete: return "reinforced_concrete";
+    case ConstructionClass::kSteelFrame: return "steel_frame";
+    case ConstructionClass::kLightMetal: return "light_metal";
+  }
+  return "unknown";
+}
+
+/// Use/occupancy of the building; scales contents value and downtime.
+enum class Occupancy : std::uint8_t {
+  kResidential = 0,
+  kCommercial,
+  kIndustrial,
+};
+
+inline constexpr int kOccupancyCount = 3;
+
+constexpr std::string_view to_string(Occupancy o) noexcept {
+  switch (o) {
+    case Occupancy::kResidential: return "residential";
+    case Occupancy::kCommercial: return "commercial";
+    case Occupancy::kIndustrial: return "industrial";
+  }
+  return "unknown";
+}
+
+/// One insured site: "construction types, location, value, use, and
+/// coverage" (paper §I, description of exposure databases).
+struct Site {
+  std::uint32_t id = 0;
+  catalog::Region region = catalog::Region::kNorthAtlantic;
+  /// Normalized location in [0,1)^2 within the region (matches catalog
+  /// event footprint coordinates).
+  float x = 0.5f;
+  float y = 0.5f;
+  ConstructionClass construction = ConstructionClass::kWoodFrame;
+  Occupancy occupancy = Occupancy::kResidential;
+  /// Total insured value.
+  double value = 0.0;
+  /// Site-level deductible and coverage limit (the "customer's financial
+  /// terms" applied inside the catastrophe model).
+  double deductible = 0.0;
+  double limit = 0.0;
+};
+
+/// An exposure database: the collection of sites underlying one ELT.
+class ExposureSet {
+ public:
+  ExposureSet() = default;
+  explicit ExposureSet(std::vector<Site> sites) : sites_(std::move(sites)) {}
+
+  std::size_t size() const noexcept { return sites_.size(); }
+  bool empty() const noexcept { return sites_.empty(); }
+  std::span<const Site> sites() const noexcept { return sites_; }
+  const Site& operator[](std::size_t i) const noexcept { return sites_[i]; }
+
+  double total_insured_value() const noexcept;
+
+ private:
+  std::vector<Site> sites_;
+};
+
+/// Configuration for the synthetic exposure generator.
+struct ExposureConfig {
+  std::size_t num_sites = 5'000;
+  /// Regions this book writes business in (empty = all regions).
+  std::vector<catalog::Region> regions;
+  /// Lognormal insured-value parameters (median value = e^mu).
+  double value_mu = 13.0;  // ~ $440K median
+  double value_sigma = 1.2;
+  /// Site deductible as a fraction of value.
+  double deductible_fraction = 0.01;
+  /// Site limit as a fraction of value (1.0 = full value).
+  double limit_fraction = 1.0;
+  std::uint64_t seed = 7;
+};
+
+/// Builds a reproducible synthetic exposure set.
+ExposureSet build_exposure(const ExposureConfig& config);
+
+}  // namespace are::exposure

@@ -1,0 +1,42 @@
+#include "financial/discretize.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace are::financial {
+
+double lognormal_cdf(double x, double mu, double sigma) {
+  if (x <= 0.0) return 0.0;
+  return 0.5 * std::erfc(-(std::log(x) - mu) / (sigma * std::sqrt(2.0)));
+}
+
+LossDistribution discretize_lognormal(double mean, double coefficient_of_variation,
+                                      double bin_width, std::size_t grid_size) {
+  if (!(mean >= 0.0)) throw std::invalid_argument("mean must be >= 0");
+  if (!(coefficient_of_variation >= 0.0)) throw std::invalid_argument("cv must be >= 0");
+  if (!(bin_width > 0.0) || grid_size == 0) throw std::invalid_argument("bad grid");
+
+  if (mean == 0.0 || coefficient_of_variation == 0.0) {
+    return LossDistribution::point_mass(mean, bin_width, grid_size);
+  }
+
+  // mean = exp(mu + sigma^2/2), cv^2 = exp(sigma^2) - 1.
+  const double sigma2 = std::log(1.0 + coefficient_of_variation * coefficient_of_variation);
+  const double sigma = std::sqrt(sigma2);
+  const double mu = std::log(mean) - 0.5 * sigma2;
+
+  std::vector<double> mass(grid_size, 0.0);
+  double cdf_lo = 0.0;
+  for (std::size_t k = 0; k + 1 < grid_size; ++k) {
+    // Bin k owns [k*w - w/2, k*w + w/2): mass at the *grid point* k*w.
+    const double hi = (static_cast<double>(k) + 0.5) * bin_width;
+    const double cdf_hi = lognormal_cdf(hi, mu, sigma);
+    mass[k] = cdf_hi - cdf_lo;
+    cdf_lo = cdf_hi;
+  }
+  mass[grid_size - 1] = 1.0 - cdf_lo;  // tail folds into the top bin
+  return LossDistribution(std::move(mass), bin_width);
+}
+
+}  // namespace are::financial

@@ -1,0 +1,22 @@
+#pragma once
+
+#include <cstddef>
+
+#include "financial/loss_distribution.hpp"
+
+namespace are::financial {
+
+/// Discretizes a lognormal severity with the given mean and coefficient of
+/// variation onto a uniform grid (mass[k] = P(loss in bin k), computed from
+/// CDF differences; tail mass folds into the last bin). The building block
+/// for the paper's "losses as a distribution (rather than a simple mean)"
+/// extension: an ELT's mean loss plus an uncertainty assumption becomes a
+/// per-event severity distribution.
+LossDistribution discretize_lognormal(double mean, double coefficient_of_variation,
+                                      double bin_width, std::size_t grid_size);
+
+/// Lognormal CDF with parameters of the underlying normal (exposed for
+/// tests).
+double lognormal_cdf(double x, double mu, double sigma);
+
+}  // namespace are::financial

@@ -1,0 +1,113 @@
+#include "financial/loss_distribution.hpp"
+
+#include "financial/terms.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace are::financial {
+
+LossDistribution::LossDistribution(std::vector<double> probabilities, double bin_width)
+    : mass_(std::move(probabilities)), bin_width_(bin_width) {
+  if (mass_.empty()) throw std::invalid_argument("loss distribution needs at least one bin");
+  if (!(bin_width > 0.0)) throw std::invalid_argument("bin width must be > 0");
+  double total = 0.0;
+  for (double p : mass_) {
+    if (!(p >= 0.0) || !std::isfinite(p)) {
+      throw std::invalid_argument("probabilities must be finite and non-negative");
+    }
+    total += p;
+  }
+  if (!(total > 0.0)) throw std::invalid_argument("distribution must have positive mass");
+  for (double& p : mass_) p /= total;
+}
+
+LossDistribution LossDistribution::point_mass(double loss, double bin_width,
+                                              std::size_t grid_size) {
+  if (grid_size == 0) throw std::invalid_argument("grid size must be > 0");
+  std::vector<double> mass(grid_size, 0.0);
+  auto bin = static_cast<std::size_t>(std::llround(loss / bin_width));
+  bin = std::min(bin, grid_size - 1);
+  mass[bin] = 1.0;
+  return LossDistribution(std::move(mass), bin_width);
+}
+
+double LossDistribution::mean() const noexcept {
+  double m = 0.0;
+  for (std::size_t k = 0; k < mass_.size(); ++k) {
+    m += static_cast<double>(k) * bin_width_ * mass_[k];
+  }
+  return m;
+}
+
+double LossDistribution::variance() const noexcept {
+  const double m = mean();
+  double v = 0.0;
+  for (std::size_t k = 0; k < mass_.size(); ++k) {
+    const double x = static_cast<double>(k) * bin_width_;
+    v += (x - m) * (x - m) * mass_[k];
+  }
+  return v;
+}
+
+double LossDistribution::exceedance(double x) const noexcept {
+  double p = 0.0;
+  for (std::size_t k = 0; k < mass_.size(); ++k) {
+    if (static_cast<double>(k) * bin_width_ > x) p += mass_[k];
+  }
+  return p;
+}
+
+double LossDistribution::quantile(double p) const noexcept {
+  double cumulative = 0.0;
+  for (std::size_t k = 0; k < mass_.size(); ++k) {
+    cumulative += mass_[k];
+    if (cumulative >= p) return static_cast<double>(k) * bin_width_;
+  }
+  return static_cast<double>(mass_.size() - 1) * bin_width_;
+}
+
+LossDistribution LossDistribution::convolve(const LossDistribution& other,
+                                            std::size_t max_size) const {
+  if (std::abs(bin_width_ - other.bin_width_) > 1e-12 * bin_width_) {
+    throw std::invalid_argument("convolution requires identical grids");
+  }
+  const std::size_t full = mass_.size() + other.mass_.size() - 1;
+  const std::size_t out_size = std::min(full, max_size == 0 ? full : max_size);
+  std::vector<double> out(out_size, 0.0);
+  for (std::size_t i = 0; i < mass_.size(); ++i) {
+    if (mass_[i] == 0.0) continue;
+    for (std::size_t j = 0; j < other.mass_.size(); ++j) {
+      const std::size_t k = std::min(i + j, out_size - 1);  // tail mass folds into last bin
+      out[k] += mass_[i] * other.mass_[j];
+    }
+  }
+  return LossDistribution(std::move(out), bin_width_);
+}
+
+LossDistribution LossDistribution::apply_excess_of_loss(double retention, double limit) const {
+  std::vector<double> out(mass_.size(), 0.0);
+  for (std::size_t k = 0; k < mass_.size(); ++k) {
+    if (mass_[k] == 0.0) continue;
+    const double x = static_cast<double>(k) * bin_width_;
+    const double y = excess_of_loss(x, retention, limit);
+    auto bin = static_cast<std::size_t>(std::llround(y / bin_width_));
+    bin = std::min(bin, out.size() - 1);
+    out[bin] += mass_[k];
+  }
+  return LossDistribution(std::move(out), bin_width_);
+}
+
+LossDistribution LossDistribution::mix(const LossDistribution& other, double w) const {
+  if (!(w >= 0.0) || !(w <= 1.0)) throw std::invalid_argument("mixture weight must be in [0,1]");
+  if (std::abs(bin_width_ - other.bin_width_) > 1e-12 * bin_width_) {
+    throw std::invalid_argument("mixture requires identical grids");
+  }
+  std::vector<double> out(std::max(mass_.size(), other.mass_.size()), 0.0);
+  for (std::size_t k = 0; k < mass_.size(); ++k) out[k] += (1.0 - w) * mass_[k];
+  for (std::size_t k = 0; k < other.mass_.size(); ++k) out[k] += w * other.mass_[k];
+  return LossDistribution(std::move(out), bin_width_);
+}
+
+}  // namespace are::financial

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace are::financial {
+
+/// A discrete loss distribution on a fixed uniform grid of loss amounts —
+/// the representation needed for the paper's suggested extension of
+/// "losses as a distribution (rather than a simple mean)", where financial
+/// term application "would likely benefit from use of a numerical library
+/// for convolution" (paper §IV).
+///
+/// Probabilities live on grid points k * bin_width for k in [0, size).
+class LossDistribution {
+ public:
+  LossDistribution() = default;
+
+  /// `probabilities[k]` is the mass at loss k * bin_width. Mass is
+  /// normalised on construction.
+  LossDistribution(std::vector<double> probabilities, double bin_width);
+
+  /// Point mass at `loss` (rounded to the nearest grid point).
+  static LossDistribution point_mass(double loss, double bin_width, std::size_t grid_size);
+
+  std::size_t size() const noexcept { return mass_.size(); }
+  double bin_width() const noexcept { return bin_width_; }
+  std::span<const double> mass() const noexcept { return mass_; }
+
+  double mean() const noexcept;
+  double variance() const noexcept;
+
+  /// P(loss > x).
+  double exceedance(double x) const noexcept;
+
+  /// Smallest grid loss q with P(loss <= q) >= p.
+  double quantile(double p) const noexcept;
+
+  /// Distribution of the sum of two independent losses (direct O(n^2)
+  /// convolution, truncated to the grid; tail mass accumulates in the last
+  /// bin so total mass — and hence exceedance probabilities below the grid
+  /// top — is preserved).
+  LossDistribution convolve(const LossDistribution& other, std::size_t max_size) const;
+
+  /// Applies an excess-of-loss transform x -> min(max(x - retention, 0),
+  /// limit) to the random variable (mass re-binned onto the same grid).
+  LossDistribution apply_excess_of_loss(double retention, double limit) const;
+
+  /// Mixture: this with probability (1-w), other with probability w.
+  LossDistribution mix(const LossDistribution& other, double w) const;
+
+ private:
+  std::vector<double> mass_;
+  double bin_width_ = 1.0;
+};
+
+}  // namespace are::financial

@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "financial/terms.hpp"
+
+namespace are::financial {
+
+/// Reinstatement provisions (paper's future-work reference [18], Anderson &
+/// Dong): a Cat XL layer whose aggregate capacity is the occurrence limit
+/// times (1 + number of reinstatements), where each reinstatement is
+/// "bought back" pro-rata at a percentage of the original premium as losses
+/// consume the limit.
+struct ReinstatementProvision {
+  /// Number of reinstatements; aggregate capacity = (count + 1) * occ limit.
+  std::uint32_t count = 0;
+  /// Premium rate per reinstatement as a fraction of the original premium
+  /// (e.g. 1.0 = 100% "paid reinstatement"). One rate per reinstatement;
+  /// if fewer rates than `count` are given the last rate repeats.
+  std::vector<double> premium_rates;
+
+  /// Effective aggregate limit implied by the provision.
+  double aggregate_limit(double occurrence_limit) const noexcept {
+    if (occurrence_limit == kUnlimited) return kUnlimited;
+    return occurrence_limit * static_cast<double>(count + 1);
+  }
+
+  /// Reinstatement premium owed for a trial that ceded `trial_loss` against
+  /// `occurrence_limit`, as a fraction of the original premium.
+  ///
+  /// Losses consume the limit layer by layer; reinstatement i is charged
+  /// pro-rata on the fraction of the i-th limit-tranche consumed.
+  double premium_fraction(double trial_loss, double occurrence_limit) const noexcept {
+    if (count == 0 || occurrence_limit <= 0.0 || occurrence_limit == kUnlimited) return 0.0;
+    double fraction = 0.0;
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const double tranche_start = occurrence_limit * static_cast<double>(i);
+      const double consumed = excess_of_loss(trial_loss, tranche_start, occurrence_limit);
+      fraction += rate_for(i) * (consumed / occurrence_limit);
+    }
+    return fraction;
+  }
+
+  double rate_for(std::uint32_t i) const noexcept {
+    if (premium_rates.empty()) return 1.0;
+    return premium_rates[i < premium_rates.size() ? i : premium_rates.size() - 1];
+  }
+};
+
+/// Multi-year aggregate limit (paper's reference [23], Berens): a contract
+/// whose aggregate limit spans `years` consecutive contractual years.
+/// Carries the consumed-limit state across year boundaries.
+class MultiYearAggregate {
+ public:
+  MultiYearAggregate(double aggregate_limit, std::uint32_t years)
+      : limit_(aggregate_limit), years_(years) {
+    if (years == 0) throw std::invalid_argument("multi-year term needs >= 1 year");
+    if (!(aggregate_limit >= 0.0)) throw std::invalid_argument("negative multi-year limit");
+  }
+
+  /// Feeds one year's pre-limit aggregate loss; returns the ceded amount
+  /// after the shared multi-year limit. Resets automatically at term end.
+  double add_year(double year_loss) noexcept {
+    const double remaining = limit_ == kUnlimited ? year_loss : limit_ - consumed_;
+    const double ceded = year_loss < remaining ? year_loss : (remaining > 0.0 ? remaining : 0.0);
+    consumed_ += ceded;
+    if (++year_in_term_ == years_) {
+      consumed_ = 0.0;
+      year_in_term_ = 0;
+    }
+    return ceded;
+  }
+
+  double consumed() const noexcept { return consumed_; }
+  std::uint32_t year_in_term() const noexcept { return year_in_term_; }
+
+ private:
+  double limit_;
+  std::uint32_t years_;
+  double consumed_ = 0.0;
+  std::uint32_t year_in_term_ = 0;
+};
+
+/// Franchise deductible: unlike an ordinary (excess) deductible, once the
+/// loss exceeds the franchise the *full* loss is covered.
+constexpr double apply_franchise(double loss, double franchise) noexcept {
+  return loss >= franchise ? loss : 0.0;
+}
+
+}  // namespace are::financial

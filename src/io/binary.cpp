@@ -1,0 +1,131 @@
+#include "io/binary.hpp"
+
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <vector>
+
+namespace are::io {
+
+namespace {
+
+constexpr std::uint32_t kEltMagic = 0x454C5431;  // "ELT1"
+constexpr std::uint32_t kYetMagic = 0x59455431;  // "YET1"
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T value;
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw std::runtime_error("truncated binary stream");
+  return value;
+}
+
+template <typename T>
+void write_vector(std::ostream& out, const std::vector<T>& values, std::uint64_t& hash) {
+  const auto count = static_cast<std::uint64_t>(values.size());
+  write_pod(out, count);
+  out.write(reinterpret_cast<const char*>(values.data()),
+            static_cast<std::streamsize>(values.size() * sizeof(T)));
+  hash ^= fnv1a(values.data(), values.size() * sizeof(T));
+}
+
+template <typename T>
+std::vector<T> read_vector(std::istream& in, std::uint64_t& hash) {
+  const auto count = read_pod<std::uint64_t>(in);
+  // Refuse absurd sizes before allocating (corrupt count field).
+  if (count > (1ULL << 33)) throw std::runtime_error("implausible vector size in binary stream");
+  std::vector<T> values(static_cast<std::size_t>(count));
+  in.read(reinterpret_cast<char*>(values.data()),
+          static_cast<std::streamsize>(values.size() * sizeof(T)));
+  if (!in) throw std::runtime_error("truncated binary stream");
+  hash ^= fnv1a(values.data(), values.size() * sizeof(T));
+  return values;
+}
+
+void check_header(std::istream& in, std::uint32_t magic) {
+  if (read_pod<std::uint32_t>(in) != magic) throw std::runtime_error("bad magic in binary stream");
+  if (read_pod<std::uint32_t>(in) != kVersion) {
+    throw std::runtime_error("unsupported binary format version");
+  }
+}
+
+void check_footer(std::istream& in, std::uint64_t hash) {
+  if (read_pod<std::uint64_t>(in) != hash) {
+    throw std::runtime_error("checksum mismatch: corrupt binary stream");
+  }
+}
+
+}  // namespace
+
+std::uint64_t fnv1a(const void* data, std::size_t size) noexcept {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+void write_elt_binary(std::ostream& out, const elt::EventLossTable& table) {
+  write_pod(out, kEltMagic);
+  write_pod(out, kVersion);
+  std::uint64_t hash = 0;
+  std::vector<elt::EventId> events;
+  std::vector<double> losses;
+  events.reserve(table.size());
+  losses.reserve(table.size());
+  for (const elt::EventLoss& record : table.records()) {
+    events.push_back(record.event);
+    losses.push_back(record.loss);
+  }
+  write_vector(out, events, hash);
+  write_vector(out, losses, hash);
+  write_pod(out, hash);
+}
+
+elt::EventLossTable read_elt_binary(std::istream& in) {
+  check_header(in, kEltMagic);
+  std::uint64_t hash = 0;
+  const auto events = read_vector<elt::EventId>(in, hash);
+  const auto losses = read_vector<double>(in, hash);
+  check_footer(in, hash);
+  if (events.size() != losses.size()) {
+    throw std::runtime_error("ELT binary stream: event/loss length mismatch");
+  }
+  std::vector<elt::EventLoss> records(events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) records[i] = {events[i], losses[i]};
+  return elt::EventLossTable(std::move(records));
+}
+
+void write_yet_binary(std::ostream& out, const yet::YearEventTable& table) {
+  write_pod(out, kYetMagic);
+  write_pod(out, kVersion);
+  std::uint64_t hash = 0;
+  const std::vector<yet::EventId> events(table.events().begin(), table.events().end());
+  const std::vector<float> times(table.times().begin(), table.times().end());
+  const std::vector<std::uint64_t> offsets(table.offsets().begin(), table.offsets().end());
+  write_vector(out, events, hash);
+  write_vector(out, times, hash);
+  write_vector(out, offsets, hash);
+  write_pod(out, hash);
+}
+
+yet::YearEventTable read_yet_binary(std::istream& in) {
+  check_header(in, kYetMagic);
+  std::uint64_t hash = 0;
+  auto events = read_vector<yet::EventId>(in, hash);
+  auto times = read_vector<float>(in, hash);
+  auto offsets = read_vector<std::uint64_t>(in, hash);
+  check_footer(in, hash);
+  return yet::YearEventTable(std::move(events), std::move(times), std::move(offsets));
+}
+
+}  // namespace are::io

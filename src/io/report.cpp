@@ -1,0 +1,107 @@
+#include "io/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace are::io {
+
+namespace {
+
+bool looks_numeric(const std::string& cell) {
+  if (cell.empty()) return false;
+  std::size_t digits = 0;
+  for (const char c : cell) {
+    if (std::isdigit(static_cast<unsigned char>(c))) ++digits;
+    else if (c != '.' && c != ',' && c != '-' && c != '+' && c != '%' && c != 'e') return false;
+  }
+  return digits > 0;
+}
+
+}  // namespace
+
+TextTable::TextTable(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  if (headers_.empty()) throw std::invalid_argument("table needs at least one column");
+}
+
+TextTable& TextTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("row width does not match header");
+  }
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+TextTable& TextTable::add_row_values(const std::string& label, const std::vector<double>& values,
+                                     int precision) {
+  std::vector<std::string> cells;
+  cells.push_back(label);
+  for (const double value : values) {
+    std::ostringstream stream;
+    stream.setf(std::ios::fixed);
+    stream.precision(precision);
+    stream << value;
+    cells.push_back(stream.str());
+  }
+  return add_row(std::move(cells));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  const auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) out << "  ";
+      const auto pad = widths[c] - cells[c].size();
+      if (looks_numeric(cells[c])) {
+        out << std::string(pad, ' ') << cells[c];
+      } else {
+        out << cells[c] << std::string(pad, ' ');
+      }
+    }
+    out << '\n';
+  };
+
+  emit(headers_);
+  std::size_t rule_width = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) rule_width += widths[c] + (c > 0 ? 2 : 0);
+  out << std::string(rule_width, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+std::ostream& operator<<(std::ostream& out, const TextTable& table) {
+  return out << table.render();
+}
+
+std::string format_money(double amount) {
+  const bool negative = amount < 0.0;
+  const auto magnitude = static_cast<long long>(std::llround(std::abs(amount)));
+  std::string digits = std::to_string(magnitude);
+  std::string grouped;
+  grouped.reserve(digits.size() + digits.size() / 3 + 1);
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i > 0 && (digits.size() - i) % 3 == 0) grouped.push_back(',');
+    grouped.push_back(digits[i]);
+  }
+  return negative ? "-" + grouped : grouped;
+}
+
+std::string format_percent(double ratio, int precision) {
+  std::ostringstream stream;
+  stream.setf(std::ios::fixed);
+  stream.precision(precision);
+  stream << 100.0 * ratio << '%';
+  return stream.str();
+}
+
+}  // namespace are::io

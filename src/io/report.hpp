@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace are::io {
+
+/// Plain-text table renderer for analyst-facing reports (CLI output,
+/// example programs). Right-aligns numeric-looking cells, pads columns,
+/// draws a header rule. Deliberately dependency-free.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Adds one row; must match the header width.
+  TextTable& add_row(std::vector<std::string> cells);
+
+  /// Convenience for mixed text/number rows.
+  TextTable& add_row_values(const std::string& label, const std::vector<double>& values,
+                            int precision = 2);
+
+  std::size_t num_rows() const noexcept { return rows_.size(); }
+
+  /// Renders with single-space-padded columns and a dashed header rule.
+  std::string render() const;
+
+  friend std::ostream& operator<<(std::ostream& out, const TextTable& table);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a monetary amount with thousands separators ("12,345,678").
+std::string format_money(double amount);
+
+/// Formats a ratio as a percentage with the given precision ("12.5%").
+std::string format_percent(double ratio, int precision = 1);
+
+}  // namespace are::io

@@ -1,0 +1,77 @@
+#include "metrics/allocation.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "metrics/statistics.hpp"
+
+namespace are::metrics {
+
+TvarAllocation allocate_tvar(const core::YearLossTable& ylt, double level) {
+  if (!(level > 0.0) || !(level < 1.0)) {
+    throw std::invalid_argument("allocation level must be in (0,1)");
+  }
+  if (ylt.num_trials() == 0 || ylt.num_layers() == 0) {
+    throw std::invalid_argument("allocation needs a non-empty YLT");
+  }
+
+  const std::vector<double> portfolio = ylt.portfolio_losses();
+  std::vector<double> sorted = portfolio;
+  std::sort(sorted.begin(), sorted.end());
+  const double var = quantile(sorted, level);
+
+  TvarAllocation allocation;
+  allocation.portfolio_var = var;
+  allocation.layer_contributions.assign(ylt.num_layers(), 0.0);
+
+  // Tail = trials whose portfolio loss is at or above VaR (ties included,
+  // matching the tail_value_at_risk convention so the sum telescopes).
+  std::size_t tail_count = 0;
+  for (std::size_t trial = 0; trial < ylt.num_trials(); ++trial) {
+    if (portfolio[trial] >= var) {
+      ++tail_count;
+      for (std::size_t layer = 0; layer < ylt.num_layers(); ++layer) {
+        allocation.layer_contributions[layer] += ylt.at(layer, trial);
+      }
+    }
+  }
+  if (tail_count == 0) {
+    // Degenerate tail (all trials identical below var); fall back to means.
+    for (std::size_t layer = 0; layer < ylt.num_layers(); ++layer) {
+      allocation.layer_contributions[layer] =
+          summarize(ylt.layer_losses(layer)).mean();
+    }
+    tail_count = 1;
+    allocation.portfolio_tvar = std::accumulate(allocation.layer_contributions.begin(),
+                                                allocation.layer_contributions.end(), 0.0);
+  } else {
+    for (double& contribution : allocation.layer_contributions) {
+      contribution /= static_cast<double>(tail_count);
+    }
+    allocation.portfolio_tvar = std::accumulate(allocation.layer_contributions.begin(),
+                                                allocation.layer_contributions.end(), 0.0);
+  }
+
+  allocation.layer_shares.resize(ylt.num_layers());
+  const double denom = allocation.portfolio_tvar != 0.0 ? allocation.portfolio_tvar : 1.0;
+  for (std::size_t layer = 0; layer < ylt.num_layers(); ++layer) {
+    allocation.layer_shares[layer] = allocation.layer_contributions[layer] / denom;
+  }
+  return allocation;
+}
+
+double diversification_benefit(const core::YearLossTable& ylt, double level) {
+  const TvarAllocation allocation = allocate_tvar(ylt, level);
+  double standalone_sum = 0.0;
+  for (std::size_t layer = 0; layer < ylt.num_layers(); ++layer) {
+    std::vector<double> losses(ylt.layer_losses(layer).begin(),
+                               ylt.layer_losses(layer).end());
+    std::sort(losses.begin(), losses.end());
+    standalone_sum += tail_value_at_risk(losses, level);
+  }
+  if (standalone_sum == 0.0) return 0.0;
+  return 1.0 - allocation.portfolio_tvar / standalone_sum;
+}
+
+}  // namespace are::metrics

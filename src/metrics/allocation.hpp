@@ -1,0 +1,35 @@
+#pragma once
+
+#include <vector>
+
+#include "core/year_loss_table.hpp"
+
+namespace are::metrics {
+
+/// Euler / co-TVaR capital allocation: attribute the portfolio's tail risk
+/// back to its layers. For the TVaR risk measure the Euler allocation of
+/// layer i is the *co-TVaR*
+///
+///   A_i = E[ L_i | L_portfolio >= VaR_level(L_portfolio) ],
+///
+/// which is additive: sum_i A_i == TVaR_level(portfolio). This is the
+/// standard bridge from the YLT to the enterprise risk view the paper's
+/// stage-3 ("Enterprise Risk Management") consumes.
+struct TvarAllocation {
+  double portfolio_tvar = 0.0;
+  double portfolio_var = 0.0;
+  /// One co-TVaR per layer, in YLT layer order; sums to portfolio_tvar.
+  std::vector<double> layer_contributions;
+  /// contributions / portfolio_tvar (signed shares; can exceed 1 for a
+  /// layer hedged by another).
+  std::vector<double> layer_shares;
+};
+
+/// Computes the co-TVaR allocation at confidence `level` in (0,1).
+TvarAllocation allocate_tvar(const core::YearLossTable& ylt, double level);
+
+/// Diversification benefit at `level`: 1 - portfolio TVaR / sum of
+/// standalone layer TVaRs. Zero when the layers are comonotonic.
+double diversification_benefit(const core::YearLossTable& ylt, double level);
+
+}  // namespace are::metrics

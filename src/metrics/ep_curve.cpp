@@ -1,0 +1,62 @@
+#include "metrics/ep_curve.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "metrics/statistics.hpp"
+
+namespace are::metrics {
+
+EpCurve::EpCurve(std::span<const double> trial_losses)
+    : sorted_losses_(trial_losses.begin(), trial_losses.end()) {
+  if (sorted_losses_.empty()) throw std::invalid_argument("EP curve needs at least one trial");
+  std::sort(sorted_losses_.begin(), sorted_losses_.end());
+  double sum = 0.0;
+  for (double loss : sorted_losses_) sum += loss;
+  mean_ = sum / static_cast<double>(sorted_losses_.size());
+}
+
+double EpCurve::loss_at_probability(double p) const {
+  if (!(p > 0.0) || !(p <= 1.0)) {
+    throw std::invalid_argument("exceedance probability must be in (0,1]");
+  }
+  return quantile(sorted_losses_, 1.0 - p);
+}
+
+double EpCurve::probable_maximum_loss(double years) const {
+  if (!(years >= 1.0)) throw std::invalid_argument("return period must be >= 1 year");
+  return loss_at_probability(1.0 / years);
+}
+
+double EpCurve::tail_value_at_risk(double level) const {
+  if (!(level > 0.0) || !(level < 1.0)) {
+    throw std::invalid_argument("TVaR confidence level must be in (0,1)");
+  }
+  return metrics::tail_value_at_risk(sorted_losses_, level);
+}
+
+double EpCurve::exceedance_probability(double loss) const {
+  // Count of strictly-exceeding trials / total.
+  const auto it = std::upper_bound(sorted_losses_.begin(), sorted_losses_.end(), loss);
+  const auto exceeding = static_cast<double>(sorted_losses_.end() - it);
+  return exceeding / static_cast<double>(sorted_losses_.size());
+}
+
+std::vector<EpPoint> EpCurve::table(std::span<const double> return_periods) const {
+  std::vector<EpPoint> points;
+  points.reserve(return_periods.size());
+  for (double years : return_periods) {
+    EpPoint point;
+    point.return_period = years;
+    point.probability = 1.0 / years;
+    point.loss = probable_maximum_loss(years);
+    points.push_back(point);
+  }
+  return points;
+}
+
+std::vector<double> standard_return_periods() {
+  return {2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0};
+}
+
+}  // namespace are::metrics

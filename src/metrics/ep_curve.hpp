@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/year_loss_table.hpp"
+#include "yet/year_event_table.hpp"
+
+namespace are::metrics {
+
+/// One point of an exceedance-probability curve.
+struct EpPoint {
+  /// Probability that the annual loss exceeds `loss`.
+  double probability = 0.0;
+  /// Return period in years (1 / probability).
+  double return_period = 0.0;
+  double loss = 0.0;
+};
+
+/// An exceedance-probability curve derived from trial losses. For an AEP
+/// (aggregate EP) curve feed YLT trial losses; for an OEP (occurrence EP)
+/// curve feed per-trial *maximum* occurrence losses.
+class EpCurve {
+ public:
+  EpCurve() = default;
+
+  /// Builds from unsorted trial losses.
+  explicit EpCurve(std::span<const double> trial_losses);
+
+  /// Loss exceeded with probability p (the "PML at probability p"):
+  /// the (1-p) empirical quantile of the annual loss.
+  double loss_at_probability(double p) const;
+
+  /// Loss exceeded once every `years` years on average — the Probable
+  /// Maximum Loss at that return period (e.g. years=250 gives the 250-year
+  /// PML used in regulatory reporting).
+  double probable_maximum_loss(double years) const;
+
+  /// Tail Value at Risk at confidence `level` in (0,1): the expected annual
+  /// loss given the loss is at or beyond the `level` quantile (e.g. 0.99 =
+  /// the mean of the worst 1% of years).
+  double tail_value_at_risk(double level) const;
+
+  /// Empirical probability that the annual loss exceeds `loss`.
+  double exceedance_probability(double loss) const;
+
+  double expected_loss() const noexcept { return mean_; }
+  std::size_t num_trials() const noexcept { return sorted_losses_.size(); }
+  std::span<const double> sorted_losses() const noexcept { return sorted_losses_; }
+
+  /// Curve samples at the given return periods (for reports/CSV output).
+  std::vector<EpPoint> table(std::span<const double> return_periods) const;
+
+ private:
+  std::vector<double> sorted_losses_;  // ascending
+  double mean_ = 0.0;
+};
+
+/// Standard regulatory return periods.
+std::vector<double> standard_return_periods();
+
+}  // namespace are::metrics

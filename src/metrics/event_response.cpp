@@ -1,0 +1,86 @@
+#include "metrics/event_response.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace are::metrics {
+
+double event_loss_for_layer(const core::Layer& layer, yet::EventId event) {
+  double combined = 0.0;
+  for (const core::LayerElt& layer_elt : layer.elts) {
+    combined += layer_elt.terms.apply(layer_elt.lookup->lookup(event));
+  }
+  return layer.terms.apply_occurrence(combined);
+}
+
+std::vector<double> event_losses(const core::Portfolio& portfolio, yet::EventId event) {
+  std::vector<double> losses;
+  losses.reserve(portfolio.layers.size());
+  for (const core::Layer& layer : portfolio.layers) {
+    losses.push_back(event_loss_for_layer(layer, event));
+  }
+  return losses;
+}
+
+std::vector<EventContribution> top_contributing_events(const core::Layer& layer,
+                                                       const yet::YearEventTable& yet_table,
+                                                       std::size_t catalog_size,
+                                                       std::size_t top_n) {
+  if (top_n == 0) return {};
+
+  // Empirical occurrence counts over the YET.
+  std::vector<std::uint64_t> counts(catalog_size, 0);
+  for (const yet::EventId event : yet_table.events()) {
+    if (event < catalog_size) ++counts[event];
+  }
+
+  const double trials = static_cast<double>(yet_table.num_trials());
+  std::vector<EventContribution> contributions;
+  for (std::size_t id = 0; id < catalog_size; ++id) {
+    if (counts[id] == 0) continue;
+    const auto event = static_cast<yet::EventId>(id);
+    const double occurrence_loss = event_loss_for_layer(layer, event);
+    if (occurrence_loss <= 0.0) continue;
+    EventContribution contribution;
+    contribution.event = event;
+    contribution.occurrences = counts[id];
+    contribution.occurrence_loss = occurrence_loss;
+    contribution.expected_annual_loss =
+        occurrence_loss * static_cast<double>(counts[id]) / trials;
+    contributions.push_back(contribution);
+  }
+
+  const std::size_t keep = std::min(top_n, contributions.size());
+  std::partial_sort(contributions.begin(), contributions.begin() + static_cast<std::ptrdiff_t>(keep),
+                    contributions.end(),
+                    [](const EventContribution& a, const EventContribution& b) {
+                      return a.expected_annual_loss > b.expected_annual_loss;
+                    });
+  contributions.resize(keep);
+  return contributions;
+}
+
+std::vector<std::size_t> trials_containing(const yet::YearEventTable& yet_table,
+                                           yet::EventId event) {
+  std::vector<std::size_t> trials;
+  for (std::size_t trial = 0; trial < yet_table.num_trials(); ++trial) {
+    const auto events = yet_table.trial_events(trial);
+    if (std::find(events.begin(), events.end(), event) != events.end()) {
+      trials.push_back(trial);
+    }
+  }
+  return trials;
+}
+
+double conditional_expected_loss(const core::YearLossTable& ylt, std::size_t layer_index,
+                                 const yet::YearEventTable& yet_table, yet::EventId event) {
+  const std::vector<std::size_t> trials = trials_containing(yet_table, event);
+  if (trials.empty()) {
+    throw std::invalid_argument("event never occurs in the YET: no conditional view");
+  }
+  double sum = 0.0;
+  for (const std::size_t trial : trials) sum += ylt.at(layer_index, trial);
+  return sum / static_cast<double>(trials.size());
+}
+
+}  // namespace are::metrics

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/layer.hpp"
+#include "core/year_loss_table.hpp"
+#include "yet/year_event_table.hpp"
+
+namespace are::metrics {
+
+/// Post-event response analytics (the authors' companion work, paper
+/// reference [2]: "Rapid Post-Event Catastrophe Modelling"): when a real
+/// event strikes, the desk needs the portfolio's conditional position
+/// within minutes — what does this event cost per layer, and how does the
+/// rest-of-year outlook shift given it happened?
+
+/// Immediate ceded loss of a single event against a layer (net of ELT
+/// financial terms and the layer's occurrence terms; aggregate terms are
+/// path-dependent and reported separately by the conditional view).
+double event_loss_for_layer(const core::Layer& layer, yet::EventId event);
+
+/// Per-layer immediate losses for one event across a portfolio.
+std::vector<double> event_losses(const core::Portfolio& portfolio, yet::EventId event);
+
+/// One row of the "top events" report.
+struct EventContribution {
+  yet::EventId event = 0;
+  /// Occurrences of the event across the YET.
+  std::uint64_t occurrences = 0;
+  /// Expected annual ceded loss attributable to this event (its per-
+  /// occurrence loss times its empirical annual frequency), before
+  /// aggregate terms.
+  double expected_annual_loss = 0.0;
+  /// Per-occurrence ceded loss.
+  double occurrence_loss = 0.0;
+};
+
+/// The `top_n` events by expected annual ceded loss for a layer — the
+/// drivers an underwriter reviews before renewing. O(total YET events +
+/// catalog scan).
+std::vector<EventContribution> top_contributing_events(const core::Layer& layer,
+                                                       const yet::YearEventTable& yet_table,
+                                                       std::size_t catalog_size,
+                                                       std::size_t top_n);
+
+/// Conditional year outlook: statistics of the trial losses restricted to
+/// trials that contain `event` — "given this event happens, what does the
+/// whole year look like?" Returns the matching trial indices so callers can
+/// build conditional EP curves from the YLT.
+std::vector<std::size_t> trials_containing(const yet::YearEventTable& yet_table,
+                                           yet::EventId event);
+
+/// Conditional expected annual loss for a layer given the event occurs
+/// (mean of YLT entries over trials_containing). Throws if the event never
+/// occurs in the YET.
+double conditional_expected_loss(const core::YearLossTable& ylt, std::size_t layer_index,
+                                 const yet::YearEventTable& yet_table, yet::EventId event);
+
+}  // namespace are::metrics

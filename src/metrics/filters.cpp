@@ -1,0 +1,107 @@
+#include "metrics/filters.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace are::metrics {
+
+namespace {
+
+double apply_step(double loss, const auto& step) {
+  using Kind = std::remove_cvref_t<decltype(step)>::Kind;
+  switch (step.kind) {
+    case Kind::kScale: return loss * step.a;
+    case Kind::kCap: return std::min(loss, step.a);
+    case Kind::kExcess: return std::max(loss - step.a, 0.0);
+    case Kind::kFranchise: return loss >= step.a ? loss : 0.0;
+    case Kind::kProfitCommission: return loss - step.b * std::max(step.a - loss, 0.0);
+  }
+  return loss;
+}
+
+}  // namespace
+
+std::vector<double> filter_scale(std::span<const double> losses, double scale) {
+  if (!(scale >= 0.0)) throw std::invalid_argument("filter scale must be >= 0");
+  std::vector<double> out(losses.begin(), losses.end());
+  for (double& loss : out) loss *= scale;
+  return out;
+}
+
+std::vector<double> filter_cap(std::span<const double> losses, double cap) {
+  if (!(cap >= 0.0)) throw std::invalid_argument("filter cap must be >= 0");
+  std::vector<double> out(losses.begin(), losses.end());
+  for (double& loss : out) loss = std::min(loss, cap);
+  return out;
+}
+
+std::vector<double> filter_excess(std::span<const double> losses, double deductible) {
+  if (!(deductible >= 0.0)) throw std::invalid_argument("filter deductible must be >= 0");
+  std::vector<double> out(losses.begin(), losses.end());
+  for (double& loss : out) loss = std::max(loss - deductible, 0.0);
+  return out;
+}
+
+std::vector<double> filter_franchise(std::span<const double> losses, double threshold) {
+  if (!(threshold >= 0.0)) throw std::invalid_argument("filter threshold must be >= 0");
+  std::vector<double> out(losses.begin(), losses.end());
+  for (double& loss : out) loss = loss >= threshold ? loss : 0.0;
+  return out;
+}
+
+std::vector<double> filter_profit_commission(std::span<const double> losses, double target,
+                                             double rate) {
+  if (!(rate >= 0.0) || rate > 1.0) throw std::invalid_argument("commission rate in [0,1]");
+  if (!(target >= 0.0)) throw std::invalid_argument("commission target must be >= 0");
+  std::vector<double> out(losses.begin(), losses.end());
+  for (double& loss : out) loss -= rate * std::max(target - loss, 0.0);
+  return out;
+}
+
+FilterChain& FilterChain::scale(double factor) {
+  if (!(factor >= 0.0)) throw std::invalid_argument("filter scale must be >= 0");
+  steps_.push_back({Step::Kind::kScale, factor, 0.0});
+  return *this;
+}
+
+FilterChain& FilterChain::cap(double cap_value) {
+  if (!(cap_value >= 0.0)) throw std::invalid_argument("filter cap must be >= 0");
+  steps_.push_back({Step::Kind::kCap, cap_value, 0.0});
+  return *this;
+}
+
+FilterChain& FilterChain::excess(double deductible) {
+  if (!(deductible >= 0.0)) throw std::invalid_argument("filter deductible must be >= 0");
+  steps_.push_back({Step::Kind::kExcess, deductible, 0.0});
+  return *this;
+}
+
+FilterChain& FilterChain::franchise(double threshold) {
+  if (!(threshold >= 0.0)) throw std::invalid_argument("filter threshold must be >= 0");
+  steps_.push_back({Step::Kind::kFranchise, threshold, 0.0});
+  return *this;
+}
+
+FilterChain& FilterChain::profit_commission(double target, double rate) {
+  if (!(rate >= 0.0) || rate > 1.0) throw std::invalid_argument("commission rate in [0,1]");
+  if (!(target >= 0.0)) throw std::invalid_argument("commission target must be >= 0");
+  steps_.push_back({Step::Kind::kProfitCommission, target, rate});
+  return *this;
+}
+
+std::vector<double> FilterChain::apply(std::span<const double> losses) const {
+  std::vector<double> out(losses.begin(), losses.end());
+  for (const Step& step : steps_) {
+    for (double& loss : out) loss = apply_step(loss, step);
+  }
+  return out;
+}
+
+void FilterChain::apply_in_place(core::YearLossTable& ylt, std::size_t layer_index) const {
+  auto losses = ylt.layer_losses(layer_index);
+  for (const Step& step : steps_) {
+    for (double& loss : losses) loss = apply_step(loss, step);
+  }
+}
+
+}  // namespace are::metrics

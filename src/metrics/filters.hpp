@@ -1,0 +1,62 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/year_loss_table.hpp"
+
+namespace are::metrics {
+
+/// YLT filters — "then filters (financial functions) are applied on the
+/// aggregate loss values" (paper §II-C). Each filter maps per-trial losses
+/// to per-trial losses; they compose left-to-right via FilterChain.
+///
+/// These operate on the *output* side of the engine (post-aggregate-terms),
+/// where enterprise risk management applies participations, currency
+/// conversion, profit commissions and result caps before rolling layers up
+/// into the corporate view.
+
+/// y = scale * x (currency conversion, share/participation).
+std::vector<double> filter_scale(std::span<const double> losses, double scale);
+
+/// y = min(x, cap) (result cap / corridor top).
+std::vector<double> filter_cap(std::span<const double> losses, double cap);
+
+/// y = max(x - deductible, 0) (annual aggregate deductible applied post hoc).
+std::vector<double> filter_excess(std::span<const double> losses, double deductible);
+
+/// y = x if x >= threshold else 0 (reporting threshold / franchise).
+std::vector<double> filter_franchise(std::span<const double> losses, double threshold);
+
+/// Profit commission: cede back `rate` of the shortfall below `target` in
+/// profitable years — y = x - rate * max(target - x, 0) is the *net cost*
+/// view used when the YLT entry is a loss to the reinsurer.
+std::vector<double> filter_profit_commission(std::span<const double> losses, double target,
+                                             double rate);
+
+/// A composable chain of the above, applied in order.
+class FilterChain {
+ public:
+  FilterChain& scale(double factor);
+  FilterChain& cap(double cap_value);
+  FilterChain& excess(double deductible);
+  FilterChain& franchise(double threshold);
+  FilterChain& profit_commission(double target, double rate);
+
+  std::vector<double> apply(std::span<const double> losses) const;
+
+  /// Applies to one layer of a YLT in place.
+  void apply_in_place(core::YearLossTable& ylt, std::size_t layer_index) const;
+
+  std::size_t size() const noexcept { return steps_.size(); }
+
+ private:
+  struct Step {
+    enum class Kind { kScale, kCap, kExcess, kFranchise, kProfitCommission } kind;
+    double a = 0.0;
+    double b = 0.0;
+  };
+  std::vector<Step> steps_;
+};
+
+}  // namespace are::metrics

@@ -1,0 +1,48 @@
+#include "metrics/occurrence.hpp"
+
+#include <algorithm>
+
+namespace are::metrics {
+
+namespace {
+
+double combined_event_loss(const core::Layer& layer, yet::EventId event) noexcept {
+  double combined = 0.0;
+  for (const core::LayerElt& layer_elt : layer.elts) {
+    combined += layer_elt.terms.apply(layer_elt.lookup->lookup(event));
+  }
+  return layer.terms.apply_occurrence(combined);
+}
+
+}  // namespace
+
+std::vector<double> max_occurrence_losses(const core::Layer& layer,
+                                          const yet::YearEventTable& yet_table) {
+  layer.validate();
+  std::vector<double> maxima(yet_table.num_trials(), 0.0);
+  for (std::size_t trial = 0; trial < yet_table.num_trials(); ++trial) {
+    double max_loss = 0.0;
+    for (const yet::EventId event : yet_table.trial_events(trial)) {
+      max_loss = std::max(max_loss, combined_event_loss(layer, event));
+    }
+    maxima[trial] = max_loss;
+  }
+  return maxima;
+}
+
+std::vector<std::uint32_t> occurrence_counts_above(const core::Layer& layer,
+                                                   const yet::YearEventTable& yet_table,
+                                                   double threshold) {
+  layer.validate();
+  std::vector<std::uint32_t> counts(yet_table.num_trials(), 0);
+  for (std::size_t trial = 0; trial < yet_table.num_trials(); ++trial) {
+    std::uint32_t count = 0;
+    for (const yet::EventId event : yet_table.trial_events(trial)) {
+      if (combined_event_loss(layer, event) > threshold) ++count;
+    }
+    counts[trial] = count;
+  }
+  return counts;
+}
+
+}  // namespace are::metrics

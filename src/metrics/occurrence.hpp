@@ -1,0 +1,23 @@
+#pragma once
+
+#include <vector>
+
+#include "core/layer.hpp"
+#include "yet/year_event_table.hpp"
+
+namespace are::metrics {
+
+/// Per-trial maximum single-occurrence loss for a layer (net of ELT
+/// financial terms and the layer's occurrence terms) — the input to an OEP
+/// curve. The AEP/OEP distinction matters because Cat XL contracts respond
+/// per occurrence while stop-loss contracts respond to the aggregate.
+std::vector<double> max_occurrence_losses(const core::Layer& layer,
+                                          const yet::YearEventTable& yet_table);
+
+/// Per-trial occurrence counts above a loss threshold (frequency view used
+/// in event-response reporting).
+std::vector<std::uint32_t> occurrence_counts_above(const core::Layer& layer,
+                                                   const yet::YearEventTable& yet_table,
+                                                   double threshold);
+
+}  // namespace are::metrics

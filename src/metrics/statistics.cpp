@@ -1,0 +1,62 @@
+#include "metrics/statistics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace are::metrics {
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto n1 = static_cast<double>(count_);
+  const auto n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double quantile(std::span<const double> sorted_sample, double q) {
+  if (sorted_sample.empty()) throw std::invalid_argument("quantile of an empty sample");
+  if (!(q >= 0.0) || !(q <= 1.0)) throw std::invalid_argument("quantile level must be in [0,1]");
+  const double h = q * static_cast<double>(sorted_sample.size() - 1);
+  const auto lo = static_cast<std::size_t>(h);
+  const std::size_t hi = std::min(lo + 1, sorted_sample.size() - 1);
+  const double frac = h - static_cast<double>(lo);
+  return sorted_sample[lo] + frac * (sorted_sample[hi] - sorted_sample[lo]);
+}
+
+double quantile_unsorted(std::span<const double> sample, double q) {
+  std::vector<double> copy(sample.begin(), sample.end());
+  std::sort(copy.begin(), copy.end());
+  return quantile(copy, q);
+}
+
+double tail_value_at_risk(std::span<const double> sorted_sample, double q) {
+  if (sorted_sample.empty()) throw std::invalid_argument("TVaR of an empty sample");
+  const double var = quantile(sorted_sample, q);
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (auto it = sorted_sample.rbegin(); it != sorted_sample.rend() && *it >= var; ++it) {
+    sum += *it;
+    ++count;
+  }
+  return count == 0 ? var : sum / static_cast<double>(count);
+}
+
+RunningStats summarize(std::span<const double> sample) noexcept {
+  RunningStats stats;
+  for (double x : sample) stats.add(x);
+  return stats;
+}
+
+}  // namespace are::metrics

@@ -1,0 +1,91 @@
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "parallel/thread_pool.hpp"
+
+namespace are::parallel {
+
+/// How an index range is split across workers.
+enum class Partition {
+  kStatic,   // contiguous equal blocks, one per worker — best locality
+  kDynamic,  // fixed-size chunks claimed from an atomic cursor — best balance
+  kGuided,   // exponentially shrinking chunks — balance with less contention
+};
+
+struct ForOptions {
+  Partition partition = Partition::kStatic;
+  /// Chunk granularity for dynamic/guided scheduling, in loop iterations.
+  std::size_t chunk = 1024;
+};
+
+/// Runs body(begin, end) over disjoint subranges of [first, last) on the
+/// pool, blocking until complete. `body` receives half-open index ranges and
+/// must be safe to run concurrently on disjoint ranges. Runs inline when the
+/// range is empty or the pool has one thread (keeps single-core containers
+/// and tests deterministic and cheap).
+template <typename Body>
+void parallel_for(ThreadPool& pool, std::uint64_t first, std::uint64_t last, const Body& body,
+                  ForOptions options = {}) {
+  if (first >= last) return;
+  const std::uint64_t count = last - first;
+  const std::size_t workers = pool.size();
+  if (workers <= 1 || count == 1) {
+    body(first, last);
+    return;
+  }
+
+  switch (options.partition) {
+    case Partition::kStatic: {
+      const std::uint64_t block = (count + workers - 1) / workers;
+      for (std::size_t w = 0; w < workers; ++w) {
+        const std::uint64_t lo = first + static_cast<std::uint64_t>(w) * block;
+        if (lo >= last) break;
+        const std::uint64_t hi = std::min<std::uint64_t>(lo + block, last);
+        pool.submit([&body, lo, hi] { body(lo, hi); });
+      }
+      break;
+    }
+    case Partition::kDynamic: {
+      auto cursor = std::make_shared<std::atomic<std::uint64_t>>(first);
+      const std::uint64_t chunk = std::max<std::uint64_t>(1, options.chunk);
+      for (std::size_t w = 0; w < workers; ++w) {
+        pool.submit([&body, cursor, chunk, last] {
+          for (;;) {
+            const std::uint64_t lo = cursor->fetch_add(chunk, std::memory_order_relaxed);
+            if (lo >= last) return;
+            body(lo, std::min<std::uint64_t>(lo + chunk, last));
+          }
+        });
+      }
+      break;
+    }
+    case Partition::kGuided: {
+      auto cursor = std::make_shared<std::atomic<std::uint64_t>>(first);
+      const std::uint64_t min_chunk = std::max<std::uint64_t>(1, options.chunk);
+      for (std::size_t w = 0; w < workers; ++w) {
+        pool.submit([&body, cursor, min_chunk, last, workers] {
+          for (;;) {
+            std::uint64_t lo = cursor->load(std::memory_order_relaxed);
+            std::uint64_t hi;
+            do {
+              if (lo >= last) return;
+              const std::uint64_t remaining = last - lo;
+              const std::uint64_t size =
+                  std::max<std::uint64_t>(min_chunk, remaining / (2 * workers));
+              hi = std::min<std::uint64_t>(lo + size, last);
+            } while (!cursor->compare_exchange_weak(lo, hi, std::memory_order_relaxed));
+            body(lo, hi);
+          }
+        });
+      }
+      break;
+    }
+  }
+  pool.wait_idle();
+}
+
+}  // namespace are::parallel

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace are::parallel {
+
+/// A fixed-size worker pool. The aggregate risk engine assigns one logical
+/// task per trial range (mirroring the paper's one-OpenMP-thread-per-trial
+/// design); the pool is the shared-memory substrate under the
+/// ParallelEngine.
+class ThreadPool {
+ public:
+  /// `num_threads == 0` selects std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues a task. Tasks must not throw; exceptions escaping a task
+  /// terminate (by design — engine kernels are noexcept).
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  std::size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace are::parallel

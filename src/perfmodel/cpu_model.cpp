@@ -1,0 +1,84 @@
+#include "perfmodel/cpu_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace are::perfmodel {
+
+namespace {
+
+/// Aggregate random-access throughput (accesses/second) at the given
+/// software thread count.
+double random_throughput(const MachineSpec& machine, int software_threads) {
+  const double single_core =
+      machine.mlp_per_core / (machine.mem_latency_ns * 1e-9);
+
+  // Scaling over physical cores is sub-linear (contention); SMT adds a
+  // fixed boost; oversubscription past the hardware threads hides a little
+  // more latency, saturating exponentially.
+  const int hw_threads = machine.physical_cores * machine.smt_ways;
+  const double used_cores =
+      std::min<double>(software_threads, machine.physical_cores);
+  double scale = std::pow(used_cores, machine.contention_exponent);
+  if (software_threads > machine.physical_cores) scale *= machine.smt_boost;
+  if (software_threads > hw_threads) {
+    const double per_hw = static_cast<double>(software_threads) / hw_threads;
+    scale *= 1.0 + machine.oversubscription_gain * (1.0 - std::exp(-(per_hw - 1.0) / 32.0));
+  }
+
+  const double latency_limited = single_core * scale;
+  const double bandwidth_limited =
+      machine.mem_bandwidth_gb_per_s * 1e9 / machine.cache_line_bytes;
+  return std::min(latency_limited, bandwidth_limited);
+}
+
+CpuPrediction predict(const core::AccessCounts& counts, const MachineSpec& machine,
+                      int software_threads) {
+  if (software_threads < 1) throw std::invalid_argument("need at least one thread");
+
+  CpuPrediction prediction;
+
+  // Random ELT lookups: latency-limited, weakly scaling.
+  const double random_seconds =
+      static_cast<double>(counts.elt_lookups) / random_throughput(machine, software_threads);
+
+  // Streaming event fetch: sequential scan at full bandwidth.
+  const double streaming_seconds = static_cast<double>(counts.events_fetched) * 4.0 /
+                                   (machine.mem_bandwidth_gb_per_s * 1e9);
+
+  prediction.memory_seconds = random_seconds + streaming_seconds;
+
+  const double terms = static_cast<double>(counts.financial_applications +
+                                           counts.layer_term_applications);
+  const double cores_used = std::min<double>(software_threads, machine.physical_cores);
+  prediction.compute_seconds = terms * machine.compute_ns_per_term * 1e-9 / cores_used;
+
+  prediction.seconds = prediction.memory_seconds + prediction.compute_seconds;
+  return prediction;
+}
+
+}  // namespace
+
+CpuPrediction predict_cpu_time(const core::AccessCounts& counts, const MachineSpec& machine,
+                               int software_threads) {
+  CpuPrediction prediction = predict(counts, machine, software_threads);
+  const CpuPrediction single = predict(counts, machine, 1);
+  prediction.speedup_vs_one_core = single.seconds / prediction.seconds;
+  return prediction;
+}
+
+CpuPrediction predict_cpu_time(std::uint64_t trials, double events_per_trial,
+                               double elts_per_layer, std::uint64_t layers,
+                               const MachineSpec& machine, int software_threads) {
+  const double events =
+      static_cast<double>(trials) * events_per_trial * static_cast<double>(layers);
+  core::AccessCounts counts;
+  counts.events_fetched = static_cast<std::uint64_t>(events);
+  counts.elt_lookups = static_cast<std::uint64_t>(events * elts_per_layer);
+  counts.financial_applications = counts.elt_lookups;
+  counts.layer_term_applications = static_cast<std::uint64_t>(2.0 * events);
+  return predict_cpu_time(counts, machine, software_threads);
+}
+
+}  // namespace are::perfmodel

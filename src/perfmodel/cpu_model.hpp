@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/engine.hpp"
+
+namespace are::perfmodel {
+
+/// A shared-memory multicore machine for the roofline model. Defaults model
+/// the paper's Intel Core i7-2600 (4 cores / 8 hardware threads, 3.4 GHz,
+/// 21 GB/s peak memory bandwidth).
+struct MachineSpec {
+  int physical_cores = 4;
+  int smt_ways = 2;
+  double clock_ghz = 3.4;
+  double mem_bandwidth_gb_per_s = 21.0;
+  /// Average DRAM access latency seen by a pointer-chasing load.
+  double mem_latency_ns = 95.0;
+  /// Memory-level parallelism one core sustains on random accesses.
+  double mlp_per_core = 4.5;
+  double cache_line_bytes = 64.0;
+  /// Sub-linear scaling of aggregate outstanding misses with core count
+  /// (memory-controller and L3 contention): throughput ~ cores^exponent.
+  double contention_exponent = 0.55;
+  /// Extra throughput from the second hardware thread per core.
+  double smt_boost = 1.25;
+  /// Maximum fractional gain from heavy software oversubscription
+  /// (hundreds of threads per core, paper Fig 3b: 135 s -> 125 s).
+  double oversubscription_gain = 0.08;
+  /// Arithmetic cost per financial/layer term application.
+  double compute_ns_per_term = 1.0;
+
+  static MachineSpec core_i7_2600() { return MachineSpec{}; }
+};
+
+struct CpuPrediction {
+  double seconds = 0.0;
+  double memory_seconds = 0.0;
+  double compute_seconds = 0.0;
+  double speedup_vs_one_core = 1.0;
+};
+
+/// Predicted wall time of the aggregate analysis on `machine` with
+/// `software_threads` threads (>= 1). The model charges:
+///  * random-access time: ELT lookups at the machine's latency-limited
+///    random throughput, scaling sub-linearly in cores and capped by the
+///    bandwidth roof (each 8-byte lookup moves a full cache line);
+///  * streaming time: event fetches at full bandwidth;
+///  * compute: term applications, scaling linearly in cores.
+/// This reproduces the paper's observation that the algorithm "spends most
+/// of its time performing random access reads into the ELT data
+/// structures" with no locality, so adding cores without adding bandwidth
+/// saturates (1.5x/2.2x/2.6x at 2/4/8 threads, Fig 3a).
+CpuPrediction predict_cpu_time(const core::AccessCounts& counts, const MachineSpec& machine,
+                               int software_threads);
+
+/// Convenience overload taking the workload shape directly.
+CpuPrediction predict_cpu_time(std::uint64_t trials, double events_per_trial,
+                               double elts_per_layer, std::uint64_t layers,
+                               const MachineSpec& machine, int software_threads);
+
+}  // namespace are::perfmodel

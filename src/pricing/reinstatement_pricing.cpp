@@ -1,0 +1,43 @@
+#include "pricing/reinstatement_pricing.hpp"
+
+#include <stdexcept>
+
+namespace are::pricing {
+
+financial::LayerTerms terms_with_reinstatements(
+    const financial::LayerTerms& occurrence_terms,
+    const financial::ReinstatementProvision& provision) {
+  financial::LayerTerms terms = occurrence_terms;
+  terms.aggregate_limit = provision.aggregate_limit(occurrence_terms.occurrence_limit);
+  return terms;
+}
+
+ReinstatementQuote price_with_reinstatements(std::span<const double> trial_losses,
+                                             const financial::LayerTerms& terms,
+                                             const financial::ReinstatementProvision& provision,
+                                             const PricingAssumptions& assumptions) {
+  if (terms.occurrence_limit == financial::kUnlimited || terms.occurrence_limit <= 0.0) {
+    throw std::invalid_argument(
+        "reinstatement pricing needs a finite positive occurrence limit");
+  }
+
+  ReinstatementQuote quote;
+  quote.base = price_layer(trial_losses, terms, assumptions);
+  quote.effective_aggregate_limit = provision.aggregate_limit(terms.occurrence_limit);
+
+  double fraction_sum = 0.0;
+  for (const double loss : trial_losses) {
+    fraction_sum += provision.premium_fraction(loss, terms.occurrence_limit);
+  }
+  quote.expected_premium_fraction =
+      fraction_sum / static_cast<double>(trial_losses.size());
+
+  // P * (1 + E[f]) = risk-loaded target  =>  P = target / (1 + E[f]).
+  quote.original_premium =
+      quote.base.technical_premium / (1.0 + quote.expected_premium_fraction);
+  quote.expected_reinstatement_income =
+      quote.original_premium * quote.expected_premium_fraction;
+  return quote;
+}
+
+}  // namespace are::pricing

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <span>
+
+#include "financial/reinstatement.hpp"
+#include "financial/terms.hpp"
+#include "pricing/pricing.hpp"
+
+namespace are::pricing {
+
+/// Pricing a Cat XL layer with reinstatement provisions (paper reference
+/// [18], Anderson & Dong): the ceded losses consume the limit, which is
+/// bought back at reinstatement premium rates, so the contract's economics
+/// are (losses out) vs (original premium + expected reinstatement premium
+/// in). The market convention solves for the original premium P such that
+///
+///   P * (1 + E[premium_fraction(L)]) = risk-loaded expected loss,
+///
+/// where premium_fraction is the pro-rata reinstatement income per unit of
+/// original premium for trial loss L.
+struct ReinstatementQuote {
+  Quote base;                          // quote ignoring reinstatement income
+  double expected_premium_fraction = 0.0;  // E[reinstatement premium] / P
+  double original_premium = 0.0;       // solved premium net of expected income
+  double expected_reinstatement_income = 0.0;
+  double effective_aggregate_limit = 0.0;
+};
+
+/// Prices a layer whose trial losses were produced under the provision's
+/// implied aggregate limit ((count+1) * occurrence limit).
+ReinstatementQuote price_with_reinstatements(std::span<const double> trial_losses,
+                                             const financial::LayerTerms& terms,
+                                             const financial::ReinstatementProvision& provision,
+                                             const PricingAssumptions& assumptions = {});
+
+/// Layer terms implied by a provision on top of per-occurrence terms: the
+/// aggregate limit becomes (count+1) * occurrence limit.
+financial::LayerTerms terms_with_reinstatements(
+    const financial::LayerTerms& occurrence_terms,
+    const financial::ReinstatementProvision& provision);
+
+}  // namespace are::pricing

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <vector>
+
+#include "core/engine.hpp"
+#include "pricing/pricing.hpp"
+
+namespace are::pricing {
+
+/// Finite-difference sensitivities of a layer's quote to its contract
+/// terms, computed with *common random numbers*: every bumped re-pricing
+/// reuses the same pre-simulated YET, so sampling noise cancels in the
+/// difference and the estimate is the derivative of the simulated surface
+/// itself. This is what makes what-if pricing on a fixed YET (the paper's
+/// "consistent lens" argument for pre-simulation) differentiable in
+/// practice.
+struct TermSensitivities {
+  /// d premium / d occurrence retention (typically <= 0).
+  double d_occurrence_retention = 0.0;
+  /// d premium / d occurrence limit (>= 0 until the limit stops binding).
+  double d_occurrence_limit = 0.0;
+  /// d premium / d aggregate retention (<= 0).
+  double d_aggregate_retention = 0.0;
+  /// d premium / d aggregate limit (>= 0 until it stops binding).
+  double d_aggregate_limit = 0.0;
+  /// Quote at the base terms.
+  Quote base;
+};
+
+struct SensitivityOptions {
+  /// Relative bump applied to each finite term (absolute bump for zero
+  /// terms): central differences around the base.
+  double relative_bump = 0.01;
+  double absolute_bump_floor = 1.0;
+  PricingAssumptions assumptions;
+};
+
+/// Re-runs aggregate analysis for layer `layer_index` of `portfolio` with
+/// each term bumped up and down, pricing every YLT with the same
+/// assumptions. Unlimited (infinite) terms get zero sensitivity — bumping
+/// infinity is meaningless.
+TermSensitivities term_sensitivities(const core::Portfolio& portfolio,
+                                     const yet::YearEventTable& yet_table,
+                                     std::size_t layer_index,
+                                     const SensitivityOptions& options = {});
+
+}  // namespace are::pricing

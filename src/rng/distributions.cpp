@@ -1,0 +1,187 @@
+#include "rng/distributions.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace are::rng {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+// log(k!) via lgamma; exact enough for the PTRS acceptance test.
+double log_factorial(double k) { return std::lgamma(k + 1.0); }
+
+std::uint64_t sample_poisson_small(Stream& stream, double mean) {
+  // Inversion by sequential search (Devroye III.10). O(mean) expected.
+  const double l = std::exp(-mean);
+  std::uint64_t k = 0;
+  double p = stream.uniform01_open_left();
+  while (p > l) {
+    p *= stream.uniform01_open_left();
+    ++k;
+  }
+  return k;
+}
+
+std::uint64_t sample_poisson_ptrs(Stream& stream, double mean) {
+  // Hörmann's PTRS transformed rejection, valid for mean >= 10.
+  const double b = 0.931 + 2.53 * std::sqrt(mean);
+  const double a = -0.059 + 0.02483 * b;
+  const double inv_alpha = 1.1239 + 1.1328 / (b - 3.4);
+  const double v_r = 0.9277 - 3.6224 / (b - 2.0);
+
+  for (;;) {
+    const double u = stream.uniform01() - 0.5;
+    const double v = stream.uniform01_open_left();
+    const double us = 0.5 - std::abs(u);
+    const double k = std::floor((2.0 * a / us + b) * u + mean + 0.43);
+    if (us >= 0.07 && v <= v_r) {
+      return static_cast<std::uint64_t>(k);
+    }
+    if (k < 0.0 || (us < 0.013 && v > us)) {
+      continue;
+    }
+    const double log_accept = std::log(v * inv_alpha / (a / (us * us) + b));
+    if (log_accept <= k * std::log(mean) - mean - log_factorial(k)) {
+      return static_cast<std::uint64_t>(k);
+    }
+  }
+}
+
+}  // namespace
+
+double sample_exponential(Stream& stream, double rate) {
+  if (!(rate > 0.0)) throw std::invalid_argument("exponential rate must be > 0");
+  return -std::log(stream.uniform01_open_left()) / rate;
+}
+
+std::uint64_t sample_poisson(Stream& stream, double mean) {
+  if (mean < 0.0 || !std::isfinite(mean)) throw std::invalid_argument("poisson mean must be >= 0");
+  if (mean == 0.0) return 0;
+  return mean < 10.0 ? sample_poisson_small(stream, mean) : sample_poisson_ptrs(stream, mean);
+}
+
+double sample_normal(Stream& stream, double mean, double stddev) {
+  const double u1 = stream.uniform01_open_left();
+  const double u2 = stream.uniform01();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * radius * std::cos(2.0 * kPi * u2);
+}
+
+double sample_gamma(Stream& stream, double shape, double scale) {
+  if (!(shape > 0.0) || !(scale > 0.0)) throw std::invalid_argument("gamma shape/scale must be > 0");
+  if (shape < 1.0) {
+    // Boost: Gamma(a) = Gamma(a+1) * U^(1/a).
+    const double u = stream.uniform01_open_left();
+    return sample_gamma(stream, shape + 1.0, scale) * std::pow(u, 1.0 / shape);
+  }
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x;
+    double v;
+    do {
+      x = sample_normal(stream);
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = stream.uniform01_open_left();
+    const double x2 = x * x;
+    if (u < 1.0 - 0.0331 * x2 * x2) return scale * d * v;
+    if (std::log(u) < 0.5 * x2 + d * (1.0 - v + std::log(v))) return scale * d * v;
+  }
+}
+
+double sample_beta(Stream& stream, double a, double b) {
+  const double x = sample_gamma(stream, a, 1.0);
+  const double y = sample_gamma(stream, b, 1.0);
+  return x / (x + y);
+}
+
+double sample_lognormal(Stream& stream, double mu, double sigma) {
+  return std::exp(sample_normal(stream, mu, sigma));
+}
+
+double sample_pareto_lomax(Stream& stream, double alpha, double scale) {
+  if (!(alpha > 0.0) || !(scale > 0.0)) throw std::invalid_argument("pareto alpha/scale must be > 0");
+  const double u = stream.uniform01_open_left();
+  return scale * (std::pow(u, -1.0 / alpha) - 1.0);
+}
+
+std::uint64_t sample_negative_binomial(Stream& stream, double r, double p) {
+  if (!(r > 0.0) || !(p > 0.0) || !(p < 1.0)) {
+    throw std::invalid_argument("negative binomial needs r > 0 and p in (0,1)");
+  }
+  // NB(r, p) == Poisson(Gamma(r, (1-p)/p)).
+  const double lambda = sample_gamma(stream, r, (1.0 - p) / p);
+  return sample_poisson(stream, lambda);
+}
+
+double sample_lognormal_truncated(Stream& stream, double mu, double sigma, double lo, double hi) {
+  if (!(lo < hi)) throw std::invalid_argument("truncation window must satisfy lo < hi");
+  for (int attempt = 0; attempt < 10000; ++attempt) {
+    const double x = sample_lognormal(stream, mu, sigma);
+    if (x >= lo && x <= hi) return x;
+  }
+  // Window has negligible mass; fall back to the nearest bound's interior.
+  return 0.5 * (lo + hi);
+}
+
+AliasTable::AliasTable(std::span<const double> weights) {
+  if (weights.empty()) throw std::invalid_argument("alias table needs at least one weight");
+  double total = 0.0;
+  for (double w : weights) {
+    if (!(w >= 0.0) || !std::isfinite(w)) {
+      throw std::invalid_argument("alias table weights must be finite and non-negative");
+    }
+    total += w;
+  }
+  if (!(total > 0.0)) throw std::invalid_argument("alias table weights must not all be zero");
+
+  const std::size_t n = weights.size();
+  probability_.assign(n, 0.0);
+  alias_.assign(n, 0);
+  normalized_.resize(n);
+
+  // Scaled probabilities: mean 1.
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    normalized_[i] = weights[i] / total;
+    scaled[i] = normalized_[i] * static_cast<double>(n);
+  }
+
+  std::vector<std::uint32_t> small;
+  std::vector<std::uint32_t> large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+  }
+
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    large.pop_back();
+    probability_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  for (std::uint32_t i : large) probability_[i] = 1.0;
+  for (std::uint32_t i : small) probability_[i] = 1.0;  // numerical leftovers
+}
+
+std::size_t AliasTable::sample(Stream& stream) const noexcept {
+  const std::size_t cell = static_cast<std::size_t>(stream.uniform_below(probability_.size()));
+  const double u = stream.uniform01();
+  return u < probability_[cell] ? cell : alias_[cell];
+}
+
+double AliasTable::probability_of(std::size_t i) const noexcept {
+  return i < normalized_.size() ? normalized_[i] : 0.0;
+}
+
+}  // namespace are::rng

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rng/stream.hpp"
+
+namespace are::rng {
+
+/// Exponential(rate) via inversion.
+double sample_exponential(Stream& stream, double rate);
+
+/// Poisson(mean). Inversion-by-sequential-search for small means, PTRS
+/// transformed-rejection (Hörmann 1993) for large means. Exact in
+/// distribution in both regimes.
+std::uint64_t sample_poisson(Stream& stream, double mean);
+
+/// Gamma(shape, scale) via Marsaglia–Tsang squeeze (shape >= 1) with the
+/// standard boost for shape < 1.
+double sample_gamma(Stream& stream, double shape, double scale);
+
+/// Beta(a, b) from two gamma draws.
+double sample_beta(Stream& stream, double a, double b);
+
+/// Lognormal with parameters of the underlying normal.
+double sample_lognormal(Stream& stream, double mu, double sigma);
+
+/// Standard normal via Box–Muller (both values used over successive calls
+/// would complicate counter-based reproducibility, so we intentionally burn
+/// the second value: one draw == two uniforms, always).
+double sample_normal(Stream& stream, double mean = 0.0, double stddev = 1.0);
+
+/// Pareto (Lomax form): scale * ((1-u)^(-1/alpha) - 1) has survival
+/// S(x) = (1 + x/scale)^(-alpha). Heavy-tailed severities for catastrophe
+/// losses.
+double sample_pareto_lomax(Stream& stream, double alpha, double scale);
+
+/// Negative binomial (r, p) as a gamma-mixed Poisson; models over-dispersed
+/// annual event counts (catastrophe occurrence is clustered).
+std::uint64_t sample_negative_binomial(Stream& stream, double r, double p);
+
+/// Truncated [lo, hi] wrapper by rejection; caller must ensure the window
+/// has non-trivial mass.
+double sample_lognormal_truncated(Stream& stream, double mu, double sigma, double lo, double hi);
+
+/// Walker alias table for O(1) sampling from a fixed discrete distribution.
+/// Used to draw event ids proportional to their annual occurrence rates
+/// when generating Year Event Tables over catalogs of millions of events.
+class AliasTable {
+ public:
+  AliasTable() = default;
+
+  /// Builds from unnormalised non-negative weights. Zero-weight entries are
+  /// never sampled. Throws std::invalid_argument if all weights are zero or
+  /// any weight is negative/non-finite.
+  explicit AliasTable(std::span<const double> weights);
+
+  std::size_t size() const noexcept { return probability_.size(); }
+  bool empty() const noexcept { return probability_.empty(); }
+
+  /// Draws an index in [0, size()).
+  std::size_t sample(Stream& stream) const noexcept;
+
+  /// Probability that `sample` returns `i` (for tests).
+  double probability_of(std::size_t i) const noexcept;
+
+ private:
+  std::vector<double> probability_;  // acceptance threshold per cell
+  std::vector<std::uint32_t> alias_;
+  std::vector<double> normalized_;  // exact per-index probabilities
+};
+
+}  // namespace are::rng

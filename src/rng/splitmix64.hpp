@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+
+namespace are::rng {
+
+/// SplitMix64 (Steele, Lea, Flood 2014). Used for seeding the other
+/// generators and as a cheap standalone generator in tests. Passes BigCrush
+/// when used as a 64-bit stream.
+class SplitMix64 {
+ public:
+  using result_type = std::uint64_t;
+
+  constexpr explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~std::uint64_t{0}; }
+
+  constexpr result_type operator()() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Mixes a single value without advancing any state. Useful for deriving
+  /// decorrelated seeds from structured ids (trial, layer, event).
+  static constexpr std::uint64_t mix(std::uint64_t x) noexcept {
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace are::rng

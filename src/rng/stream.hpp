@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+
+#include "rng/philox.hpp"
+#include "rng/splitmix64.hpp"
+
+namespace are::rng {
+
+/// A reproducible random stream addressed by (seed, stream id, substream id).
+///
+/// The year-event-table sampler gives every trial its own substream so that
+/// trial i's event sequence is identical no matter how trials are scheduled
+/// across threads — the property the paper relies on when it compares the
+/// sequential, OpenMP and GPU engines on "the same" pre-simulated YET.
+class Stream {
+ public:
+  Stream() noexcept : Stream(0, 0, 0) {}
+
+  Stream(std::uint64_t seed, std::uint64_t stream_id, std::uint64_t substream_id = 0) noexcept
+      : engine_(SplitMix64::mix(seed) ^ SplitMix64::mix(stream_id * 0x9e3779b97f4a7c15ULL + 1),
+                substream_id) {}
+
+  using result_type = Philox4x32::result_type;
+  static constexpr result_type min() noexcept { return Philox4x32::min(); }
+  static constexpr result_type max() noexcept { return Philox4x32::max(); }
+
+  result_type operator()() noexcept { return engine_(); }
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  double uniform01() noexcept {
+    const std::uint64_t hi = engine_();
+    const std::uint64_t lo = engine_();
+    const std::uint64_t bits = (hi << 32) | lo;
+    return static_cast<double>(bits >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in (0, 1]; never returns 0, safe for log().
+  double uniform01_open_left() noexcept { return 1.0 - uniform01(); }
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method on
+  /// 64-bit intermediate).
+  std::uint64_t uniform_below(std::uint64_t bound) noexcept {
+    if (bound <= 1) return 0;
+    // 64 random bits against a 64-bit bound via 128-bit multiply.
+    const std::uint64_t hi = engine_();
+    const std::uint64_t lo = engine_();
+    const unsigned __int128 wide =
+        static_cast<unsigned __int128>((hi << 32) | lo) * static_cast<unsigned __int128>(bound);
+    return static_cast<std::uint64_t>(wide >> 64);
+  }
+
+ private:
+  Philox4x32 engine_;
+};
+
+}  // namespace are::rng

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstddef>
+
+namespace are::simgpu {
+
+/// Parameters of a CUDA-like many-core device. Defaults model the NVIDIA
+/// Tesla C2075 used in the paper (14 SMs x 32 cores, Fermi-class memory
+/// system). This spec drives an *analytical cost model*, not an emulator:
+/// the paper's GPU results are memory-system trade-offs (occupancy vs.
+/// latency hiding, shared-memory capacity vs. chunk size), which the model
+/// reproduces mechanistically.
+struct DeviceSpec {
+  int num_sms = 14;
+  int cores_per_sm = 32;
+  int warp_size = 32;
+  int max_threads_per_block = 1024;
+  int max_threads_per_sm = 1536;  // Fermi
+  int max_blocks_per_sm = 8;
+  int max_warps_per_sm = 48;
+  std::size_t shared_mem_per_sm_bytes = 48 * 1024;
+  std::size_t constant_mem_bytes = 64 * 1024;
+
+  double core_clock_ghz = 1.15;
+  /// Global memory: bandwidth and (unhidden) latency.
+  double mem_bandwidth_gb_per_s = 144.0;
+  double global_latency_cycles = 400.0;
+  /// Shared memory access cost per element.
+  double shared_latency_cycles = 2.0;
+  /// Minimum memory transaction: an uncoalesced random 8-byte read still
+  /// moves a whole segment.
+  double transaction_bytes = 128.0;
+  /// Arithmetic cost charged per financial/layer term application.
+  double compute_cycles_per_term = 4.0;
+  /// Fixed cost per kernel block launch (scheduling + sync), in cycles.
+  double block_overhead_cycles = 2000.0;
+  /// Fixed cost per chunk iteration (loop + barrier), in cycles per thread.
+  double chunk_overhead_cycles = 24.0;
+
+  static DeviceSpec tesla_c2075() { return DeviceSpec{}; }
+};
+
+/// Occupancy of a kernel launch: how many blocks/warps an SM can host given
+/// the block size and its shared-memory appetite.
+struct Occupancy {
+  int blocks_per_sm = 0;
+  int active_threads_per_sm = 0;
+  int active_warps_per_sm = 0;
+  /// active warps / max warps — the latency-hiding headroom.
+  double warp_occupancy = 0.0;
+  /// True when one block's shared memory demand exceeds the SM capacity:
+  /// the overflow spills to global memory (the Fig 5a cliff).
+  bool shared_overflow = false;
+};
+
+Occupancy compute_occupancy(const DeviceSpec& device, int threads_per_block,
+                            std::size_t shared_bytes_per_block) noexcept;
+
+}  // namespace are::simgpu

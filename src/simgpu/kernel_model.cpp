@@ -1,0 +1,214 @@
+#include "simgpu/kernel_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace are::simgpu {
+
+namespace {
+
+/// Fraction of peak DRAM bandwidth achievable by the random-access pattern
+/// of aggregate analysis with ECC enabled (the C2075 ships with ECC on,
+/// which alone costs ~20% of usable bandwidth).
+constexpr double kBandwidthEfficiency = 0.65;
+
+/// Average outstanding memory transactions per warp for a dependent-access
+/// kernel (each thread's next action depends on the loaded value). The
+/// latency-hiding constant of the model; calibrated so that 256
+/// threads/block is the occupancy knee on the C2075 (paper Fig 4).
+constexpr double kOutstandingPerWarp = 0.28;
+
+/// The chunked kernel's lookup phase iterates independent chunk slots, so a
+/// thread keeps ~4 extra loads in flight per chunk slot (bounded by the
+/// scoreboard).
+constexpr double kChunkMlpFactor = 4.0;
+constexpr double kMaxWarpMlp = 32.0;
+
+/// Effective bytes per access for the basic kernel's per-thread lx_d/lox_d
+/// intermediates: thread-local and reused within a phase, so they mostly
+/// hit L2 (a 32B sector with ~2/3 hit rate -> ~48B average).
+constexpr double kIntermediateBytes = 48.0;
+
+/// Penalty multiplier on intermediate traffic that spills past shared
+/// memory capacity: spilled accesses are uncoalesced *and* serialize behind
+/// the lookup traffic (the Fig 5a cliff).
+constexpr double kSpillAmplification = 4.0;
+
+double clock_hz(const DeviceSpec& device) { return device.core_clock_ghz * 1e9; }
+
+double effective_bandwidth(const DeviceSpec& device) {
+  return device.mem_bandwidth_gb_per_s * 1e9 * kBandwidthEfficiency;
+}
+
+double global_latency_seconds(const DeviceSpec& device) {
+  return device.global_latency_cycles / clock_hz(device);
+}
+
+/// Per-event term-application count: one per ELT (financial) plus
+/// occurrence + aggregate.
+double terms_per_event(const WorkloadShape& shape) { return shape.elts_per_layer + 2.0; }
+
+double compute_seconds(const DeviceSpec& device, const WorkloadShape& shape) {
+  const double total_cores = static_cast<double>(device.num_sms * device.cores_per_sm);
+  const double cycles = shape.total_events() * terms_per_event(shape) *
+                        device.compute_cycles_per_term;
+  return cycles / (total_cores * clock_hz(device));
+}
+
+void validate(const WorkloadShape& shape, int threads_per_block, const DeviceSpec& device) {
+  if (threads_per_block <= 0 || threads_per_block > device.max_threads_per_block) {
+    throw std::invalid_argument("threads per block out of device range");
+  }
+  if (shape.num_trials == 0 || shape.num_layers == 0 || shape.events_per_trial <= 0.0 ||
+      shape.elts_per_layer <= 0.0) {
+    throw std::invalid_argument("degenerate workload shape");
+  }
+}
+
+double block_overhead_seconds(const DeviceSpec& device, const WorkloadShape& shape,
+                              int threads_per_block) {
+  const double blocks = std::ceil(static_cast<double>(shape.num_trials) /
+                                  static_cast<double>(threads_per_block)) *
+                        static_cast<double>(shape.num_layers);
+  return blocks * device.block_overhead_cycles /
+         (static_cast<double>(device.num_sms) * clock_hz(device));
+}
+
+KernelEstimate finalize(KernelEstimate estimate) {
+  estimate.seconds = std::max(estimate.latency_bound_seconds, estimate.bandwidth_bound_seconds) +
+                     estimate.compute_seconds + estimate.overhead_seconds;
+  return estimate;
+}
+
+}  // namespace
+
+Occupancy compute_occupancy(const DeviceSpec& device, int threads_per_block,
+                            std::size_t shared_bytes_per_block) noexcept {
+  Occupancy occupancy;
+  if (shared_bytes_per_block > device.shared_mem_per_sm_bytes) {
+    // Not even one block fits its shared request: the runtime services the
+    // overflow from global memory (modelled by the caller as spill).
+    occupancy.shared_overflow = true;
+    occupancy.blocks_per_sm = 1;
+  } else {
+    int blocks = device.max_blocks_per_sm;
+    blocks = std::min(blocks, device.max_threads_per_sm / threads_per_block);
+    if (shared_bytes_per_block > 0) {
+      blocks = std::min(blocks, static_cast<int>(device.shared_mem_per_sm_bytes /
+                                                 shared_bytes_per_block));
+    }
+    occupancy.blocks_per_sm = std::max(blocks, 1);
+  }
+  occupancy.active_threads_per_sm = occupancy.blocks_per_sm * threads_per_block;
+  occupancy.active_warps_per_sm =
+      (occupancy.active_threads_per_sm + device.warp_size - 1) / device.warp_size;
+  occupancy.active_warps_per_sm = std::min(occupancy.active_warps_per_sm, device.max_warps_per_sm);
+  occupancy.warp_occupancy = static_cast<double>(occupancy.active_warps_per_sm) /
+                             static_cast<double>(device.max_warps_per_sm);
+  return occupancy;
+}
+
+std::size_t chunk_shared_bytes_per_thread(int chunk_size) noexcept {
+  // Per chunk slot: staged event id (4B) + lx scratch (8B) + lox scratch
+  // (8B) + bank-conflict padding -> 64B per slot in the allocation.
+  return static_cast<std::size_t>(chunk_size) * 64;
+}
+
+int max_threads_for_chunk(const DeviceSpec& device, int chunk_size) noexcept {
+  const std::size_t per_thread = chunk_shared_bytes_per_thread(chunk_size);
+  if (per_thread == 0) return device.max_threads_per_block;
+  int threads = static_cast<int>(device.shared_mem_per_sm_bytes / per_thread);
+  threads = (threads / device.warp_size) * device.warp_size;  // round down to warp multiple
+  return std::clamp(threads, 0, device.max_threads_per_block);
+}
+
+KernelEstimate estimate_basic_kernel(const DeviceSpec& device, const WorkloadShape& shape,
+                                     int threads_per_block) {
+  validate(shape, threads_per_block, device);
+  KernelEstimate estimate;
+  estimate.occupancy = compute_occupancy(device, threads_per_block, /*shared=*/0);
+
+  const double events = shape.total_events();
+  const double elts = shape.elts_per_layer;
+
+  // Random global transactions: the per-event id fetch (each thread walks
+  // its own trial, so fetches are uncoalesced across the warp) and one
+  // dependent random read per covered ELT (the direct access table lookup).
+  const double random_transactions = events * (1.0 + elts);
+  // Intermediates lx_d / lox_d live in global memory: a write+read per ELT
+  // for the financial step and a read-modify-write for the occurrence and
+  // aggregate steps (2*E + 2 accesses per event), partially L2-cached.
+  const double intermediate_accesses = events * (2.0 * elts + 2.0);
+
+  const double bytes = random_transactions * device.transaction_bytes +
+                       intermediate_accesses * kIntermediateBytes;
+  estimate.bandwidth_bound_seconds = bytes / effective_bandwidth(device);
+
+  const double warps_total =
+      static_cast<double>(estimate.occupancy.active_warps_per_sm * device.num_sms);
+  const double throughput = warps_total * kOutstandingPerWarp / global_latency_seconds(device);
+  estimate.latency_bound_seconds = random_transactions / throughput;
+
+  estimate.compute_seconds = compute_seconds(device, shape);
+  estimate.overhead_seconds = block_overhead_seconds(device, shape, threads_per_block);
+  return finalize(estimate);
+}
+
+KernelEstimate estimate_chunked_kernel(const DeviceSpec& device, const WorkloadShape& shape,
+                                       int threads_per_block, int chunk_size) {
+  validate(shape, threads_per_block, device);
+  if (chunk_size <= 0) throw std::invalid_argument("chunk size must be > 0");
+
+  KernelEstimate estimate;
+  const std::size_t shared_per_block =
+      static_cast<std::size_t>(threads_per_block) * chunk_shared_bytes_per_thread(chunk_size);
+  estimate.occupancy = compute_occupancy(device, threads_per_block, shared_per_block);
+
+  const double events = shape.total_events();
+  const double elts = shape.elts_per_layer;
+  const double chunk = static_cast<double>(chunk_size);
+
+  // Event fetch is staged per chunk: one coalesced transaction covers the
+  // whole chunk's ids, so per-event fetch traffic falls as 1/chunk.
+  const double fetch_transactions = events / chunk;
+  const double lookup_transactions = events * elts;  // irreducible random reads
+
+  // Intermediates live in shared memory... unless the block's shared
+  // request overflows the SM, in which case the overflow fraction is
+  // serviced from global memory with heavy penalty (the Fig 5a cliff).
+  double spill_fraction = 0.0;
+  if (shared_per_block > device.shared_mem_per_sm_bytes) {
+    spill_fraction = 1.0 - static_cast<double>(device.shared_mem_per_sm_bytes) /
+                               static_cast<double>(shared_per_block);
+  }
+  const double intermediate_accesses = events * (2.0 * elts + 2.0);
+  const double spill_bytes = intermediate_accesses * spill_fraction * device.transaction_bytes *
+                             kSpillAmplification;
+
+  const double bytes =
+      (fetch_transactions + lookup_transactions) * device.transaction_bytes + spill_bytes;
+  estimate.bandwidth_bound_seconds = bytes / effective_bandwidth(device);
+
+  const double warps_total =
+      static_cast<double>(estimate.occupancy.active_warps_per_sm * device.num_sms);
+  const double warp_mlp =
+      std::min(kOutstandingPerWarp * chunk * kChunkMlpFactor, kMaxWarpMlp * kOutstandingPerWarp);
+  const double throughput = warps_total * warp_mlp / global_latency_seconds(device);
+  estimate.latency_bound_seconds = (fetch_transactions + lookup_transactions) / throughput;
+
+  // Shared-memory traffic for the intermediates (cheap but not free).
+  const double shared_seconds =
+      intermediate_accesses * (1.0 - spill_fraction) * device.shared_latency_cycles /
+      (static_cast<double>(device.num_sms * device.cores_per_sm) * clock_hz(device));
+
+  estimate.compute_seconds = compute_seconds(device, shape) + shared_seconds;
+  estimate.overhead_seconds =
+      block_overhead_seconds(device, shape, threads_per_block) +
+      // Per-chunk loop/barrier cost, amortized across the device.
+      (events / chunk) * device.chunk_overhead_cycles /
+          (static_cast<double>(device.num_sms * device.cores_per_sm) * clock_hz(device));
+  return finalize(estimate);
+}
+
+}  // namespace are::simgpu

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+
+#include "simgpu/device_spec.hpp"
+
+namespace are::simgpu {
+
+/// Shape of an aggregate-analysis workload, the four size parameters of the
+/// paper's §III-C-1.
+struct WorkloadShape {
+  std::uint64_t num_trials = 1'000'000;
+  double events_per_trial = 1000.0;
+  double elts_per_layer = 15.0;
+  std::uint64_t num_layers = 1;
+
+  double total_events() const noexcept {
+    return static_cast<double>(num_trials) * events_per_trial * static_cast<double>(num_layers);
+  }
+};
+
+/// Prediction output of the kernel cost model.
+struct KernelEstimate {
+  double seconds = 0.0;
+  /// Which resource bound the estimate (diagnostics for reports).
+  double latency_bound_seconds = 0.0;
+  double bandwidth_bound_seconds = 0.0;
+  double compute_seconds = 0.0;
+  double overhead_seconds = 0.0;
+  Occupancy occupancy;
+};
+
+/// Cost model of the *basic* GPU kernel (paper §III-B-1): one thread per
+/// trial, all data structures in global memory, including the per-event
+/// intermediates lx_d / lox_d that every financial/layer step re-reads and
+/// re-writes ("adding considerable overhead").
+KernelEstimate estimate_basic_kernel(const DeviceSpec& device, const WorkloadShape& shape,
+                                     int threads_per_block);
+
+/// Cost model of the *optimised/chunked* kernel (paper §III-B-2): events
+/// processed in fixed-size chunks staged in shared memory; financial and
+/// layer terms in constant memory; intermediates never touch global memory
+/// unless the chunk's shared-memory demand overflows the SM (at which point
+/// the overflow fraction is serviced at global cost — the Fig 5a cliff).
+KernelEstimate estimate_chunked_kernel(const DeviceSpec& device, const WorkloadShape& shape,
+                                       int threads_per_block, int chunk_size);
+
+/// Shared-memory bytes one thread's chunk buffers occupy. Event id staging,
+/// the per-event combined loss, and the running per-ELT loss slot:
+/// the quantity that caps threads-per-block at 192 for chunk size 4 on the
+/// C2075 (paper §III-C-3).
+std::size_t chunk_shared_bytes_per_thread(int chunk_size) noexcept;
+
+/// Largest threads-per-block (multiple of warp size) whose shared demand
+/// fits one SM for the given chunk size.
+int max_threads_for_chunk(const DeviceSpec& device, int chunk_size) noexcept;
+
+}  // namespace are::simgpu

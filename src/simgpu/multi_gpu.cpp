@@ -1,0 +1,59 @@
+#include "simgpu/multi_gpu.hpp"
+
+#include <stdexcept>
+
+namespace are::simgpu {
+
+MultiGpuEstimate estimate_multi_gpu(const DeviceSpec& device, const WorkloadShape& shape,
+                                    int devices, int threads_per_block, int chunk_size,
+                                    std::size_t catalog_size, const TransferSpec& transfer) {
+  if (devices < 1) throw std::invalid_argument("need at least one device");
+
+  // Per-device slice: ceil-split of the trials.
+  WorkloadShape slice = shape;
+  slice.num_trials = (shape.num_trials + static_cast<std::uint64_t>(devices) - 1) /
+                     static_cast<std::uint64_t>(devices);
+
+  MultiGpuEstimate estimate;
+  estimate.devices = devices;
+  const KernelEstimate kernel =
+      estimate_chunked_kernel(device, slice, threads_per_block, chunk_size);
+  estimate.kernel_seconds = kernel.seconds;
+
+  // Input staging per device: its YET slice plus a full replica of every
+  // layer's direct access tables. ELT replication is the part that does
+  // not shrink with more devices.
+  const double yet_bytes = static_cast<double>(slice.num_trials) * slice.events_per_trial *
+                           transfer.bytes_per_event;
+  const double elt_bytes = static_cast<double>(catalog_size) * shape.elts_per_layer *
+                           static_cast<double>(shape.num_layers) *
+                           transfer.elt_replica_bytes_per_event_slot;
+  estimate.transfer_seconds = (yet_bytes + elt_bytes) / (transfer.pcie_gb_per_s * 1e9);
+
+  estimate.seconds = estimate.kernel_seconds + estimate.transfer_seconds;
+
+  const KernelEstimate single =
+      estimate_chunked_kernel(device, shape, threads_per_block, chunk_size);
+  const double single_transfer =
+      (static_cast<double>(shape.num_trials) * shape.events_per_trial *
+           transfer.bytes_per_event +
+       elt_bytes) /
+      (transfer.pcie_gb_per_s * 1e9);
+  estimate.speedup_vs_one = (single.seconds + single_transfer) / estimate.seconds;
+  return estimate;
+}
+
+int devices_for_target(const DeviceSpec& device, const WorkloadShape& shape,
+                       double target_seconds, int threads_per_block, int chunk_size,
+                       std::size_t catalog_size, int max_devices) {
+  if (!(target_seconds > 0.0)) throw std::invalid_argument("target must be > 0 seconds");
+  for (int devices = 1; devices <= max_devices; ++devices) {
+    const MultiGpuEstimate estimate = estimate_multi_gpu(device, shape, devices,
+                                                         threads_per_block, chunk_size,
+                                                         catalog_size);
+    if (estimate.seconds <= target_seconds) return devices;
+  }
+  return 0;
+}
+
+}  // namespace are::simgpu

@@ -1,0 +1,46 @@
+#pragma once
+
+#include "simgpu/kernel_model.hpp"
+
+namespace are::simgpu {
+
+/// Multi-device estimate for the paper's §IV remark: "If a complete
+/// portfolio analysis is required on a 1M trial basis then a multi-GPU
+/// hardware platform would likely be required."
+///
+/// Trials are embarrassingly parallel, so the workload splits by trial
+/// across devices; each device additionally pays a host-side staging cost
+/// to receive its YET slice and ELT copies over PCIe, which is what keeps
+/// the scaling short of ideal for small slices.
+struct MultiGpuEstimate {
+  double seconds = 0.0;
+  double kernel_seconds = 0.0;   // slowest device's kernel time
+  double transfer_seconds = 0.0; // per-device input staging (overlappable ELTs excluded)
+  double speedup_vs_one = 1.0;
+  int devices = 1;
+};
+
+struct TransferSpec {
+  /// Effective host-to-device bandwidth (PCIe 2.0 x16 era for the C2075).
+  double pcie_gb_per_s = 5.0;
+  /// Bytes per YET entry shipped to the device (event id + timestamp).
+  double bytes_per_event = 8.0;
+  /// Direct access tables are replicated on every device.
+  double elt_replica_bytes_per_event_slot = 8.0;
+};
+
+/// Chunked-kernel estimate on `devices` identical devices. `catalog_size`
+/// determines the replicated direct-access-table footprint.
+MultiGpuEstimate estimate_multi_gpu(const DeviceSpec& device, const WorkloadShape& shape,
+                                    int devices, int threads_per_block, int chunk_size,
+                                    std::size_t catalog_size,
+                                    const TransferSpec& transfer = {});
+
+/// Convenience: how many devices are needed to run `shape` under
+/// `target_seconds` (e.g. the paper's real-time pricing budget)? Returns 0
+/// if no count up to `max_devices` meets the target.
+int devices_for_target(const DeviceSpec& device, const WorkloadShape& shape,
+                       double target_seconds, int threads_per_block, int chunk_size,
+                       std::size_t catalog_size, int max_devices = 64);
+
+}  // namespace are::simgpu

@@ -1,0 +1,107 @@
+#include "yet/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "rng/distributions.hpp"
+#include "rng/stream.hpp"
+
+namespace are::yet {
+
+namespace {
+
+std::uint64_t draw_count(rng::Stream& stream, const YetConfig& config) {
+  switch (config.count_model) {
+    case CountModel::kFixed:
+      return static_cast<std::uint64_t>(std::llround(config.events_per_trial));
+    case CountModel::kPoisson:
+      return rng::sample_poisson(stream, config.events_per_trial);
+    case CountModel::kNegativeBinomial: {
+      // Mean m, r = dispersion  =>  p = r / (r + m).
+      const double r = config.dispersion;
+      const double p = r / (r + config.events_per_trial);
+      return rng::sample_negative_binomial(stream, r, p);
+    }
+  }
+  return 0;
+}
+
+struct TrialScratch {
+  std::vector<Occurrence> occurrences;
+};
+
+template <typename DrawEvent, typename DrawTime>
+YearEventTable generate_impl(const YetConfig& config, const DrawEvent& draw_event,
+                             const DrawTime& draw_time) {
+  if (config.num_trials == 0) throw std::invalid_argument("YET needs at least one trial");
+  if (!(config.events_per_trial >= 0.0)) {
+    throw std::invalid_argument("events per trial must be >= 0");
+  }
+
+  std::vector<std::uint64_t> offsets;
+  offsets.reserve(config.num_trials + 1);
+  offsets.push_back(0);
+
+  std::vector<EventId> events;
+  std::vector<float> times;
+  const auto expected_total = static_cast<std::uint64_t>(
+      config.events_per_trial * static_cast<double>(config.num_trials) * 1.05);
+  events.reserve(expected_total);
+  times.reserve(expected_total);
+
+  TrialScratch scratch;
+  for (std::uint64_t trial = 0; trial < config.num_trials; ++trial) {
+    rng::Stream stream(config.seed, /*stream_id=*/5, /*substream_id=*/trial);
+    const std::uint64_t count = draw_count(stream, config);
+
+    scratch.occurrences.clear();
+    scratch.occurrences.reserve(count);
+    for (std::uint64_t k = 0; k < count; ++k) {
+      const EventId id = draw_event(stream);
+      const float t = draw_time(stream, id);
+      scratch.occurrences.push_back({id, t});
+    }
+    std::sort(scratch.occurrences.begin(), scratch.occurrences.end(),
+              [](const Occurrence& a, const Occurrence& b) { return a.time < b.time; });
+
+    for (const Occurrence& occurrence : scratch.occurrences) {
+      events.push_back(occurrence.event);
+      times.push_back(occurrence.time);
+    }
+    offsets.push_back(events.size());
+  }
+
+  return YearEventTable(std::move(events), std::move(times), std::move(offsets));
+}
+
+}  // namespace
+
+YearEventTable generate_yet(const YetConfig& config, const catalog::EventCatalog& catalog) {
+  if (catalog.empty()) throw std::invalid_argument("cannot generate a YET from an empty catalog");
+  const std::vector<double> rates = catalog.rates();
+  const rng::AliasTable alias(rates);
+
+  const auto draw_event = [&alias](rng::Stream& stream) {
+    return static_cast<EventId>(alias.sample(stream));
+  };
+  const auto draw_time = [&catalog](rng::Stream& stream, EventId id) {
+    const catalog::SeasonalityProfile season = catalog::seasonality_for(catalog[id].peril);
+    return static_cast<float>(rng::sample_beta(stream, season.alpha, season.beta));
+  };
+  return generate_impl(config, draw_event, draw_time);
+}
+
+YearEventTable generate_uniform_yet(const YetConfig& config, std::size_t catalog_size) {
+  if (catalog_size == 0) throw std::invalid_argument("catalog size must be > 0");
+  const auto draw_event = [catalog_size](rng::Stream& stream) {
+    return static_cast<EventId>(stream.uniform_below(catalog_size));
+  };
+  const auto draw_time = [](rng::Stream& stream, EventId) {
+    return static_cast<float>(stream.uniform01());
+  };
+  return generate_impl(config, draw_event, draw_time);
+}
+
+}  // namespace are::yet

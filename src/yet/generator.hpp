@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "catalog/event_catalog.hpp"
+#include "yet/year_event_table.hpp"
+
+namespace are::yet {
+
+/// How the number of occurrences in a trial-year is drawn.
+enum class CountModel {
+  /// Exactly `events_per_trial` events in every trial — the paper's
+  /// benchmark configuration ("each trial comprises 1000 events").
+  kFixed,
+  /// Poisson with mean `events_per_trial` (a homogeneous compound-Poisson
+  /// year, the textbook aggregate-loss model).
+  kPoisson,
+  /// Negative binomial with mean `events_per_trial` and the given
+  /// dispersion: Var = mean * (1 + mean/dispersion). Captures clustered
+  /// catastrophe years (active hurricane seasons).
+  kNegativeBinomial,
+};
+
+struct YetConfig {
+  std::uint64_t num_trials = 10'000;
+  double events_per_trial = 1000.0;
+  CountModel count_model = CountModel::kFixed;
+  double dispersion = 50.0;  // negative-binomial r
+  std::uint64_t seed = 2012;
+};
+
+/// Generates a YET by sampling from `catalog`'s per-event annual rates
+/// (alias table) with per-peril seasonal timestamps. Trial i is produced on
+/// substream i, so the YET is bit-identical however generation is
+/// parallelised or resumed.
+YearEventTable generate_yet(const YetConfig& config, const catalog::EventCatalog& catalog);
+
+/// Generates a YET whose event ids are uniform over [0, catalog_size) with
+/// uniform timestamps — the shape engine benchmarks need when no full
+/// catalog object is in play.
+YearEventTable generate_uniform_yet(const YetConfig& config, std::size_t catalog_size);
+
+}  // namespace are::yet

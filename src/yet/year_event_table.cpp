@@ -1,0 +1,32 @@
+#include "yet/year_event_table.hpp"
+
+#include <stdexcept>
+
+namespace are::yet {
+
+YearEventTable::YearEventTable(std::vector<EventId> events, std::vector<float> times,
+                               std::vector<std::uint64_t> offsets)
+    : events_(std::move(events)), times_(std::move(times)), offsets_(std::move(offsets)) {
+  if (offsets_.empty()) throw std::invalid_argument("YET offsets must contain at least [0]");
+  if (offsets_.front() != 0) throw std::invalid_argument("YET offsets must start at 0");
+  if (offsets_.back() != events_.size()) {
+    throw std::invalid_argument("YET offsets must end at the event count");
+  }
+  if (times_.size() != events_.size()) {
+    throw std::invalid_argument("YET event and time vectors must have equal length");
+  }
+  for (std::size_t i = 1; i < offsets_.size(); ++i) {
+    if (offsets_[i] < offsets_[i - 1]) {
+      throw std::invalid_argument("YET offsets must be non-decreasing");
+    }
+  }
+  for (std::size_t trial = 0; trial + 1 < offsets_.size(); ++trial) {
+    for (std::uint64_t k = offsets_[trial] + 1; k < offsets_[trial + 1]; ++k) {
+      if (times_[k] < times_[k - 1]) {
+        throw std::invalid_argument("YET trial occurrences must be time-ordered");
+      }
+    }
+  }
+}
+
+}  // namespace are::yet

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "catalog/types.hpp"
+
+namespace are::yet {
+
+using catalog::EventId;
+
+/// One event occurrence within a trial: the paper's (E_{i,k}, t_{i,k}) pair.
+struct Occurrence {
+  EventId event = 0;
+  /// Timestamp as a fraction of the contractual year in [0, 1).
+  float time = 0.0f;
+};
+
+/// The Year Event Table: pre-simulated alternative views of one contractual
+/// year. Stored flattened exactly as the paper's basic implementation does:
+/// "(i) a vector consisting of all E_{i,k} ... (ii) a vector of integer
+/// values indicating trial boundaries" (§III-B-1). Trial i owns the
+/// half-open slice [offsets[i], offsets[i+1]) of the event/time vectors,
+/// with occurrences ordered by ascending timestamp.
+class YearEventTable {
+ public:
+  YearEventTable() = default;
+  YearEventTable(std::vector<EventId> events, std::vector<float> times,
+                 std::vector<std::uint64_t> offsets);
+
+  std::size_t num_trials() const noexcept {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+  std::uint64_t total_events() const noexcept { return events_.size(); }
+
+  std::size_t trial_size(std::size_t trial) const noexcept {
+    return static_cast<std::size_t>(offsets_[trial + 1] - offsets_[trial]);
+  }
+
+  std::span<const EventId> trial_events(std::size_t trial) const noexcept {
+    return {events_.data() + offsets_[trial], trial_size(trial)};
+  }
+  std::span<const float> trial_times(std::size_t trial) const noexcept {
+    return {times_.data() + offsets_[trial], trial_size(trial)};
+  }
+
+  /// Raw flattened views (the engines iterate these directly).
+  std::span<const EventId> events() const noexcept { return events_; }
+  std::span<const float> times() const noexcept { return times_; }
+  std::span<const std::uint64_t> offsets() const noexcept { return offsets_; }
+
+  double mean_events_per_trial() const noexcept {
+    return num_trials() == 0 ? 0.0
+                             : static_cast<double>(total_events()) /
+                                   static_cast<double>(num_trials());
+  }
+
+  /// Approximate resident memory (the paper quotes 3.2-6 GB for the event
+  /// vector at industrial scale).
+  std::size_t memory_bytes() const noexcept {
+    return events_.size() * sizeof(EventId) + times_.size() * sizeof(float) +
+           offsets_.size() * sizeof(std::uint64_t);
+  }
+
+ private:
+  std::vector<EventId> events_;
+  std::vector<float> times_;
+  std::vector<std::uint64_t> offsets_;
+};
+
+}  // namespace are::yet

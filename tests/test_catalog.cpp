@@ -1,0 +1,166 @@
+// Tests for the stochastic event catalog: construction invariants,
+// reproducibility, rate normalisation, peril mix and seasonality profiles.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "catalog/event_catalog.hpp"
+
+namespace {
+
+using namespace are::catalog;
+
+CatalogConfig small_config() {
+  CatalogConfig config;
+  config.num_events = 5'000;
+  config.expected_events_per_year = 1000.0;
+  return config;
+}
+
+TEST(EventCatalog, BuildsRequestedSize) {
+  const EventCatalog catalog = build_catalog(small_config());
+  EXPECT_EQ(catalog.size(), 5'000u);
+  EXPECT_FALSE(catalog.empty());
+}
+
+TEST(EventCatalog, IdsAreDenseAndOrdered) {
+  const EventCatalog catalog = build_catalog(small_config());
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    EXPECT_EQ(catalog[static_cast<EventId>(i)].id, i);
+  }
+}
+
+TEST(EventCatalog, TotalRateMatchesTarget) {
+  const EventCatalog catalog = build_catalog(small_config());
+  EXPECT_NEAR(catalog.total_annual_rate(), 1000.0, 1e-6);
+}
+
+TEST(EventCatalog, RatesVectorConsistent) {
+  const EventCatalog catalog = build_catalog(small_config());
+  const auto rates = catalog.rates();
+  ASSERT_EQ(rates.size(), catalog.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    EXPECT_GE(rates[i], 0.0);
+    EXPECT_EQ(rates[i], catalog[static_cast<EventId>(i)].annual_rate);
+    total += rates[i];
+  }
+  EXPECT_NEAR(total, catalog.total_annual_rate(), 1e-9);
+}
+
+TEST(EventCatalog, DeterministicInSeed) {
+  const EventCatalog a = build_catalog(small_config());
+  const EventCatalog b = build_catalog(small_config());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto& ea = a[static_cast<EventId>(i)];
+    const auto& eb = b[static_cast<EventId>(i)];
+    EXPECT_EQ(ea.peril, eb.peril);
+    EXPECT_EQ(ea.annual_rate, eb.annual_rate);
+    EXPECT_EQ(ea.intensity_mu, eb.intensity_mu);
+  }
+}
+
+TEST(EventCatalog, DifferentSeedsDiffer) {
+  CatalogConfig config = small_config();
+  const EventCatalog a = build_catalog(config);
+  config.seed += 1;
+  const EventCatalog b = build_catalog(config);
+  bool any_difference = false;
+  for (std::size_t i = 0; i < a.size() && !any_difference; ++i) {
+    any_difference = a[static_cast<EventId>(i)].annual_rate != b[static_cast<EventId>(i)].annual_rate;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(EventCatalog, PerilMixApproximatesWeights) {
+  CatalogConfig config = small_config();
+  config.num_events = 50'000;
+  const EventCatalog catalog = build_catalog(config);
+  for (int p = 0; p < kPerilCount; ++p) {
+    const double fraction =
+        static_cast<double>(catalog.count_of(static_cast<Peril>(p))) /
+        static_cast<double>(catalog.size());
+    EXPECT_NEAR(fraction, config.peril_weights[p], 0.02) << to_string(static_cast<Peril>(p));
+  }
+}
+
+TEST(EventCatalog, SeverityParametersInPlausibleRanges) {
+  const EventCatalog catalog = build_catalog(small_config());
+  for (const CatalogEvent& event : catalog.events()) {
+    EXPECT_GT(event.intensity_mu, 0.0);
+    EXPECT_GT(event.intensity_sigma, 0.0);
+    EXPECT_GT(event.footprint_decay, 0.0);
+    EXPECT_GE(event.centre_x, 0.0f);
+    EXPECT_LT(event.centre_x, 1.0f);
+    EXPECT_GE(event.centre_y, 0.0f);
+    EXPECT_LT(event.centre_y, 1.0f);
+  }
+}
+
+TEST(EventCatalog, RateDistributionIsHeavyTailed) {
+  // Gamma(0.5) rates: the top 10% of events should carry well over half the
+  // total rate (a property real catalogs share).
+  CatalogConfig config = small_config();
+  config.num_events = 20'000;
+  const EventCatalog catalog = build_catalog(config);
+  auto rates = catalog.rates();
+  std::sort(rates.begin(), rates.end(), std::greater<>());
+  double top_decile = 0.0;
+  for (std::size_t i = 0; i < rates.size() / 10; ++i) top_decile += rates[i];
+  // For Gamma(0.5) rates the top decile carries ~44% of the total; demand
+  // clearly more concentration than the uniform 10%.
+  EXPECT_GT(top_decile / catalog.total_annual_rate(), 0.35);
+}
+
+TEST(EventCatalog, RejectsInvalidConfig) {
+  CatalogConfig config = small_config();
+  config.num_events = 0;
+  EXPECT_THROW(build_catalog(config), std::invalid_argument);
+
+  config = small_config();
+  config.expected_events_per_year = 0.0;
+  EXPECT_THROW(build_catalog(config), std::invalid_argument);
+
+  config = small_config();
+  config.peril_weights[0] = -1.0;
+  EXPECT_THROW(build_catalog(config), std::invalid_argument);
+
+  config = small_config();
+  for (double& w : config.peril_weights) w = 0.0;
+  EXPECT_THROW(build_catalog(config), std::invalid_argument);
+}
+
+TEST(EventCatalog, ConstructorRejectsNonDenseIds) {
+  std::vector<CatalogEvent> events(2);
+  events[0].id = 0;
+  events[1].id = 2;  // gap
+  EXPECT_THROW(EventCatalog(std::move(events)), std::invalid_argument);
+}
+
+TEST(EventCatalog, ConstructorRejectsNegativeRates) {
+  std::vector<CatalogEvent> events(1);
+  events[0].id = 0;
+  events[0].annual_rate = -0.5;
+  EXPECT_THROW(EventCatalog(std::move(events)), std::invalid_argument);
+}
+
+TEST(Seasonality, ProfilesDistinguishPerils) {
+  const SeasonalityProfile hurricane = seasonality_for(Peril::kHurricane);
+  const SeasonalityProfile quake = seasonality_for(Peril::kEarthquake);
+  // Hurricane peaks late in the year (alpha > beta); earthquakes uniform.
+  EXPECT_GT(hurricane.alpha, hurricane.beta);
+  EXPECT_DOUBLE_EQ(quake.alpha, 1.0);
+  EXPECT_DOUBLE_EQ(quake.beta, 1.0);
+}
+
+TEST(Types, StringConversionsCoverAllValues) {
+  for (int p = 0; p < kPerilCount; ++p) {
+    EXPECT_NE(to_string(static_cast<Peril>(p)), "unknown");
+  }
+  for (int r = 0; r < kRegionCount; ++r) {
+    EXPECT_NE(to_string(static_cast<Region>(r)), "unknown");
+  }
+}
+
+}  // namespace

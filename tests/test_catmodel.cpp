@@ -1,0 +1,217 @@
+// Tests for the catastrophe model: hazard attenuation, vulnerability
+// curves, and ELT generation (pipeline stage 1).
+#include <gtest/gtest.h>
+
+#include "catmodel/cat_model.hpp"
+#include "catmodel/hazard.hpp"
+#include "catmodel/vulnerability.hpp"
+
+namespace {
+
+using namespace are;
+using catalog::CatalogEvent;
+using catalog::Peril;
+using catalog::Region;
+using exposure::ConstructionClass;
+using exposure::Occupancy;
+using exposure::Site;
+
+CatalogEvent event_at(float x, float y, Region region = Region::kGulfCoast) {
+  CatalogEvent event;
+  event.id = 0;
+  event.peril = Peril::kHurricane;
+  event.region = region;
+  event.centre_x = x;
+  event.centre_y = y;
+  event.footprint_decay = 2.0;
+  return event;
+}
+
+Site site_at(float x, float y, Region region = Region::kGulfCoast) {
+  Site site;
+  site.region = region;
+  site.x = x;
+  site.y = y;
+  site.value = 1e6;
+  site.deductible = 0.0;
+  site.limit = 1e6;
+  return site;
+}
+
+// --- Hazard ------------------------------------------------------------------
+
+TEST(Hazard, IntensityFullAtEpicentre) {
+  EXPECT_DOUBLE_EQ(catmodel::intensity_at_site(event_at(0.5f, 0.5f), site_at(0.5f, 0.5f), 3.0),
+                   3.0);
+}
+
+TEST(Hazard, IntensityDecaysWithDistance) {
+  const auto event = event_at(0.0f, 0.0f);
+  const double near = catmodel::intensity_at_site(event, site_at(0.1f, 0.0f), 3.0);
+  const double far = catmodel::intensity_at_site(event, site_at(0.5f, 0.0f), 3.0);
+  EXPECT_GT(near, far);
+  EXPECT_GT(far, 0.0);
+  // Exponential decay: intensity at distance d = I * exp(-decay * d).
+  // Site coordinates are floats, so allow single-precision slack.
+  EXPECT_NEAR(near, 3.0 * std::exp(-2.0 * 0.1), 1e-6);
+}
+
+TEST(Hazard, OtherRegionUnaffected) {
+  const auto event = event_at(0.5f, 0.5f, Region::kGulfCoast);
+  EXPECT_EQ(catmodel::intensity_at_site(event, site_at(0.5f, 0.5f, Region::kPacificRim), 3.0),
+            0.0);
+}
+
+TEST(Hazard, FootprintRadiusConsistentWithThreshold) {
+  const auto event = event_at(0.0f, 0.0f);
+  const double radius = catmodel::footprint_radius(event, 3.0, 0.05);
+  // At exactly the radius the intensity equals the threshold.
+  EXPECT_NEAR(3.0 * std::exp(-event.footprint_decay * radius), 0.05, 1e-9);
+  // Below-threshold epicentral intensity -> empty footprint.
+  EXPECT_EQ(catmodel::footprint_radius(event, 0.01, 0.05), 0.0);
+}
+
+// --- Vulnerability -------------------------------------------------------------
+
+TEST(Vulnerability, CurveIsMonotoneAndBounded) {
+  for (int c = 0; c < exposure::kConstructionCount; ++c) {
+    for (int p = 0; p < catalog::kPerilCount; ++p) {
+      const auto curve = catmodel::vulnerability_for(static_cast<ConstructionClass>(c),
+                                                     static_cast<Peril>(p));
+      double previous = 0.0;
+      for (double intensity = 0.0; intensity <= 10.0; intensity += 0.25) {
+        const double mdr = curve.mean_damage_ratio(intensity);
+        EXPECT_GE(mdr, 0.0);
+        EXPECT_LE(mdr, 1.0);
+        EXPECT_GE(mdr, previous - 1e-12);
+        previous = mdr;
+      }
+    }
+  }
+}
+
+TEST(Vulnerability, ZeroIntensityZeroDamage) {
+  const auto curve = catmodel::vulnerability_for(ConstructionClass::kWoodFrame, Peril::kHurricane);
+  EXPECT_EQ(curve.mean_damage_ratio(0.0), 0.0);
+  EXPECT_EQ(curve.mean_damage_ratio(-1.0), 0.0);
+}
+
+TEST(Vulnerability, WoodFrameMoreVulnerableToWindThanConcrete) {
+  const auto wood = catmodel::vulnerability_for(ConstructionClass::kWoodFrame, Peril::kHurricane);
+  const auto concrete =
+      catmodel::vulnerability_for(ConstructionClass::kReinforcedConcrete, Peril::kHurricane);
+  EXPECT_GT(wood.mean_damage_ratio(2.0), concrete.mean_damage_ratio(2.0));
+}
+
+TEST(Vulnerability, MasonryFragileToEarthquake) {
+  const auto masonry = catmodel::vulnerability_for(ConstructionClass::kMasonry, Peril::kEarthquake);
+  const auto wood = catmodel::vulnerability_for(ConstructionClass::kWoodFrame, Peril::kEarthquake);
+  EXPECT_GT(masonry.mean_damage_ratio(2.5), wood.mean_damage_ratio(2.5));
+}
+
+TEST(Vulnerability, OccupancyFactorsOrdered) {
+  EXPECT_LT(catmodel::occupancy_factor(Occupancy::kResidential),
+            catmodel::occupancy_factor(Occupancy::kCommercial));
+  EXPECT_LT(catmodel::occupancy_factor(Occupancy::kCommercial),
+            catmodel::occupancy_factor(Occupancy::kIndustrial));
+}
+
+// --- Site loss & ELT generation -------------------------------------------------
+
+TEST(CatModel, ExpectedSiteLossRespectsSiteTerms) {
+  const auto event = event_at(0.5f, 0.5f);
+  Site site = site_at(0.5f, 0.5f);
+  site.deductible = 1e9;  // deductible above any possible loss
+  EXPECT_EQ(catmodel::expected_site_loss(event, site, 5.0), 0.0);
+
+  site.deductible = 0.0;
+  site.limit = 1'000.0;
+  EXPECT_LE(catmodel::expected_site_loss(event, site, 5.0), 1'000.0);
+}
+
+TEST(CatModel, ExpectedSiteLossZeroOutsideRegion) {
+  const auto event = event_at(0.5f, 0.5f, Region::kGulfCoast);
+  EXPECT_EQ(catmodel::expected_site_loss(event, site_at(0.5f, 0.5f, Region::kPacificRim), 5.0),
+            0.0);
+}
+
+class CatModelPipeline : public ::testing::Test {
+ protected:
+  static catalog::EventCatalog make_catalog() {
+    catalog::CatalogConfig config;
+    config.num_events = 3'000;
+    config.expected_events_per_year = 500.0;
+    config.seed = 11;
+    return catalog::build_catalog(config);
+  }
+
+  static exposure::ExposureSet make_exposure() {
+    exposure::ExposureConfig config;
+    config.num_sites = 800;
+    config.seed = 12;
+    return exposure::build_exposure(config);
+  }
+};
+
+TEST_F(CatModelPipeline, ProducesSparseNonTrivialElt) {
+  const auto table = catmodel::run_cat_model(make_catalog(), make_exposure());
+  EXPECT_GT(table.size(), 0u);
+  EXPECT_LT(table.size(), 3'000u);  // sparse: not every event hurts this book
+  for (const auto& record : table.records()) {
+    EXPECT_GT(record.loss, 0.0);
+    EXPECT_LT(record.event, 3'000u);
+  }
+}
+
+TEST_F(CatModelPipeline, Deterministic) {
+  const auto a = catmodel::run_cat_model(make_catalog(), make_exposure());
+  const auto b = catmodel::run_cat_model(make_catalog(), make_exposure());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.records()[i], b.records()[i]);
+  }
+}
+
+TEST_F(CatModelPipeline, LossThresholdFiltersSmallLosses) {
+  catmodel::CatModelConfig config;
+  config.loss_threshold = 1.0;
+  const auto permissive = catmodel::run_cat_model(make_catalog(), make_exposure(), config);
+  config.loss_threshold = 1e6;
+  const auto strict = catmodel::run_cat_model(make_catalog(), make_exposure(), config);
+  EXPECT_LT(strict.size(), permissive.size());
+  for (const auto& record : strict.records()) {
+    EXPECT_GE(record.loss, 1e6);
+  }
+}
+
+TEST_F(CatModelPipeline, SecondaryUncertaintyPerturbsButPreservesScale) {
+  catmodel::CatModelConfig config;
+  const auto mean_based = catmodel::run_cat_model(make_catalog(), make_exposure(), config);
+  config.secondary_uncertainty = true;
+  const auto sampled = catmodel::run_cat_model(make_catalog(), make_exposure(), config);
+
+  // Totals should be the same order of magnitude (Beta has the curve's
+  // mean), but individual losses differ.
+  EXPECT_GT(sampled.total_loss(), 0.3 * mean_based.total_loss());
+  EXPECT_LT(sampled.total_loss(), 3.0 * mean_based.total_loss());
+  bool any_difference = sampled.size() != mean_based.size();
+  for (std::size_t i = 0; !any_difference && i < sampled.size(); ++i) {
+    any_difference = !(sampled.records()[i] == mean_based.records()[i]);
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST_F(CatModelPipeline, DifferentExposuresGiveDifferentElts) {
+  // The paper: "one ELT may contain losses derived from one exposure set
+  // while another ELT may contain the same events but different losses".
+  const auto catalog = make_catalog();
+  exposure::ExposureConfig config;
+  config.num_sites = 800;
+  config.seed = 12;
+  const auto elt_a = catmodel::run_cat_model(catalog, exposure::build_exposure(config));
+  config.seed = 13;
+  const auto elt_b = catmodel::run_cat_model(catalog, exposure::build_exposure(config));
+  EXPECT_NE(elt_a.total_loss(), elt_b.total_loss());
+}
+
+}  // namespace

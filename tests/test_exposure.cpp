@@ -1,0 +1,136 @@
+// Tests for the synthetic exposure database generator.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "exposure/exposure.hpp"
+
+namespace {
+
+using namespace are::exposure;
+using are::catalog::Region;
+
+ExposureConfig small_config() {
+  ExposureConfig config;
+  config.num_sites = 2'000;
+  return config;
+}
+
+TEST(Exposure, BuildsRequestedSize) {
+  const ExposureSet set = build_exposure(small_config());
+  EXPECT_EQ(set.size(), 2'000u);
+  EXPECT_FALSE(set.empty());
+}
+
+TEST(Exposure, Deterministic) {
+  const ExposureSet a = build_exposure(small_config());
+  const ExposureSet b = build_exposure(small_config());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].value, b[i].value);
+    EXPECT_EQ(a[i].region, b[i].region);
+    EXPECT_EQ(a[i].construction, b[i].construction);
+  }
+}
+
+TEST(Exposure, SiteInvariants) {
+  const ExposureSet set = build_exposure(small_config());
+  for (const Site& site : set.sites()) {
+    EXPECT_GT(site.value, 0.0);
+    EXPECT_GE(site.deductible, 0.0);
+    EXPECT_LE(site.deductible, site.value);
+    EXPECT_GT(site.limit, 0.0);
+    EXPECT_GE(site.x, 0.0f);
+    EXPECT_LT(site.x, 1.0f);
+    EXPECT_GE(site.y, 0.0f);
+    EXPECT_LT(site.y, 1.0f);
+  }
+}
+
+TEST(Exposure, IdsAreDense) {
+  const ExposureSet set = build_exposure(small_config());
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    EXPECT_EQ(set[i].id, static_cast<std::uint32_t>(i));
+  }
+}
+
+TEST(Exposure, RegionRestrictionHonoured) {
+  ExposureConfig config = small_config();
+  config.regions = {Region::kGulfCoast, Region::kNorthAtlantic};
+  const ExposureSet set = build_exposure(config);
+  for (const Site& site : set.sites()) {
+    EXPECT_TRUE(site.region == Region::kGulfCoast || site.region == Region::kNorthAtlantic);
+  }
+}
+
+TEST(Exposure, TotalInsuredValueSumsSites) {
+  const ExposureSet set = build_exposure(small_config());
+  double expected = 0.0;
+  for (const Site& site : set.sites()) expected += site.value;
+  EXPECT_DOUBLE_EQ(set.total_insured_value(), expected);
+}
+
+TEST(Exposure, OccupancyScalesValues) {
+  // Industrial sites should on average be worth more than residential.
+  ExposureConfig config = small_config();
+  config.num_sites = 20'000;
+  const ExposureSet set = build_exposure(config);
+  double residential_sum = 0.0, industrial_sum = 0.0;
+  std::size_t residential_count = 0, industrial_count = 0;
+  for (const Site& site : set.sites()) {
+    if (site.occupancy == Occupancy::kResidential) {
+      residential_sum += site.value;
+      ++residential_count;
+    } else if (site.occupancy == Occupancy::kIndustrial) {
+      industrial_sum += site.value;
+      ++industrial_count;
+    }
+  }
+  ASSERT_GT(residential_count, 0u);
+  ASSERT_GT(industrial_count, 0u);
+  EXPECT_GT(industrial_sum / industrial_count, residential_sum / residential_count);
+}
+
+TEST(Exposure, DeductibleFractionApplied) {
+  ExposureConfig config = small_config();
+  config.deductible_fraction = 0.05;
+  const ExposureSet set = build_exposure(config);
+  for (const Site& site : set.sites()) {
+    EXPECT_NEAR(site.deductible, 0.05 * site.value, 1e-9 * site.value);
+  }
+}
+
+TEST(Exposure, RejectsInvalidConfig) {
+  ExposureConfig config = small_config();
+  config.num_sites = 0;
+  EXPECT_THROW(build_exposure(config), std::invalid_argument);
+
+  config = small_config();
+  config.deductible_fraction = -0.1;
+  EXPECT_THROW(build_exposure(config), std::invalid_argument);
+
+  config = small_config();
+  config.limit_fraction = 0.0;
+  EXPECT_THROW(build_exposure(config), std::invalid_argument);
+}
+
+TEST(Exposure, ConstructionMixCoversAllClasses) {
+  ExposureConfig config = small_config();
+  config.num_sites = 10'000;
+  const ExposureSet set = build_exposure(config);
+  std::array<std::size_t, kConstructionCount> counts{};
+  for (const Site& site : set.sites()) ++counts[static_cast<int>(site.construction)];
+  for (int c = 0; c < kConstructionCount; ++c) {
+    EXPECT_GT(counts[c], 0u) << to_string(static_cast<ConstructionClass>(c));
+  }
+}
+
+TEST(Exposure, StringConversions) {
+  for (int c = 0; c < kConstructionCount; ++c) {
+    EXPECT_NE(to_string(static_cast<ConstructionClass>(c)), "unknown");
+  }
+  for (int o = 0; o < kOccupancyCount; ++o) {
+    EXPECT_NE(to_string(static_cast<Occupancy>(o)), "unknown");
+  }
+}
+
+}  // namespace

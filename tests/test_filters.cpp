@@ -1,0 +1,114 @@
+// Tests for YLT filters (paper §II-C: "filters (financial functions) are
+// applied on the aggregate loss values").
+#include <gtest/gtest.h>
+
+#include "metrics/filters.hpp"
+
+namespace {
+
+using namespace are::metrics;
+
+const std::vector<double> kLosses{0.0, 10.0, 50.0, 100.0, 250.0};
+
+TEST(Filters, Scale) {
+  const auto out = filter_scale(kLosses, 0.5);
+  EXPECT_DOUBLE_EQ(out[1], 5.0);
+  EXPECT_DOUBLE_EQ(out[4], 125.0);
+  EXPECT_THROW(filter_scale(kLosses, -1.0), std::invalid_argument);
+}
+
+TEST(Filters, Cap) {
+  const auto out = filter_cap(kLosses, 60.0);
+  EXPECT_DOUBLE_EQ(out[2], 50.0);
+  EXPECT_DOUBLE_EQ(out[3], 60.0);
+  EXPECT_DOUBLE_EQ(out[4], 60.0);
+  EXPECT_THROW(filter_cap(kLosses, -1.0), std::invalid_argument);
+}
+
+TEST(Filters, Excess) {
+  const auto out = filter_excess(kLosses, 40.0);
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+  EXPECT_DOUBLE_EQ(out[1], 0.0);
+  EXPECT_DOUBLE_EQ(out[2], 10.0);
+  EXPECT_DOUBLE_EQ(out[4], 210.0);
+}
+
+TEST(Filters, Franchise) {
+  const auto out = filter_franchise(kLosses, 50.0);
+  EXPECT_DOUBLE_EQ(out[1], 0.0);
+  EXPECT_DOUBLE_EQ(out[2], 50.0);  // at threshold: full loss
+  EXPECT_DOUBLE_EQ(out[4], 250.0);
+}
+
+TEST(Filters, ProfitCommission) {
+  // target 100, rate 0.3: profitable years (loss < 100) give back
+  // 0.3 * shortfall.
+  const auto out = filter_profit_commission(kLosses, 100.0, 0.3);
+  EXPECT_DOUBLE_EQ(out[0], -30.0);  // 0 - 0.3*100
+  EXPECT_DOUBLE_EQ(out[2], 50.0 - 15.0);
+  EXPECT_DOUBLE_EQ(out[3], 100.0);  // at target: no commission
+  EXPECT_DOUBLE_EQ(out[4], 250.0);
+  EXPECT_THROW(filter_profit_commission(kLosses, 100.0, 1.5), std::invalid_argument);
+}
+
+TEST(FilterChain, ComposesInOrder) {
+  // scale 0.5 then cap 60: 250 -> 125 -> 60.
+  FilterChain chain;
+  chain.scale(0.5).cap(60.0);
+  const auto out = chain.apply(kLosses);
+  EXPECT_DOUBLE_EQ(out[4], 60.0);
+  EXPECT_DOUBLE_EQ(out[2], 25.0);
+  EXPECT_EQ(chain.size(), 2u);
+
+  // Order matters: cap 60 then scale 0.5: 250 -> 60 -> 30.
+  FilterChain reversed;
+  reversed.cap(60.0).scale(0.5);
+  EXPECT_DOUBLE_EQ(reversed.apply(kLosses)[4], 30.0);
+}
+
+TEST(FilterChain, EmptyChainIsIdentity) {
+  const FilterChain chain;
+  const auto out = chain.apply(kLosses);
+  for (std::size_t i = 0; i < kLosses.size(); ++i) {
+    EXPECT_DOUBLE_EQ(out[i], kLosses[i]);
+  }
+}
+
+TEST(FilterChain, ApplyInPlaceOnYlt) {
+  are::core::YearLossTable ylt({1, 2}, 3);
+  ylt.at(0, 0) = 100.0;
+  ylt.at(0, 2) = 300.0;
+  ylt.at(1, 1) = 500.0;
+
+  FilterChain chain;
+  chain.excess(50.0).scale(2.0);
+  chain.apply_in_place(ylt, 0);
+
+  EXPECT_DOUBLE_EQ(ylt.at(0, 0), 100.0);  // (100-50)*2
+  EXPECT_DOUBLE_EQ(ylt.at(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(ylt.at(0, 2), 500.0);
+  EXPECT_DOUBLE_EQ(ylt.at(1, 1), 500.0);  // other layer untouched
+}
+
+TEST(FilterChain, ValidatesOnConstruction) {
+  FilterChain chain;
+  EXPECT_THROW(chain.scale(-1.0), std::invalid_argument);
+  EXPECT_THROW(chain.cap(-1.0), std::invalid_argument);
+  EXPECT_THROW(chain.excess(-1.0), std::invalid_argument);
+  EXPECT_THROW(chain.franchise(-1.0), std::invalid_argument);
+  EXPECT_THROW(chain.profit_commission(100.0, 2.0), std::invalid_argument);
+  EXPECT_EQ(chain.size(), 0u);  // failed pushes must not register
+}
+
+TEST(FilterChain, ChainEqualsSequentialFreeFunctions) {
+  FilterChain chain;
+  chain.scale(0.8).excess(20.0).cap(150.0).franchise(10.0);
+  const auto chained = chain.apply(kLosses);
+  const auto manual = filter_franchise(
+      filter_cap(filter_excess(filter_scale(kLosses, 0.8), 20.0), 150.0), 10.0);
+  for (std::size_t i = 0; i < kLosses.size(); ++i) {
+    EXPECT_DOUBLE_EQ(chained[i], manual[i]) << i;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,184 @@
+// Tests for the thread pool and parallel_for: completeness, disjointness
+// and full coverage of ranges under every partitioning strategy.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "parallel/parallel_for.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace {
+
+using namespace are::parallel;
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleWithNoTasksReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, MultipleWaitCycles) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 20; ++i) {
+      pool.submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(counter.load(), (round + 1) * 20);
+  }
+}
+
+TEST(ThreadPool, ZeroThreadsSelectsHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, DestructorJoinsCleanly) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 10; ++i) pool.submit([&counter] { counter.fetch_add(1); });
+    pool.wait_idle();
+  }  // destructor must join without deadlock
+  EXPECT_EQ(counter.load(), 10);
+}
+
+class ParallelForPartition : public ::testing::TestWithParam<Partition> {};
+
+TEST_P(ParallelForPartition, CoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::uint64_t kBegin = 13, kEnd = 10'007;
+  std::vector<std::atomic<int>> visits(kEnd);
+  for (auto& v : visits) v.store(0);
+
+  ForOptions options;
+  options.partition = GetParam();
+  options.chunk = 64;
+  parallel_for(
+      pool, kBegin, kEnd,
+      [&](std::uint64_t lo, std::uint64_t hi) {
+        for (std::uint64_t i = lo; i < hi; ++i) visits[i].fetch_add(1);
+      },
+      options);
+
+  for (std::uint64_t i = 0; i < kBegin; ++i) EXPECT_EQ(visits[i].load(), 0) << i;
+  for (std::uint64_t i = kBegin; i < kEnd; ++i) ASSERT_EQ(visits[i].load(), 1) << i;
+}
+
+TEST_P(ParallelForPartition, SumReductionMatchesSerial) {
+  ThreadPool pool(8);
+  constexpr std::uint64_t kN = 100'000;
+  std::atomic<std::uint64_t> total{0};
+  ForOptions options;
+  options.partition = GetParam();
+  parallel_for(
+      pool, 0, kN,
+      [&](std::uint64_t lo, std::uint64_t hi) {
+        std::uint64_t local = 0;
+        for (std::uint64_t i = lo; i < hi; ++i) local += i;
+        total.fetch_add(local);
+      },
+      options);
+  EXPECT_EQ(total.load(), kN * (kN - 1) / 2);
+}
+
+TEST_P(ParallelForPartition, EmptyRangeIsNoop) {
+  ThreadPool pool(4);
+  bool called = false;
+  ForOptions options;
+  options.partition = GetParam();
+  parallel_for(pool, 5, 5, [&](std::uint64_t, std::uint64_t) { called = true; }, options);
+  parallel_for(pool, 7, 3, [&](std::uint64_t, std::uint64_t) { called = true; }, options);
+  EXPECT_FALSE(called);
+}
+
+TEST_P(ParallelForPartition, SingleElementRange) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  ForOptions options;
+  options.partition = GetParam();
+  parallel_for(
+      pool, 9, 10,
+      [&](std::uint64_t lo, std::uint64_t hi) {
+        EXPECT_EQ(lo, 9u);
+        EXPECT_EQ(hi, 10u);
+        count.fetch_add(1);
+      },
+      options);
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST_P(ParallelForPartition, MoreWorkersThanItems) {
+  ThreadPool pool(16);
+  constexpr std::uint64_t kN = 5;
+  std::vector<std::atomic<int>> visits(kN);
+  for (auto& v : visits) v.store(0);
+  ForOptions options;
+  options.partition = GetParam();
+  options.chunk = 1;
+  parallel_for(
+      pool, 0, kN,
+      [&](std::uint64_t lo, std::uint64_t hi) {
+        for (std::uint64_t i = lo; i < hi; ++i) visits[i].fetch_add(1);
+      },
+      options);
+  for (auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPartitions, ParallelForPartition,
+                         ::testing::Values(Partition::kStatic, Partition::kDynamic,
+                                           Partition::kGuided),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case Partition::kStatic: return "static";
+                             case Partition::kDynamic: return "dynamic";
+                             case Partition::kGuided: return "guided";
+                           }
+                           return "unknown";
+                         });
+
+TEST(ParallelFor, SingleThreadPoolRunsInline) {
+  ThreadPool pool(1);
+  std::vector<int> visits(100, 0);  // no atomics needed: inline execution
+  parallel_for(pool, 0, 100, [&](std::uint64_t lo, std::uint64_t hi) {
+    for (std::uint64_t i = lo; i < hi; ++i) ++visits[i];
+  });
+  for (int v : visits) EXPECT_EQ(v, 1);
+}
+
+TEST(ParallelFor, StaticPartitionsAreContiguousBlocks) {
+  ThreadPool pool(4);
+  std::mutex mutex;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> ranges;
+  parallel_for(pool, 0, 1000, [&](std::uint64_t lo, std::uint64_t hi) {
+    std::lock_guard lock(mutex);
+    ranges.emplace_back(lo, hi);
+  });
+  // At most one range per worker, disjoint, covering [0, 1000).
+  EXPECT_LE(ranges.size(), 4u);
+  std::sort(ranges.begin(), ranges.end());
+  std::uint64_t cursor = 0;
+  for (const auto& [lo, hi] : ranges) {
+    EXPECT_EQ(lo, cursor);
+    cursor = hi;
+  }
+  EXPECT_EQ(cursor, 1000u);
+}
+
+}  // namespace

@@ -1,0 +1,94 @@
+// Tests for the CPU roofline model: the paper's Fig 3 scaling shape
+// (1.5x / 2.2x / 2.6x at 2 / 4 / 8 threads on the i7-2600) and the mild
+// oversubscription gain of Fig 3b.
+#include <gtest/gtest.h>
+
+#include "perfmodel/cpu_model.hpp"
+
+namespace {
+
+using namespace are::perfmodel;
+
+const MachineSpec kMachine = MachineSpec::core_i7_2600();
+
+CpuPrediction paper_prediction(int threads) {
+  return predict_cpu_time(1'000'000, 1000.0, 15.0, 1, kMachine, threads);
+}
+
+TEST(CpuModel, SingleCoreAbsoluteTimeNearPaper) {
+  // Implied by the paper: ~125 s at 8 threads with 2.6x speedup -> roughly
+  // 320-340 s on one core for the 1M-trial workload.
+  const double seconds = paper_prediction(1).seconds;
+  EXPECT_GT(seconds, 250.0);
+  EXPECT_LT(seconds, 420.0);
+}
+
+TEST(CpuModel, Fig3aSpeedupShape) {
+  const double s2 = paper_prediction(2).speedup_vs_one_core;
+  const double s4 = paper_prediction(4).speedup_vs_one_core;
+  const double s8 = paper_prediction(8).speedup_vs_one_core;
+
+  // Paper Fig 3a: 1.5x at 2 cores, 2.2x at 4, 2.6x at 8 — memory-bandwidth
+  // saturation, not Amdahl.
+  EXPECT_NEAR(s2, 1.5, 0.25);
+  EXPECT_NEAR(s4, 2.2, 0.30);
+  EXPECT_NEAR(s8, 2.6, 0.35);
+  // And the ordering/saturation structure:
+  EXPECT_GT(s4, s2);
+  EXPECT_GT(s8, s4);
+  EXPECT_LT(s8 - s4, s4 - s2);  // diminishing returns
+}
+
+TEST(CpuModel, Fig3bOversubscriptionGainIsSmall) {
+  // Paper Fig 3b: 2048 total threads (256/core) drops runtime from 135 s
+  // to 125 s — a ~7% gain, with diminishing returns.
+  const double t8 = paper_prediction(8).seconds;
+  const double t256 = paper_prediction(8 * 32).seconds;
+  const double t2048 = paper_prediction(8 * 256).seconds;
+  EXPECT_LT(t2048, t8);
+  EXPECT_GT(t2048, t8 * 0.88);  // no more than ~12% gain
+  EXPECT_LT(t8 - t2048, t8 * 0.12);
+  EXPECT_LT(t2048, t256 + 1e-9);  // monotone improvement
+}
+
+TEST(CpuModel, MemoryDominatesCompute) {
+  // The paper's Fig 6b: ~78% of sequential time is ELT lookups. In the
+  // model, random-access memory time must dominate arithmetic.
+  const CpuPrediction prediction = paper_prediction(1);
+  EXPECT_GT(prediction.memory_seconds, 3.0 * prediction.compute_seconds);
+}
+
+TEST(CpuModel, BandwidthRoofCapsScaling) {
+  // With enormous thread counts the speedup must approach a finite roof.
+  const double s_big = paper_prediction(4096).speedup_vs_one_core;
+  EXPECT_LT(s_big, 5.0);
+}
+
+TEST(CpuModel, LinearInWorkload) {
+  const double base = paper_prediction(1).seconds;
+  const double twice_trials =
+      predict_cpu_time(2'000'000, 1000.0, 15.0, 1, kMachine, 1).seconds;
+  const double twice_layers =
+      predict_cpu_time(1'000'000, 1000.0, 15.0, 2, kMachine, 1).seconds;
+  EXPECT_NEAR(twice_trials, 2.0 * base, 0.05 * base);
+  EXPECT_NEAR(twice_layers, 2.0 * base, 0.05 * base);
+}
+
+TEST(CpuModel, CountsOverloadMatchesShapeOverload) {
+  are::core::AccessCounts counts;
+  counts.events_fetched = 1'000'000;
+  counts.elt_lookups = 15'000'000;
+  counts.financial_applications = 15'000'000;
+  counts.layer_term_applications = 2'000'000;
+  const double from_counts = predict_cpu_time(counts, kMachine, 4).seconds;
+  const double from_shape = predict_cpu_time(1'000, 1000.0, 15.0, 1, kMachine, 4).seconds;
+  EXPECT_NEAR(from_counts, from_shape, 1e-9);
+}
+
+TEST(CpuModel, RejectsZeroThreads) {
+  are::core::AccessCounts counts;
+  counts.elt_lookups = 1;
+  EXPECT_THROW(predict_cpu_time(counts, kMachine, 0), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,116 @@
+// Tests for the pricing module: quote composition, loadings and
+// rate-on-line arithmetic.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "pricing/pricing.hpp"
+
+namespace {
+
+using namespace are;
+using financial::LayerTerms;
+using pricing::price_layer;
+using pricing::PricingAssumptions;
+using pricing::Quote;
+
+std::vector<double> synthetic_losses() {
+  std::vector<double> losses(1000);
+  for (std::size_t i = 0; i < losses.size(); ++i) {
+    losses[i] = static_cast<double>(i % 100) * 1000.0;  // mean 49500
+  }
+  return losses;
+}
+
+TEST(Pricing, PurePremiumIsMeanLoss) {
+  const auto losses = synthetic_losses();
+  PricingAssumptions assumptions;
+  assumptions.stddev_loading = 0.0;
+  assumptions.tvar_loading = 0.0;
+  assumptions.expense_ratio = 0.0;
+  const Quote quote = price_layer(losses, LayerTerms{}, assumptions);
+  EXPECT_DOUBLE_EQ(quote.technical_premium, quote.expected_loss);
+  EXPECT_NEAR(quote.expected_loss, 49500.0, 1.0);
+}
+
+TEST(Pricing, LoadingsIncreasePremium) {
+  const auto losses = synthetic_losses();
+  PricingAssumptions flat;
+  flat.stddev_loading = 0.0;
+  flat.tvar_loading = 0.0;
+  flat.expense_ratio = 0.0;
+  PricingAssumptions loaded;  // defaults carry loadings
+  const Quote base = price_layer(losses, LayerTerms{}, flat);
+  const Quote risk = price_layer(losses, LayerTerms{}, loaded);
+  EXPECT_GT(risk.technical_premium, base.technical_premium);
+}
+
+TEST(Pricing, ExpenseRatioGrossesUp) {
+  const auto losses = synthetic_losses();
+  PricingAssumptions assumptions;
+  assumptions.stddev_loading = 0.0;
+  assumptions.tvar_loading = 0.0;
+  assumptions.expense_ratio = 0.2;
+  const Quote quote = price_layer(losses, LayerTerms{}, assumptions);
+  EXPECT_NEAR(quote.technical_premium, quote.expected_loss / 0.8, 1e-6);
+}
+
+TEST(Pricing, RateOnLineUsesOccurrenceLimit) {
+  const auto losses = synthetic_losses();
+  const LayerTerms terms = LayerTerms::cat_xl(10'000.0, 200'000.0);
+  const Quote quote = price_layer(losses, terms);
+  EXPECT_NEAR(quote.rate_on_line, quote.technical_premium / 200'000.0, 1e-12);
+}
+
+TEST(Pricing, UnlimitedLayerHasNoRateOnLine) {
+  const Quote quote = price_layer(synthetic_losses(), LayerTerms{});
+  EXPECT_DOUBLE_EQ(quote.rate_on_line, 0.0);
+}
+
+TEST(Pricing, TvarFeedsPremium) {
+  const auto losses = synthetic_losses();
+  PricingAssumptions assumptions;
+  assumptions.stddev_loading = 0.0;
+  assumptions.tvar_loading = 1.0;  // premium = EL + TVaR
+  assumptions.expense_ratio = 0.0;
+  const Quote quote = price_layer(losses, LayerTerms{}, assumptions);
+  EXPECT_NEAR(quote.technical_premium, quote.expected_loss + quote.tvar, 1e-9);
+  EXPECT_GT(quote.tvar, quote.expected_loss);  // tail above the mean
+}
+
+TEST(Pricing, ZeroLossBookPricesAtZero) {
+  const std::vector<double> losses(100, 0.0);
+  const Quote quote = price_layer(losses, LayerTerms{});
+  EXPECT_DOUBLE_EQ(quote.expected_loss, 0.0);
+  EXPECT_DOUBLE_EQ(quote.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(quote.technical_premium, 0.0);
+}
+
+TEST(Pricing, Errors) {
+  EXPECT_THROW(price_layer(std::vector<double>{}, LayerTerms{}), std::invalid_argument);
+  PricingAssumptions assumptions;
+  assumptions.expense_ratio = 1.0;
+  EXPECT_THROW(price_layer(synthetic_losses(), LayerTerms{}, assumptions), std::invalid_argument);
+  assumptions.expense_ratio = -0.1;
+  EXPECT_THROW(price_layer(synthetic_losses(), LayerTerms{}, assumptions), std::invalid_argument);
+}
+
+TEST(Pricing, DescribeMentionsKeyFigures) {
+  const Quote quote = price_layer(synthetic_losses(), LayerTerms::cat_xl(0.0, 1e6));
+  const std::string text = pricing::describe(quote);
+  EXPECT_NE(text.find("EL="), std::string::npos);
+  EXPECT_NE(text.find("premium="), std::string::npos);
+  EXPECT_NE(text.find("ROL="), std::string::npos);
+}
+
+TEST(Pricing, MonotoneInLossScale) {
+  // Scaling all losses up scales the premium up.
+  auto losses = synthetic_losses();
+  const Quote base = price_layer(losses, LayerTerms{});
+  for (auto& loss : losses) loss *= 2.0;
+  const Quote doubled = price_layer(losses, LayerTerms{});
+  EXPECT_NEAR(doubled.technical_premium, 2.0 * base.technical_premium, 1e-6);
+}
+
+}  // namespace

@@ -1,0 +1,86 @@
+// Tests for the text report renderer and formatting helpers.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "io/report.hpp"
+
+namespace {
+
+using are::io::format_money;
+using are::io::format_percent;
+using are::io::TextTable;
+
+TEST(TextTable, RendersHeaderRuleAndRows) {
+  TextTable table({"layer", "EL", "premium"});
+  table.add_row({"cat_xl", "1000", "1500"});
+  table.add_row({"stop_loss", "200", "380"});
+  const std::string out = table.render();
+
+  EXPECT_NE(out.find("layer"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  EXPECT_NE(out.find("cat_xl"), std::string::npos);
+  // Three content lines + rule.
+  int lines = 0;
+  for (const char c : out) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 4);
+}
+
+TEST(TextTable, NumericCellsRightAligned) {
+  TextTable table({"name", "value"});
+  table.add_row({"a", "5"});
+  table.add_row({"b", "12345"});
+  const std::string out = table.render();
+  // The short number must be padded on the left: "    5" appears.
+  EXPECT_NE(out.find("    5"), std::string::npos);
+}
+
+TEST(TextTable, TextCellsLeftAligned) {
+  TextTable table({"name", "value"});
+  table.add_row({"x", "1"});
+  table.add_row({"longer_name", "2"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("x  "), std::string::npos);
+}
+
+TEST(TextTable, AddRowValuesFormatsDoubles) {
+  TextTable table({"label", "a", "b"});
+  table.add_row_values("row", {1.5, 2.25}, 1);
+  const std::string out = table.render();
+  EXPECT_NE(out.find("1.5"), std::string::npos);
+  EXPECT_NE(out.find("2.2"), std::string::npos);  // precision 1 rounds 2.25
+  EXPECT_EQ(table.num_rows(), 1u);
+}
+
+TEST(TextTable, StreamsViaOperator) {
+  TextTable table({"h"});
+  table.add_row({"v"});
+  std::ostringstream stream;
+  stream << table;
+  EXPECT_FALSE(stream.str().empty());
+}
+
+TEST(TextTable, Validation) {
+  EXPECT_THROW(TextTable({}), std::invalid_argument);
+  TextTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only_one"}), std::invalid_argument);
+}
+
+TEST(FormatMoney, GroupsThousands) {
+  EXPECT_EQ(format_money(0.0), "0");
+  EXPECT_EQ(format_money(999.0), "999");
+  EXPECT_EQ(format_money(1000.0), "1,000");
+  EXPECT_EQ(format_money(12345678.0), "12,345,678");
+  EXPECT_EQ(format_money(-2500.0), "-2,500");
+  EXPECT_EQ(format_money(1234567.4), "1,234,567");  // rounds
+}
+
+TEST(FormatPercent, RendersWithPrecision) {
+  EXPECT_EQ(format_percent(0.125), "12.5%");
+  EXPECT_EQ(format_percent(0.12345, 2), "12.35%");
+  EXPECT_EQ(format_percent(1.0, 0), "100%");
+}
+
+}  // namespace

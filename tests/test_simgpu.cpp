@@ -1,0 +1,184 @@
+// Tests for the many-core device cost model: occupancy arithmetic and the
+// qualitative shapes the paper reports (Figs 4, 5a, 5b and the 6a ratios).
+#include <gtest/gtest.h>
+
+#include "simgpu/device_spec.hpp"
+#include "simgpu/kernel_model.hpp"
+
+namespace {
+
+using namespace are::simgpu;
+
+const DeviceSpec kDevice = DeviceSpec::tesla_c2075();
+
+WorkloadShape paper_workload() {
+  WorkloadShape shape;
+  shape.num_trials = 1'000'000;
+  shape.events_per_trial = 1000.0;
+  shape.elts_per_layer = 15.0;
+  shape.num_layers = 1;
+  return shape;
+}
+
+// --- Occupancy ----------------------------------------------------------------
+
+TEST(Occupancy, BlockCapBindsForSmallBlocks) {
+  // 128 threads: 8-block cap -> 1024 threads, 32 of 48 warps.
+  const Occupancy occupancy = compute_occupancy(kDevice, 128, 0);
+  EXPECT_EQ(occupancy.blocks_per_sm, 8);
+  EXPECT_EQ(occupancy.active_threads_per_sm, 1024);
+  EXPECT_EQ(occupancy.active_warps_per_sm, 32);
+  EXPECT_FALSE(occupancy.shared_overflow);
+}
+
+TEST(Occupancy, ThreadCapBindsForLargeBlocks) {
+  // 256 threads: min(8, 1536/256=6) = 6 blocks -> full 1536 threads.
+  const Occupancy occupancy = compute_occupancy(kDevice, 256, 0);
+  EXPECT_EQ(occupancy.blocks_per_sm, 6);
+  EXPECT_EQ(occupancy.active_threads_per_sm, 1536);
+  EXPECT_DOUBLE_EQ(occupancy.warp_occupancy, 1.0);
+}
+
+TEST(Occupancy, SharedMemoryCapBinds) {
+  // 20KB per block: only 2 blocks fit in 48KB.
+  const Occupancy occupancy = compute_occupancy(kDevice, 128, 20 * 1024);
+  EXPECT_EQ(occupancy.blocks_per_sm, 2);
+  EXPECT_FALSE(occupancy.shared_overflow);
+}
+
+TEST(Occupancy, OverflowWhenOneBlockExceedsCapacity) {
+  const Occupancy occupancy = compute_occupancy(kDevice, 128, 64 * 1024);
+  EXPECT_TRUE(occupancy.shared_overflow);
+  EXPECT_EQ(occupancy.blocks_per_sm, 1);
+}
+
+TEST(Occupancy, OddBlockSizeStillAtLeastOneBlock) {
+  const Occupancy occupancy = compute_occupancy(kDevice, 1536, 0);
+  EXPECT_GE(occupancy.blocks_per_sm, 1);
+}
+
+// --- Shared-memory accounting (the "192 threads at chunk 4" constraint) --------
+
+TEST(ChunkSharedBytes, MatchesPaperConstraint) {
+  // Paper §III-C-3: "With a chunk size of 4 the maximum number of threads
+  // that can be supported is 192."
+  EXPECT_EQ(max_threads_for_chunk(kDevice, 4), 192);
+}
+
+TEST(ChunkSharedBytes, ScalesInverselyWithChunk) {
+  EXPECT_GT(max_threads_for_chunk(kDevice, 1), max_threads_for_chunk(kDevice, 4));
+  EXPECT_GT(max_threads_for_chunk(kDevice, 4), max_threads_for_chunk(kDevice, 12));
+}
+
+// --- Basic kernel (Fig 4) -------------------------------------------------------
+
+TEST(BasicKernel, Fig4Shape) {
+  const WorkloadShape shape = paper_workload();
+  const double t128 = estimate_basic_kernel(kDevice, shape, 128).seconds;
+  const double t256 = estimate_basic_kernel(kDevice, shape, 256).seconds;
+  const double t384 = estimate_basic_kernel(kDevice, shape, 384).seconds;
+  const double t512 = estimate_basic_kernel(kDevice, shape, 512).seconds;
+  const double t640 = estimate_basic_kernel(kDevice, shape, 640).seconds;
+
+  // 128 threads under-occupies; 256 is the knee; beyond that returns
+  // diminish greatly (paper Fig 4).
+  EXPECT_GT(t128, t256 * 1.02);
+  EXPECT_NEAR(t384, t256, t256 * 0.05);
+  EXPECT_NEAR(t512, t256, t256 * 0.05);
+  EXPECT_LT(std::abs(t640 - t256) / t256, 0.15);
+}
+
+TEST(BasicKernel, PaperScaleAbsoluteTime) {
+  // Paper: basic GPU implementation runs the 1M-trial workload in 38.47s.
+  // The model should land in the right neighbourhood (shape, not testbed).
+  const double seconds = estimate_basic_kernel(kDevice, paper_workload(), 256).seconds;
+  EXPECT_GT(seconds, 25.0);
+  EXPECT_LT(seconds, 55.0);
+}
+
+TEST(BasicKernel, LinearInTrialsAndElts) {
+  WorkloadShape shape = paper_workload();
+  const double base = estimate_basic_kernel(kDevice, shape, 256).seconds;
+  shape.num_trials *= 2;
+  EXPECT_NEAR(estimate_basic_kernel(kDevice, shape, 256).seconds, 2.0 * base, 0.15 * base);
+  shape = paper_workload();
+  shape.num_layers = 3;
+  EXPECT_NEAR(estimate_basic_kernel(kDevice, shape, 256).seconds, 3.0 * base, 0.15 * base);
+}
+
+TEST(BasicKernel, RejectsBadArguments) {
+  EXPECT_THROW(estimate_basic_kernel(kDevice, paper_workload(), 0), std::invalid_argument);
+  EXPECT_THROW(estimate_basic_kernel(kDevice, paper_workload(), 4096), std::invalid_argument);
+  WorkloadShape degenerate;
+  degenerate.num_trials = 0;
+  EXPECT_THROW(estimate_basic_kernel(kDevice, degenerate, 256), std::invalid_argument);
+}
+
+// --- Chunked kernel (Figs 5a, 5b) -----------------------------------------------
+
+TEST(ChunkedKernel, FasterThanBasicAtTunedSettings) {
+  // Paper Fig 6a: optimised is 1.7x faster than basic.
+  const WorkloadShape shape = paper_workload();
+  const double basic = estimate_basic_kernel(kDevice, shape, 256).seconds;
+  const double chunked = estimate_chunked_kernel(kDevice, shape, 192, 4).seconds;
+  const double improvement = basic / chunked;
+  EXPECT_GT(improvement, 1.4);
+  EXPECT_LT(improvement, 2.2);
+}
+
+TEST(ChunkedKernel, PaperScaleAbsoluteTime) {
+  // Paper: optimised GPU runs the 1M-trial workload in 22.72 s.
+  const double seconds = estimate_chunked_kernel(kDevice, paper_workload(), 192, 4).seconds;
+  EXPECT_GT(seconds, 15.0);
+  EXPECT_LT(seconds, 32.0);
+}
+
+TEST(ChunkedKernel, Fig5aShape) {
+  // At 64 threads/block (so chunk 12 exactly fills shared memory): flat
+  // plateau from 4 to 12, rapid deterioration beyond.
+  const WorkloadShape shape = paper_workload();
+  const double c4 = estimate_chunked_kernel(kDevice, shape, 64, 4).seconds;
+  const double c8 = estimate_chunked_kernel(kDevice, shape, 64, 8).seconds;
+  const double c12 = estimate_chunked_kernel(kDevice, shape, 64, 12).seconds;
+  const double c16 = estimate_chunked_kernel(kDevice, shape, 64, 16).seconds;
+  const double c24 = estimate_chunked_kernel(kDevice, shape, 64, 24).seconds;
+
+  EXPECT_NEAR(c8, c4, 0.10 * c4);   // flat plateau
+  EXPECT_NEAR(c12, c4, 0.10 * c4);  // still flat at 12
+  EXPECT_GT(c16, c12 * 1.2);        // past capacity: cliff
+  EXPECT_GT(c24, c16);              // and it keeps deteriorating
+}
+
+TEST(ChunkedKernel, SharedOverflowFlagSetPastCapacity) {
+  const auto fits = estimate_chunked_kernel(kDevice, paper_workload(), 64, 12);
+  const auto spills = estimate_chunked_kernel(kDevice, paper_workload(), 64, 16);
+  EXPECT_FALSE(fits.occupancy.shared_overflow);
+  EXPECT_TRUE(spills.occupancy.shared_overflow);
+}
+
+TEST(ChunkedKernel, Fig5bShape) {
+  // Threads 32..192 at chunk 4 (multiples of the 32-wide warp): small
+  // gradual improvement, nothing dramatic.
+  const WorkloadShape shape = paper_workload();
+  const double t32 = estimate_chunked_kernel(kDevice, shape, 32, 4).seconds;
+  const double t96 = estimate_chunked_kernel(kDevice, shape, 96, 4).seconds;
+  const double t192 = estimate_chunked_kernel(kDevice, shape, 192, 4).seconds;
+  EXPECT_GE(t32, t96 * 0.999);
+  EXPECT_GE(t96, t192 * 0.999);
+  EXPECT_LT(t32 / t192, 1.35);  // "small gradual improvement"
+}
+
+TEST(ChunkedKernel, RejectsBadChunk) {
+  EXPECT_THROW(estimate_chunked_kernel(kDevice, paper_workload(), 192, 0),
+               std::invalid_argument);
+}
+
+TEST(KernelEstimate, DiagnosticsAreConsistent) {
+  const auto estimate = estimate_chunked_kernel(kDevice, paper_workload(), 192, 4);
+  EXPECT_GT(estimate.bandwidth_bound_seconds, 0.0);
+  EXPECT_GT(estimate.latency_bound_seconds, 0.0);
+  EXPECT_GE(estimate.seconds, std::max(estimate.bandwidth_bound_seconds,
+                                       estimate.latency_bound_seconds));
+}
+
+}  // namespace

@@ -1,0 +1,315 @@
+// are_cli — command-line front end for the aggregate risk analysis engine.
+//
+// Subcommands cover the whole pipeline so analyses can be scripted and the
+// bulky inputs cached on disk (binary formats with checksums):
+//
+//   are_cli gen-elt   --out book.elt   [--catalog-size N --entries N --seed S]
+//   are_cli gen-elt-catmodel --out book.elt [--events N --sites N --seed S]
+//   are_cli gen-yet   --out years.yet  [--trials N --events N --model fixed|poisson|negbin]
+//   are_cli run       --yet years.yet --elt a.elt [--elt b.elt ...] [terms...] --out ylt.csv
+//   are_cli report    --yet years.yet --elt a.elt ... [terms...]     (EP table to stdout)
+//   are_cli price     --yet years.yet --elt a.elt ... [terms...]     (quote to stdout)
+//   are_cli info      --yet years.yet | --elt book.elt               (describe a file)
+//
+// Layer terms: --occ-retention --occ-limit --agg-retention --agg-limit
+// Engine:      --engine seq|parallel|chunked|openmp  --threads N  --chunk N
+//              --lookup direct|sorted|robinhood|cuckoo
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "args.hpp"
+#include "catmodel/cat_model.hpp"
+#include "core/engine.hpp"
+#include "core/openmp_engine.hpp"
+#include "elt/synthetic.hpp"
+#include "io/binary.hpp"
+#include "io/csv.hpp"
+#include "metrics/convergence.hpp"
+#include "metrics/ep_curve.hpp"
+#include "pricing/pricing.hpp"
+#include "yet/generator.hpp"
+
+namespace {
+
+using namespace are;
+using tools::Args;
+
+int usage() {
+  std::cerr <<
+      R"(usage: are_cli <command> [options]
+
+commands:
+  gen-elt            synthesize an Event Loss Table      (--out FILE)
+  gen-elt-catmodel   run the catastrophe model to an ELT (--out FILE)
+  gen-yet            pre-simulate a Year Event Table     (--out FILE)
+  run                aggregate analysis -> YLT CSV       (--yet F --elt F... --out FILE)
+  report             aggregate analysis -> EP table      (--yet F --elt F...)
+  price              aggregate analysis -> layer quote   (--yet F --elt F...)
+  info               describe a .yet/.elt binary file    (--yet F | --elt F)
+
+common options:
+  layer terms   --occ-retention X --occ-limit X --agg-retention X --agg-limit X
+  engine        --engine seq|parallel|chunked|openmp --threads N --chunk N
+  lookup        --lookup direct|sorted|robinhood|cuckoo
+  run 'are_cli <command> --help' is not needed: every option has a default.
+)";
+  return 2;
+}
+
+financial::LayerTerms parse_terms(const Args& args) {
+  financial::LayerTerms terms;
+  terms.occurrence_retention = args.get_double("occ-retention", 0.0);
+  terms.occurrence_limit = args.get_double("occ-limit", financial::kUnlimited);
+  terms.aggregate_retention = args.get_double("agg-retention", 0.0);
+  terms.aggregate_limit = args.get_double("agg-limit", financial::kUnlimited);
+  terms.validate();
+  return terms;
+}
+
+elt::LookupKind parse_lookup(const Args& args) {
+  const std::string name = args.get("lookup", "direct");
+  if (name == "direct") return elt::LookupKind::kDirectAccess;
+  if (name == "sorted") return elt::LookupKind::kSortedVector;
+  if (name == "robinhood") return elt::LookupKind::kRobinHood;
+  if (name == "cuckoo") return elt::LookupKind::kCuckoo;
+  throw std::runtime_error("unknown --lookup '" + name + "'");
+}
+
+yet::YearEventTable load_yet(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open YET file: " + path);
+  return io::read_yet_binary(in);
+}
+
+elt::EventLossTable load_elt(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open ELT file: " + path);
+  return io::read_elt_binary(in);
+}
+
+/// Gathers every --elt argument (repeatable) plus positional .elt paths.
+std::vector<std::string> elt_paths(const Args& args) {
+  std::vector<std::string> paths;
+  if (args.has("elt")) paths.push_back(args.require("elt"));
+  for (const std::string& positional : args.positional()) {
+    if (positional.size() > 4 && positional.substr(positional.size() - 4) == ".elt") {
+      paths.push_back(positional);
+    }
+  }
+  if (paths.empty()) throw std::runtime_error("at least one --elt FILE is required");
+  return paths;
+}
+
+core::Portfolio build_portfolio(const Args& args, std::size_t catalog_size) {
+  core::Layer layer;
+  layer.id = 1;
+  layer.terms = parse_terms(args);
+  const elt::LookupKind kind = parse_lookup(args);
+  const double share = args.get_double("share", 1.0);
+  for (const std::string& path : elt_paths(args)) {
+    const elt::EventLossTable table = load_elt(path);
+    if (!table.empty() && table.max_event() >= catalog_size) {
+      throw std::runtime_error("ELT " + path + " has events beyond the YET catalog universe");
+    }
+    core::LayerElt layer_elt;
+    layer_elt.lookup = elt::make_lookup(kind, table, catalog_size);
+    layer_elt.terms.share = share;
+    layer_elt.terms.validate();
+    layer.elts.push_back(std::move(layer_elt));
+  }
+  core::Portfolio portfolio;
+  portfolio.layers.push_back(std::move(layer));
+  return portfolio;
+}
+
+core::YearLossTable run_engine(const Args& args, const core::Portfolio& portfolio,
+                               const yet::YearEventTable& yet_table) {
+  const std::string engine = args.get("engine", "parallel");
+  const auto threads = args.get_u64("threads", 0);
+  if (engine == "seq") return core::run_sequential(portfolio, yet_table);
+  if (engine == "parallel") {
+    core::ParallelOptions options;
+    options.num_threads = static_cast<std::size_t>(threads);
+    return core::run_parallel(portfolio, yet_table, options);
+  }
+  if (engine == "chunked") {
+    core::ChunkedOptions options;
+    options.chunk_size = static_cast<std::size_t>(args.get_u64("chunk", 4));
+    options.num_threads = static_cast<std::size_t>(threads);
+    return core::run_chunked(portfolio, yet_table, options);
+  }
+  if (engine == "openmp") {
+    return core::run_openmp(portfolio, yet_table, static_cast<int>(threads));
+  }
+  throw std::runtime_error("unknown --engine '" + engine + "'");
+}
+
+std::size_t universe_of(const yet::YearEventTable& yet_table, const Args& args) {
+  // The catalog universe is whatever the user says, defaulting to one past
+  // the largest event id present.
+  if (args.has("catalog-size")) return static_cast<std::size_t>(args.get_u64("catalog-size", 0));
+  yet::EventId max_event = 0;
+  for (const auto event : yet_table.events()) max_event = std::max(max_event, event);
+  return static_cast<std::size_t>(max_event) + 1;
+}
+
+// --- commands ----------------------------------------------------------------
+
+int cmd_gen_elt(const Args& args) {
+  elt::SyntheticEltConfig config;
+  config.catalog_size = static_cast<std::size_t>(args.get_u64("catalog-size", 2'000'000));
+  config.entries = static_cast<std::size_t>(args.get_u64("entries", 20'000));
+  config.loss_alpha = args.get_double("loss-alpha", 1.5);
+  config.loss_scale = args.get_double("loss-scale", 250e3);
+  config.seed = args.get_u64("seed", 1);
+  config.elt_id = args.get_u64("elt-id", 0);
+
+  const elt::EventLossTable table = elt::make_synthetic_elt(config);
+  const std::string out_path = args.require("out");
+  std::ofstream out(out_path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot write " + out_path);
+  io::write_elt_binary(out, table);
+  std::cout << "wrote " << out_path << ": " << table.size() << " event losses, total "
+            << table.total_loss() << "\n";
+  return 0;
+}
+
+int cmd_gen_elt_catmodel(const Args& args) {
+  catalog::CatalogConfig catalog_config;
+  catalog_config.num_events = static_cast<std::size_t>(args.get_u64("events", 50'000));
+  catalog_config.expected_events_per_year = args.get_double("rate", 1000.0);
+  catalog_config.seed = args.get_u64("seed", 20120901);
+  const auto event_catalog = catalog::build_catalog(catalog_config);
+
+  exposure::ExposureConfig exposure_config;
+  exposure_config.num_sites = static_cast<std::size_t>(args.get_u64("sites", 5'000));
+  exposure_config.seed = args.get_u64("exposure-seed", 7);
+  const auto exposure_set = exposure::build_exposure(exposure_config);
+
+  catmodel::CatModelConfig model_config;
+  model_config.secondary_uncertainty = args.has("secondary-uncertainty");
+  const auto table = catmodel::run_cat_model(event_catalog, exposure_set, model_config);
+
+  const std::string out_path = args.require("out");
+  std::ofstream out(out_path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot write " + out_path);
+  io::write_elt_binary(out, table);
+  std::cout << "cat model: " << event_catalog.size() << " events x " << exposure_set.size()
+            << " sites -> " << table.size() << " event losses; wrote " << out_path << "\n";
+  return 0;
+}
+
+int cmd_gen_yet(const Args& args) {
+  yet::YetConfig config;
+  config.num_trials = args.get_u64("trials", 100'000);
+  config.events_per_trial = args.get_double("events", 1000.0);
+  config.seed = args.get_u64("seed", 2012);
+  const std::string model = args.get("model", "fixed");
+  if (model == "fixed") {
+    config.count_model = yet::CountModel::kFixed;
+  } else if (model == "poisson") {
+    config.count_model = yet::CountModel::kPoisson;
+  } else if (model == "negbin") {
+    config.count_model = yet::CountModel::kNegativeBinomial;
+    config.dispersion = args.get_double("dispersion", 50.0);
+  } else {
+    throw std::runtime_error("unknown --model '" + model + "'");
+  }
+
+  const auto catalog_size = static_cast<std::size_t>(args.get_u64("catalog-size", 2'000'000));
+  const auto table = yet::generate_uniform_yet(config, catalog_size);
+
+  const std::string out_path = args.require("out");
+  std::ofstream out(out_path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot write " + out_path);
+  io::write_yet_binary(out, table);
+  std::cout << "wrote " << out_path << ": " << table.num_trials() << " trials, "
+            << table.total_events() << " occurrences ("
+            << static_cast<double>(table.memory_bytes()) / 1e6 << " MB)\n";
+  return 0;
+}
+
+int cmd_run(const Args& args) {
+  const auto yet_table = load_yet(args.require("yet"));
+  const auto portfolio = build_portfolio(args, universe_of(yet_table, args));
+  const auto ylt = run_engine(args, portfolio, yet_table);
+
+  const std::string out_path = args.require("out");
+  std::ofstream out(out_path);
+  if (!out) throw std::runtime_error("cannot write " + out_path);
+  io::write_ylt_csv(out, ylt);
+  std::cout << "wrote " << out_path << ": " << ylt.num_trials() << " trial losses\n";
+  return 0;
+}
+
+int cmd_report(const Args& args) {
+  const auto yet_table = load_yet(args.require("yet"));
+  const auto portfolio = build_portfolio(args, universe_of(yet_table, args));
+  const auto ylt = run_engine(args, portfolio, yet_table);
+
+  const metrics::EpCurve curve(ylt.layer_losses(0));
+  std::cout << "trials              : " << ylt.num_trials() << "\n";
+  std::cout << "expected annual loss: " << curve.expected_loss() << "\n";
+  std::cout << "TVaR(99%)           : " << curve.tail_value_at_risk(0.99) << "\n";
+  const auto se = metrics::mean_standard_error(ylt.layer_losses(0));
+  std::cout << "EL standard error   : " << se << "\n\n";
+  io::write_ep_csv(std::cout, curve.table(metrics::standard_return_periods()));
+  return 0;
+}
+
+int cmd_price(const Args& args) {
+  const auto yet_table = load_yet(args.require("yet"));
+  const auto portfolio = build_portfolio(args, universe_of(yet_table, args));
+  const auto ylt = run_engine(args, portfolio, yet_table);
+
+  pricing::PricingAssumptions assumptions;
+  assumptions.stddev_loading = args.get_double("stddev-loading", assumptions.stddev_loading);
+  assumptions.tvar_loading = args.get_double("tvar-loading", assumptions.tvar_loading);
+  assumptions.expense_ratio = args.get_double("expense-ratio", assumptions.expense_ratio);
+  const auto quote =
+      pricing::price_layer(ylt.layer_losses(0), portfolio.layers[0].terms, assumptions);
+  std::cout << pricing::describe(quote) << "\n";
+  return 0;
+}
+
+int cmd_info(const Args& args) {
+  if (args.has("yet")) {
+    const auto table = load_yet(args.require("yet"));
+    std::cout << "YET: " << table.num_trials() << " trials, " << table.total_events()
+              << " occurrences, mean " << table.mean_events_per_trial() << " events/trial, "
+              << static_cast<double>(table.memory_bytes()) / 1e6 << " MB\n";
+    return 0;
+  }
+  if (args.has("elt")) {
+    const auto table = load_elt(args.require("elt"));
+    std::cout << "ELT: " << table.size() << " event losses, max event id " << table.max_event()
+              << ", total loss " << table.total_loss() << "\n";
+    return 0;
+  }
+  throw std::runtime_error("info needs --yet FILE or --elt FILE");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const Args args(argc, argv, 2);
+  try {
+    if (command == "gen-elt") return cmd_gen_elt(args);
+    if (command == "gen-elt-catmodel") return cmd_gen_elt_catmodel(args);
+    if (command == "gen-yet") return cmd_gen_yet(args);
+    if (command == "run") return cmd_run(args);
+    if (command == "report") return cmd_report(args);
+    if (command == "price") return cmd_price(args);
+    if (command == "info") return cmd_info(args);
+    std::cerr << "unknown command '" << command << "'\n";
+    return usage();
+  } catch (const std::exception& error) {
+    std::cerr << "are_cli " << command << ": " << error.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,87 @@
+#pragma once
+
+// Minimal dependency-free argument parser for the are_cli tool:
+// --key=value / --key value / --flag, with typed access and error
+// reporting.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace are::tools {
+
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string token = argv[i];
+      if (token.rfind("--", 0) != 0) {
+        positional_.push_back(std::move(token));
+        continue;
+      }
+      token = token.substr(2);
+      const auto equals = token.find('=');
+      if (equals != std::string::npos) {
+        values_[token.substr(0, equals)] = token.substr(equals + 1);
+      } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[token] = argv[++i];
+      } else {
+        values_[token] = "";  // bare flag
+      }
+    }
+  }
+
+  bool has(const std::string& key) const { return values_.count(key) > 0; }
+
+  std::string get(const std::string& key, const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  std::string require(const std::string& key) const {
+    const auto it = values_.find(key);
+    if (it == values_.end() || it->second.empty()) {
+      throw std::runtime_error("missing required option --" + key);
+    }
+    return it->second;
+  }
+
+  std::uint64_t get_u64(const std::string& key, std::uint64_t fallback) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    return parse_u64(key, it->second);
+  }
+
+  double get_double(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    try {
+      return std::stod(it->second);
+    } catch (const std::exception&) {
+      throw std::runtime_error("option --" + key + " expects a number, got '" + it->second +
+                               "'");
+    }
+  }
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  static std::uint64_t parse_u64(const std::string& key, const std::string& value) {
+    try {
+      const long long parsed = std::stoll(value);
+      if (parsed < 0) throw std::runtime_error("");
+      return static_cast<std::uint64_t>(parsed);
+    } catch (const std::exception&) {
+      throw std::runtime_error("option --" + key + " expects a non-negative integer, got '" +
+                               value + "'");
+    }
+  }
+
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace are::tools
