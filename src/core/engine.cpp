@@ -5,7 +5,7 @@
 #include <stdexcept>
 #include <vector>
 
-#include "elt/direct_access_table.hpp"
+#include "core/direct_elt_view.hpp"
 #include "financial/trial_accumulator.hpp"
 
 namespace are::core {
@@ -14,22 +14,8 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-/// Raw-pointer view of a direct access table, used on the fast path.
-struct DirectElt {
-  const double* data;
-  std::size_t universe;
-  financial::FinancialTerms terms;
-};
-
-std::vector<DirectElt> direct_view(const Layer& layer) {
-  std::vector<DirectElt> view;
-  view.reserve(layer.elts.size());
-  for (const LayerElt& layer_elt : layer.elts) {
-    const elt::DirectAccessTable* table = layer_elt.lookup->as_direct_access();
-    view.push_back({table->data(), table->universe(), layer_elt.terms});
-  }
-  return view;
-}
+using detail::DirectElt;
+using detail::direct_view;
 
 /// One trial against one layer, virtual-dispatch path. Every engine variant
 /// reduces to this arithmetic in this order, which is what makes their YLTs

@@ -65,10 +65,17 @@ struct PhaseBreakdown {
   double total_seconds() const noexcept {
     return fetch_seconds + lookup_seconds + financial_seconds + layer_seconds;
   }
-  double fetch_fraction() const noexcept { return fetch_seconds / total_seconds(); }
-  double lookup_fraction() const noexcept { return lookup_seconds / total_seconds(); }
-  double financial_fraction() const noexcept { return financial_seconds / total_seconds(); }
-  double layer_fraction() const noexcept { return layer_seconds / total_seconds(); }
+  /// Fractions are 0.0 (not NaN) when nothing has been timed yet.
+  double fetch_fraction() const noexcept { return fraction(fetch_seconds); }
+  double lookup_fraction() const noexcept { return fraction(lookup_seconds); }
+  double financial_fraction() const noexcept { return fraction(financial_seconds); }
+  double layer_fraction() const noexcept { return fraction(layer_seconds); }
+
+ private:
+  double fraction(double seconds) const noexcept {
+    const double total = total_seconds();
+    return total > 0.0 ? seconds / total : 0.0;
+  }
 };
 
 /// Memory-access counts per run — the inputs to the perfmodel and simgpu

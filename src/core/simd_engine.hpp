@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+#include "core/engine.hpp"
+
+namespace are::core {
+
+/// Runtime-selectable instruction-set extension for run_simd. kAuto picks
+/// the widest extension this build was compiled for (see simd/vec.hpp),
+/// narrowing to SSE2 for portfolios whose direct tables far outgrow the
+/// cache (wide hardware gathers stop paying once every lookup misses).
+/// Narrower extensions remain selectable so equivalence tests can assert
+/// that results are lane-width independent.
+enum class SimdExtension {
+  kAuto = 0,
+  kScalar,
+  kSse2,
+  kAvx2,
+  kAvx512,
+  kNeon,
+};
+
+std::string_view to_string(SimdExtension extension) noexcept;
+
+/// True when the extension's lane type was compiled into this build
+/// (kScalar and kAuto are always available).
+bool simd_extension_available(SimdExtension extension) noexcept;
+
+/// The widest compiled extension (what kAuto resolves to for
+/// cache-resident portfolios).
+SimdExtension best_simd_extension() noexcept;
+
+/// Lane width (doubles per vector register) of the given extension as
+/// compiled; the batch engine processes this many trials at once. For
+/// kAuto this is the widest compiled width — the width a particular run
+/// actually uses can be narrower (kAuto is portfolio-dependent); resolve
+/// with resolve_simd_extension() first when reporting a real run.
+std::size_t simd_lane_width(SimdExtension extension);
+
+struct SimdOptions {
+  /// Worker threads for the outer trial-block loop; 0 = hardware
+  /// concurrency, 1 = single-threaded lane-parallel execution. Values > 1
+  /// compose lane-level and thread-level parallelism (the bench's
+  /// "simd x threads" mode).
+  std::size_t num_threads = 1;
+  /// Which lane type to run; throws std::invalid_argument from run_simd if
+  /// the extension is not compiled into this build.
+  SimdExtension extension = SimdExtension::kAuto;
+};
+
+/// The extension run_simd will actually execute for this portfolio and
+/// options: resolves kAuto (including the footprint narrowing) and throws
+/// std::invalid_argument for extensions not compiled into this build.
+SimdExtension resolve_simd_extension(const Portfolio& portfolio, const SimdOptions& options);
+
+/// Lane-parallel batch engine: transposes groups of W adjacent trials into
+/// a structure-of-arrays TrialBatch (W = vector lane width) and runs the
+/// three hot phases of the paper's algorithm — ELT lookup (hardware gather
+/// on direct-access tables), financial terms, and occurrence/aggregate
+/// layer terms — on vector registers, one trial per lane. The
+/// path-dependent aggregate state (TrialAccumulator's recurrence) stays
+/// per-lane: lanes are distinct trials, so the recurrence vectorizes
+/// across lanes without reordering any within-trial arithmetic.
+///
+/// Bit-identical output to run_sequential for every lane width and thread
+/// count: each lane performs the same double-precision operations in the
+/// same order as the scalar trial kernel (see simd/vec.hpp for the min/max
+/// rounding contract), and trial grouping only decides which trials share
+/// a register, never how a trial's own arithmetic associates.
+YearLossTable run_simd(const Portfolio& portfolio, const yet::YearEventTable& yet_table,
+                       const SimdOptions& options = {});
+
+/// Reuses an existing pool (cheaper when an application runs many
+/// analyses; mirrors the run_parallel overload).
+YearLossTable run_simd(const Portfolio& portfolio, const yet::YearEventTable& yet_table,
+                       parallel::ThreadPool& pool, const SimdOptions& options = {});
+
+}  // namespace are::core

@@ -46,6 +46,17 @@ class ILossLookup {
   /// Expected loss for `event`, 0.0 when the event is not in the table.
   virtual double lookup(EventId event) const noexcept = 0;
 
+  /// Batch lookup: out[i] = lookup(events[i]) for i in [0, count). The
+  /// SIMD engine feeds lane-width rows through this for representations
+  /// that cannot be gathered directly (hash tables, decorators); the
+  /// default simply loops, and implementations may override with a tighter
+  /// loop. Must tolerate any event id, including catalog::kInvalidEvent
+  /// (batch padding), returning 0.0 for ids not in the table.
+  virtual void lookup_many(const EventId* events, std::size_t count,
+                           double* out) const noexcept {
+    for (std::size_t i = 0; i < count; ++i) out[i] = lookup(events[i]);
+  }
+
   /// Resident memory of the structure in bytes (the axis the paper trades
   /// against access count).
   virtual std::size_t memory_bytes() const noexcept = 0;

@@ -12,6 +12,14 @@ inline constexpr double kUnlimited = std::numeric_limits<double>::infinity();
 /// limit). This single function is the financial primitive behind both the
 /// occurrence terms (lines 10-11 of the paper's algorithm) and the
 /// aggregate terms (lines 14-15).
+///
+/// Contract with the SIMD engine (src/simd/vec.hpp): the branchy selects
+/// below are exactly `min(max(loss - retention, 0.0), limit)` under the
+/// x86 MINPD/MAXPD convention (second operand returned on equality) for
+/// the engine's domain — finite non-negative losses, retentions >= 0,
+/// limits >= 0 or +inf, never NaN. Any change to this arithmetic must
+/// keep the vectorized form in core/simd_engine.cpp bit-identical (the
+/// equivalence suite in tests/test_simd_engine.cpp enforces it).
 constexpr double excess_of_loss(double loss, double retention, double limit) noexcept {
   const double in_excess = loss - retention;
   if (in_excess <= 0.0) return 0.0;

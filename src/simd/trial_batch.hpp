@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "catalog/types.hpp"
+#include "yet/year_event_table.hpp"
+
+namespace are::simd {
+
+/// Structure-of-arrays view of a group of consecutive trials: the YET's
+/// per-trial event buffers, transposed into lane-major rows so that a
+/// vector register can hold "event position j of W adjacent trials".
+///
+///   row(j) = [ E_{t,j}, E_{t+1,j}, ..., E_{t+W-1,j} ]   (W = lane width)
+///
+/// Trials have ragged lengths, so rows are padded with kPadEvent up to the
+/// longest trial in the group (`depth()`), and lanes past `active()` are
+/// entirely padding. kPadEvent is the reserved invalid event id: it fails
+/// every lookup's bounds/membership check, yielding loss 0.0, which the
+/// financial pipeline maps to exactly 0.0 ceded loss — so processing a pad
+/// slot is bit-identical to not processing it at all. (This relies on the
+/// ELT universe never containing a real loss at slot kPadEvent, which
+/// catalog::kInvalidEvent reserves by construction.)
+class TrialBatch {
+ public:
+  static constexpr yet::EventId kPadEvent = catalog::kInvalidEvent;
+
+  explicit TrialBatch(std::size_t width) : width_(width) {}
+
+  /// Transposes trials [first_trial, first_trial + count) of `table` into
+  /// the batch. `count` may be smaller than width() for the final ragged
+  /// group; the surplus lanes are pure padding.
+  void load(const yet::YearEventTable& table, std::uint64_t first_trial, std::size_t count) {
+    active_ = count;
+    depth_ = 0;
+    for (std::size_t lane = 0; lane < count; ++lane) {
+      const std::size_t size = table.trial_size(first_trial + lane);
+      if (size > depth_) depth_ = size;
+    }
+    events_.assign(depth_ * width_, kPadEvent);
+    for (std::size_t lane = 0; lane < count; ++lane) {
+      const auto trial_events = table.trial_events(first_trial + lane);
+      for (std::size_t j = 0; j < trial_events.size(); ++j) {
+        events_[j * width_ + lane] = trial_events[j];
+      }
+    }
+  }
+
+  /// Lane width the batch was transposed for (the vector register width).
+  std::size_t width() const noexcept { return width_; }
+  /// Number of lanes holding real trials (≤ width()).
+  std::size_t active() const noexcept { return active_; }
+  /// Longest trial in the group = number of rows.
+  std::size_t depth() const noexcept { return depth_; }
+
+  /// Lane-major row: width() event ids for trial position `position`.
+  const yet::EventId* row(std::size_t position) const noexcept {
+    return events_.data() + position * width_;
+  }
+
+  std::span<const yet::EventId> events() const noexcept { return events_; }
+
+ private:
+  std::size_t width_;
+  std::size_t active_ = 0;
+  std::size_t depth_ = 0;
+  std::vector<yet::EventId> events_;
+};
+
+}  // namespace are::simd

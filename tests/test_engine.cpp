@@ -308,6 +308,17 @@ TEST(InstrumentedEngine, PhaseTimesArePositiveAndSumToTotal) {
   EXPECT_NEAR(fraction_sum, 1.0, 1e-9);
 }
 
+TEST(InstrumentedEngine, EmptyBreakdownFractionsAreZeroNotNan) {
+  // An untimed (or zero-duration) breakdown must report 0 fractions, not
+  // NaN from 0/0.
+  const core::PhaseBreakdown empty{};
+  EXPECT_EQ(empty.total_seconds(), 0.0);
+  EXPECT_EQ(empty.fetch_fraction(), 0.0);
+  EXPECT_EQ(empty.lookup_fraction(), 0.0);
+  EXPECT_EQ(empty.financial_fraction(), 0.0);
+  EXPECT_EQ(empty.layer_fraction(), 0.0);
+}
+
 TEST(PredictAccessCounts, ScalesLinearlyInAllFourParameters) {
   // The asymptotic claim behind Fig 2: doubling any size parameter doubles
   // the relevant access counts.

@@ -12,7 +12,8 @@
 //   are_cli info      --yet years.yet | --elt book.elt               (describe a file)
 //
 // Layer terms: --occ-retention --occ-limit --agg-retention --agg-limit
-// Engine:      --engine seq|parallel|chunked|openmp  --threads N  --chunk N
+// Engine:      --engine seq|parallel|chunked|openmp|simd  --threads N  --chunk N
+//              --simd-ext auto|scalar|sse2|avx2|avx512|neon
 //              --lookup direct|sorted|robinhood|cuckoo
 #include <fstream>
 #include <iostream>
@@ -24,6 +25,7 @@
 #include "catmodel/cat_model.hpp"
 #include "core/engine.hpp"
 #include "core/openmp_engine.hpp"
+#include "core/simd_engine.hpp"
 #include "elt/synthetic.hpp"
 #include "io/binary.hpp"
 #include "io/csv.hpp"
@@ -52,7 +54,8 @@ commands:
 
 common options:
   layer terms   --occ-retention X --occ-limit X --agg-retention X --agg-limit X
-  engine        --engine seq|parallel|chunked|openmp --threads N --chunk N
+  engine        --engine seq|parallel|chunked|openmp|simd --threads N --chunk N
+  simd          --simd-ext auto|scalar|sse2|avx2|avx512|neon (lane type for --engine simd)
   lookup        --lookup direct|sorted|robinhood|cuckoo
   run 'are_cli <command> --help' is not needed: every option has a default.
 )";
@@ -143,6 +146,28 @@ core::YearLossTable run_engine(const Args& args, const core::Portfolio& portfoli
   }
   if (engine == "openmp") {
     return core::run_openmp(portfolio, yet_table, static_cast<int>(threads));
+  }
+  if (engine == "simd") {
+    core::SimdOptions options;
+    // Same convention as the other engines: 0 = hardware concurrency.
+    options.num_threads = static_cast<std::size_t>(threads);
+    const std::string ext = args.get("simd-ext", "auto");
+    if (ext == "auto") {
+      options.extension = core::SimdExtension::kAuto;
+    } else if (ext == "scalar") {
+      options.extension = core::SimdExtension::kScalar;
+    } else if (ext == "sse2") {
+      options.extension = core::SimdExtension::kSse2;
+    } else if (ext == "avx2") {
+      options.extension = core::SimdExtension::kAvx2;
+    } else if (ext == "avx512") {
+      options.extension = core::SimdExtension::kAvx512;
+    } else if (ext == "neon") {
+      options.extension = core::SimdExtension::kNeon;
+    } else {
+      throw std::runtime_error("unknown --simd-ext '" + ext + "'");
+    }
+    return core::run_simd(portfolio, yet_table, options);
   }
   throw std::runtime_error("unknown --engine '" + engine + "'");
 }
