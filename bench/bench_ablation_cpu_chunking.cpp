@@ -21,7 +21,7 @@ void cpu_plain(benchmark::State& state) {
       bench::make_yet(kScale, kScale.trials / 2, kScale.events_per_trial);
   static const core::Portfolio portfolio = bench::make_portfolio(kScale, 1, 15);
   for (auto _ : state) {
-    auto ylt = core::run_sequential(portfolio, yet_table);
+    auto ylt = bench::run(portfolio, yet_table, {.engine = core::EngineKind::kSequential});
     benchmark::DoNotOptimize(ylt);
   }
 }
@@ -32,11 +32,12 @@ void cpu_chunked(benchmark::State& state) {
       bench::make_yet(kScale, kScale.trials / 2, kScale.events_per_trial);
   static const core::Portfolio portfolio = bench::make_portfolio(kScale, 1, 15);
 
-  core::ChunkedOptions options;
-  options.chunk_size = chunk;
-  options.num_threads = 1;
+  core::AnalysisConfig config;
+  config.engine = core::EngineKind::kChunked;
+  config.chunk_size = chunk;
+  config.num_threads = 1;
   for (auto _ : state) {
-    auto ylt = core::run_chunked(portfolio, yet_table, options);
+    auto ylt = bench::run(portfolio, yet_table, config);
     benchmark::DoNotOptimize(ylt);
   }
   state.counters["chunk"] = static_cast<double>(chunk);

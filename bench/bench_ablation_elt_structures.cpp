@@ -62,7 +62,7 @@ void ablation_engine(benchmark::State& state) {
   const core::Portfolio portfolio = bench::make_portfolio(kScale, 1, 15, kind);
 
   for (auto _ : state) {
-    auto ylt = core::run_sequential(portfolio, yet_table);
+    auto ylt = bench::run(portfolio, yet_table, {.engine = core::EngineKind::kSequential});
     benchmark::DoNotOptimize(ylt);
   }
   state.SetLabel(std::string(to_string(kind)));

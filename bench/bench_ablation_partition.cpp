@@ -34,11 +34,12 @@ void partition_bench(benchmark::State& state) {
   const auto chunk = static_cast<std::size_t>(state.range(1));
   static const core::Portfolio portfolio = bench::make_portfolio(kScale, 1, 15);
 
-  core::ParallelOptions options;
-  options.partition = partition;
-  options.chunk = chunk;
+  core::AnalysisConfig config;
+  config.engine = core::EngineKind::kParallel;
+  config.partition = partition;
+  config.partition_chunk = chunk;
   for (auto _ : state) {
-    auto ylt = core::run_parallel(portfolio, skewed_yet(), options);
+    auto ylt = bench::run(portfolio, skewed_yet(), config);
     benchmark::DoNotOptimize(ylt);
   }
   switch (partition) {

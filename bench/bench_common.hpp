@@ -13,12 +13,22 @@
 #include <cstring>
 #include <memory>
 #include <string>
+#include <utility>
 
-#include "core/engine.hpp"
+#include "core/analysis.hpp"
 #include "elt/synthetic.hpp"
 #include "yet/generator.hpp"
 
 namespace are::bench {
+
+/// Every bench dispatches through the unified front door (core::run +
+/// EngineRegistry); this helper trims the AnalysisRequest boilerplate so a
+/// measured series is one line per config.
+inline core::YearLossTable run(const core::Portfolio& portfolio,
+                               const yet::YearEventTable& yet_table,
+                               core::AnalysisConfig config = {}) {
+  return core::run({portfolio, yet_table, std::move(config)});
+}
 
 inline bool full_scale() {
   const char* env = std::getenv("ARE_BENCH_FULL");

@@ -44,7 +44,7 @@ void measured_requote_50k(benchmark::State& state) {
   static const yet::YearEventTable yet_table = bench::make_yet(scale, 50'000, 100.0);
   static const core::Portfolio portfolio = bench::make_portfolio(scale, 1, 15);
   for (auto _ : state) {
-    auto ylt = core::run_parallel(portfolio, yet_table);
+    auto ylt = bench::run(portfolio, yet_table, {.engine = core::EngineKind::kParallel});
     benchmark::DoNotOptimize(ylt);
   }
 }

@@ -19,7 +19,7 @@ void fig2a(benchmark::State& state) {
   const core::Portfolio portfolio = bench::make_portfolio(kScale, 1, elts);
 
   for (auto _ : state) {
-    auto ylt = core::run_sequential(portfolio, yet_table);
+    auto ylt = bench::run(portfolio, yet_table, {.engine = core::EngineKind::kSequential});
     benchmark::DoNotOptimize(ylt);
   }
   state.counters["elts_per_layer"] = static_cast<double>(elts);

@@ -18,7 +18,7 @@ void fig2b(benchmark::State& state) {
       bench::make_yet(kScale, trials, kScale.events_per_trial);
 
   for (auto _ : state) {
-    auto ylt = core::run_sequential(portfolio, yet_table);
+    auto ylt = bench::run(portfolio, yet_table, {.engine = core::EngineKind::kSequential});
     benchmark::DoNotOptimize(ylt);
   }
   state.counters["trials"] = static_cast<double>(trials);

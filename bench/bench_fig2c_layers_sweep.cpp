@@ -18,7 +18,7 @@ void fig2c(benchmark::State& state) {
   const core::Portfolio portfolio = bench::make_portfolio(kScale, layers, 15);
 
   for (auto _ : state) {
-    auto ylt = core::run_sequential(portfolio, yet_table);
+    auto ylt = bench::run(portfolio, yet_table, {.engine = core::EngineKind::kSequential});
     benchmark::DoNotOptimize(ylt);
   }
   state.counters["layers"] = static_cast<double>(layers);

@@ -19,7 +19,7 @@ void fig2d(benchmark::State& state) {
   const yet::YearEventTable yet_table = bench::make_yet(kScale, kScale.trials / 10, events);
 
   for (auto _ : state) {
-    auto ylt = core::run_sequential(portfolio, yet_table);
+    auto ylt = bench::run(portfolio, yet_table, {.engine = core::EngineKind::kSequential});
     benchmark::DoNotOptimize(ylt);
   }
   state.counters["events_per_trial"] = events;

@@ -25,10 +25,11 @@ void fig3a_measured(benchmark::State& state) {
       bench::make_yet(kScale, kScale.trials, kScale.events_per_trial);
   static const core::Portfolio portfolio = bench::make_portfolio(kScale, 1, 15);
 
-  core::ParallelOptions options;
-  options.num_threads = threads;
+  core::AnalysisConfig config;
+  config.engine = core::EngineKind::kParallel;
+  config.num_threads = threads;
   for (auto _ : state) {
-    auto ylt = core::run_parallel(portfolio, yet_table, options);
+    auto ylt = bench::run(portfolio, yet_table, config);
     benchmark::DoNotOptimize(ylt);
   }
   state.counters["threads"] = static_cast<double>(threads);

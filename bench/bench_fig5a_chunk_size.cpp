@@ -32,11 +32,12 @@ void fig5a_measured_cpu(benchmark::State& state) {
       bench::make_yet(kScale, kScale.trials / 4, kScale.events_per_trial);
   static const core::Portfolio portfolio = bench::make_portfolio(kScale, 1, 15);
 
-  core::ChunkedOptions options;
-  options.chunk_size = chunk;
-  options.num_threads = 1;
+  core::AnalysisConfig config;
+  config.engine = core::EngineKind::kChunked;
+  config.chunk_size = chunk;
+  config.num_threads = 1;
   for (auto _ : state) {
-    auto ylt = core::run_chunked(portfolio, yet_table, options);
+    auto ylt = bench::run(portfolio, yet_table, config);
     benchmark::DoNotOptimize(ylt);
   }
   state.counters["chunk"] = static_cast<double>(chunk);

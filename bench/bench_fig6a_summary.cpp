@@ -9,7 +9,10 @@
 // this host); the GPU bars come from the simgpu device model.
 #include <benchmark/benchmark.h>
 
+#include <string>
+
 #include "bench_common.hpp"
+#include "core/engine_registry.hpp"
 #include "perfmodel/cpu_model.hpp"
 #include "simgpu/kernel_model.hpp"
 
@@ -20,19 +23,16 @@ using bench::Scale;
 
 const Scale kScale = Scale::current();
 
-void summary_measured(benchmark::State& state, int variant) {
+/// One measured series per registered bit-identical engine: the sweep is a
+/// loop over the EngineRegistry, so a backend registered there shows up
+/// here with zero bench changes.
+void summary_measured(benchmark::State& state, const core::AnalysisConfig& config) {
   static const yet::YearEventTable yet_table =
       bench::make_yet(kScale, kScale.trials, kScale.events_per_trial);
   static const core::Portfolio portfolio = bench::make_portfolio(kScale, 1, 15);
 
   for (auto _ : state) {
-    core::YearLossTable ylt;
-    switch (variant) {
-      case 0: ylt = core::run_sequential(portfolio, yet_table); break;
-      case 1: ylt = core::run_parallel(portfolio, yet_table, {0, {}, 256}); break;
-      case 2: ylt = core::run_chunked(portfolio, yet_table, {4, 0}); break;
-      default: break;
-    }
+    auto ylt = bench::run(portfolio, yet_table, config);
     benchmark::DoNotOptimize(ylt);
   }
 }
@@ -67,17 +67,17 @@ int main(int argc, char** argv) {
   if (!bench::full_scale()) {
     bench::print_note("measured series at calibrated sub-scale; ARE_BENCH_FULL=1 for paper scale");
   }
-  benchmark::RegisterBenchmark("fig6a/measured_sequential",
-                               [](benchmark::State& s) { summary_measured(s, 0); })
-      ->Unit(benchmark::kMillisecond);
-  benchmark::RegisterBenchmark("fig6a/measured_parallel_pool",
-                               [](benchmark::State& s) { summary_measured(s, 1); })
-      ->Unit(benchmark::kMillisecond)
-      ->UseRealTime();
-  benchmark::RegisterBenchmark("fig6a/measured_chunked",
-                               [](benchmark::State& s) { summary_measured(s, 2); })
-      ->Unit(benchmark::kMillisecond)
-      ->UseRealTime();
+  for (const auto& engine : core::EngineRegistry::global().descriptors()) {
+    if (!engine.bit_identical_to_sequential || !engine.available_in_this_build) continue;
+    core::AnalysisConfig config;
+    config.engine = engine.kind;
+    config.engine_name = engine.name;  // exact dispatch even if kinds repeat
+    const std::string name = "fig6a/measured_" + engine.name;
+    benchmark::RegisterBenchmark(name.c_str(),
+                                 [config](benchmark::State& s) { summary_measured(s, config); })
+        ->Unit(benchmark::kMillisecond)
+        ->UseRealTime();
+  }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

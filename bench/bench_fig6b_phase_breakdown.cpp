@@ -18,11 +18,15 @@ void fig6b_instrumented(benchmark::State& state) {
       bench::make_yet(kScale, kScale.trials / 2, kScale.events_per_trial);
   static const core::Portfolio portfolio = bench::make_portfolio(kScale, 1, 15);
 
+  core::InstrumentationSink sink;
+  core::AnalysisConfig config;
+  config.engine = core::EngineKind::kInstrumented;
+  config.instrumentation = &sink;
   core::PhaseBreakdown phases;
   for (auto _ : state) {
-    auto result = core::run_instrumented(portfolio, yet_table);
-    phases = result.phases;
-    benchmark::DoNotOptimize(result);
+    auto ylt = bench::run(portfolio, yet_table, config);
+    phases = *sink.phases;
+    benchmark::DoNotOptimize(ylt);
   }
   state.counters["fetch_pct"] = 100.0 * phases.fetch_fraction();
   state.counters["lookup_pct"] = 100.0 * phases.lookup_fraction();
@@ -41,15 +45,17 @@ int main(int argc, char** argv) {
   {
     const auto yet_table = bench::make_yet(kScale, kScale.trials / 2, kScale.events_per_trial);
     const auto portfolio = bench::make_portfolio(kScale, 1, 15);
-    const auto result = core::run_instrumented(portfolio, yet_table);
-    bench::print_row("fig6b", "phase_fetch", 0, "percent",
-                     100.0 * result.phases.fetch_fraction());
-    bench::print_row("fig6b", "phase_lookup", 1, "percent",
-                     100.0 * result.phases.lookup_fraction());
+    core::InstrumentationSink sink;
+    core::AnalysisConfig config;
+    config.engine = core::EngineKind::kInstrumented;
+    config.instrumentation = &sink;
+    bench::run(portfolio, yet_table, config);
+    const core::PhaseBreakdown& phases = *sink.phases;
+    bench::print_row("fig6b", "phase_fetch", 0, "percent", 100.0 * phases.fetch_fraction());
+    bench::print_row("fig6b", "phase_lookup", 1, "percent", 100.0 * phases.lookup_fraction());
     bench::print_row("fig6b", "phase_financial", 2, "percent",
-                     100.0 * result.phases.financial_fraction());
-    bench::print_row("fig6b", "phase_layer", 3, "percent",
-                     100.0 * result.phases.layer_fraction());
+                     100.0 * phases.financial_fraction());
+    bench::print_row("fig6b", "phase_layer", 3, "percent", 100.0 * phases.layer_fraction());
     bench::print_note("paper reference: ~78% ELT lookup; lookup must dominate all other phases");
   }
 

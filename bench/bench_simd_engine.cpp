@@ -5,15 +5,15 @@
 // trials. This bench measures how much of that the lane-parallel engine
 // recovers on real hardware:
 //
-//   * simd/<ext>            — run_simd at each compiled lane width, vs
-//                             run_sequential / run_parallel / run_chunked
-//                             on the Fig 2a direct-access workload
+//   * simd/<ext>            — the simd engine at each compiled lane width,
+//                             vs the seq / parallel / chunked engines on
+//                             the Fig 2a direct-access workload
 //   * simd_threads/<n>      — the simd x threads composition mode (lane
 //                             parallelism inside each worker's trial block)
 //   * generic lookup series — the non-gatherable (hash/sorted) path, where
 //                             only the financial/layer phases vectorize
 //
-// The acceptance target is >= 2x over run_sequential on the direct-access
+// The acceptance target is >= 2x over the sequential engine on the direct-access
 // lookup path at Fig 2a scale on AVX2 hardware.
 #include <benchmark/benchmark.h>
 
@@ -26,7 +26,6 @@ namespace {
 using namespace are;
 using bench::Scale;
 using core::SimdExtension;
-using core::SimdOptions;
 
 const Scale kScale = Scale::current();
 
@@ -71,31 +70,34 @@ const core::Portfolio& generic_portfolio() {
 
 void engine_sequential(benchmark::State& state) {
   for (auto _ : state) {
-    auto ylt = core::run_sequential(direct_portfolio(), shared_yet());
+    auto ylt = bench::run(direct_portfolio(), shared_yet(), {.engine = core::EngineKind::kSequential});
     benchmark::DoNotOptimize(ylt);
   }
 }
 
 void engine_parallel(benchmark::State& state) {
   for (auto _ : state) {
-    auto ylt = core::run_parallel(direct_portfolio(), shared_yet());
+    auto ylt = bench::run(direct_portfolio(), shared_yet(), {.engine = core::EngineKind::kParallel});
     benchmark::DoNotOptimize(ylt);
   }
 }
 
 void engine_chunked(benchmark::State& state) {
   for (auto _ : state) {
-    auto ylt = core::run_chunked(direct_portfolio(), shared_yet());
+    auto ylt = bench::run(direct_portfolio(), shared_yet(),
+                          {.engine = core::EngineKind::kChunked, .num_threads = 1});
     benchmark::DoNotOptimize(ylt);
   }
 }
 
 void engine_simd(benchmark::State& state, SimdExtension extension, bool direct) {
-  SimdOptions options;
-  options.extension = extension;
+  core::AnalysisConfig config;
+  config.engine = core::EngineKind::kSimd;
+  config.num_threads = 1;
+  config.simd_extension = extension;
   const core::Portfolio& portfolio = direct ? direct_portfolio() : generic_portfolio();
   for (auto _ : state) {
-    auto ylt = core::run_simd(portfolio, shared_yet(), options);
+    auto ylt = bench::run(portfolio, shared_yet(), config);
     benchmark::DoNotOptimize(ylt);
   }
   state.counters["lanes"] = static_cast<double>(core::simd_lane_width(extension));
@@ -103,36 +105,39 @@ void engine_simd(benchmark::State& state, SimdExtension extension, bool direct) 
 
 void engine_sequential_cached(benchmark::State& state) {
   for (auto _ : state) {
-    auto ylt = core::run_sequential(cache_portfolio(), cache_yet());
+    auto ylt = bench::run(cache_portfolio(), cache_yet(), {.engine = core::EngineKind::kSequential});
     benchmark::DoNotOptimize(ylt);
   }
 }
 
 void engine_simd_cached(benchmark::State& state, SimdExtension extension) {
-  SimdOptions options;
-  options.extension = extension;
+  core::AnalysisConfig config;
+  config.engine = core::EngineKind::kSimd;
+  config.num_threads = 1;
+  config.simd_extension = extension;
   for (auto _ : state) {
-    auto ylt = core::run_simd(cache_portfolio(), cache_yet(), options);
+    auto ylt = bench::run(cache_portfolio(), cache_yet(), config);
     benchmark::DoNotOptimize(ylt);
   }
   state.counters["lanes"] = static_cast<double>(core::simd_lane_width(extension));
 }
 
 void engine_simd_threads(benchmark::State& state) {
-  SimdOptions options;
-  options.num_threads = static_cast<std::size_t>(state.range(0));
+  core::AnalysisConfig config;
+  config.engine = core::EngineKind::kSimd;
+  config.num_threads = static_cast<std::size_t>(state.range(0));
   for (auto _ : state) {
-    auto ylt = core::run_simd(direct_portfolio(), shared_yet(), options);
+    auto ylt = bench::run(direct_portfolio(), shared_yet(), config);
     benchmark::DoNotOptimize(ylt);
   }
   state.counters["threads"] = static_cast<double>(state.range(0));
-  state.counters["lanes"] = static_cast<double>(
-      core::simd_lane_width(core::resolve_simd_extension(direct_portfolio(), options)));
+  state.counters["lanes"] = static_cast<double>(core::simd_lane_width(
+      core::resolve_simd_extension(direct_portfolio(), {config.num_threads, config.simd_extension})));
 }
 
 void engine_sequential_generic(benchmark::State& state) {
   for (auto _ : state) {
-    auto ylt = core::run_sequential(generic_portfolio(), shared_yet());
+    auto ylt = bench::run(generic_portfolio(), shared_yet(), {.engine = core::EngineKind::kSequential});
     benchmark::DoNotOptimize(ylt);
   }
 }

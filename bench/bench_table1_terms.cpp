@@ -39,7 +39,7 @@ void table1_regime(benchmark::State& state) {
 
   double expected_loss = 0.0;
   for (auto _ : state) {
-    auto ylt = core::run_sequential(portfolio, yet_table);
+    auto ylt = bench::run(portfolio, yet_table, {.engine = core::EngineKind::kSequential});
     expected_loss = metrics::summarize(ylt.layer_losses(0)).mean();
     benchmark::DoNotOptimize(ylt);
   }

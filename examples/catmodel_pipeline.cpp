@@ -14,7 +14,7 @@
 #include <fstream>
 
 #include "catmodel/cat_model.hpp"
-#include "core/engine.hpp"
+#include "core/analysis.hpp"
 #include "io/csv.hpp"
 #include "metrics/ep_curve.hpp"
 #include "metrics/occurrence.hpp"
@@ -75,7 +75,7 @@ int main(int argc, char** argv) {
 
   core::Portfolio portfolio;
   portfolio.layers.push_back(layer);
-  const auto ylt = core::run_parallel(portfolio, yet_table);
+  const auto ylt = core::run({portfolio, yet_table});
 
   // --- Stage 3: risk reporting ------------------------------------------------
   const metrics::EpCurve aep(ylt.layer_losses(0));

@@ -12,8 +12,7 @@
 #include <iostream>
 #include <memory>
 
-#include "core/engine.hpp"
-#include "core/windowed_engine.hpp"
+#include "core/analysis.hpp"
 #include "elt/scaled_lookup.hpp"
 #include "elt/synthetic.hpp"
 #include "io/report.hpp"
@@ -57,7 +56,7 @@ int main() {
   yet_config.events_per_trial = 800.0;
   yet_config.count_model = yet::CountModel::kPoisson;
   const auto yet_table = yet::generate_uniform_yet(yet_config, kCatalogSize);
-  const auto ylt = core::run_parallel(portfolio, yet_table);
+  const auto ylt = core::run({portfolio, yet_table});
 
   // --- 1. The event strikes: immediate position ----------------------------
   // Pick the book's single worst driver as "the event that just happened".
@@ -108,7 +107,7 @@ int main() {
       layer_elt.lookup = std::make_shared<elt::ScaledLookup>(layer_elt.lookup, 1.2);
     }
   }
-  const auto stressed_ylt = core::run_parallel(stressed, yet_table);
+  const auto stressed_ylt = core::run({stressed, yet_table});
   io::TextTable stress({"layer", "base EL", "stressed EL", "change"});
   for (std::size_t l = 0; l < portfolio.num_layers(); ++l) {
     const metrics::EpCurve base_curve(ylt.layer_losses(l));
@@ -124,7 +123,9 @@ int main() {
 
   // --- 5. Rest-of-season exposure --------------------------------------------
   // The event struck at mid-year: what does the remaining half-year hold?
-  const auto remainder = core::run_windowed(portfolio, yet_table, {0.5f, 1.0f});
+  const auto remainder = core::run(
+      {portfolio, yet_table,
+       {.engine = core::EngineKind::kWindowed, .window = core::CoverageWindow{0.5f, 1.0f}}});
   io::TextTable season({"layer", "full-year EL", "remaining-half EL"});
   for (std::size_t l = 0; l < portfolio.num_layers(); ++l) {
     const metrics::EpCurve full(ylt.layer_losses(l));

@@ -9,7 +9,7 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "core/engine.hpp"
+#include "core/analysis.hpp"
 #include "elt/synthetic.hpp"
 #include "io/csv.hpp"
 #include "metrics/ep_curve.hpp"
@@ -57,7 +57,7 @@ int main(int argc, char** argv) {
 
   std::printf("rolling up %zu layers over %llu trials...\n", num_layers,
               static_cast<unsigned long long>(trials));
-  const auto ylt = core::run_parallel(portfolio, yet_table);
+  const auto ylt = core::run({portfolio, yet_table});
 
   // Per-layer technical quotes.
   double standalone_tvar_sum = 0.0;

@@ -6,7 +6,7 @@
 #include <cstdio>
 #include <memory>
 
-#include "core/engine.hpp"
+#include "core/analysis.hpp"
 #include "elt/synthetic.hpp"
 #include "metrics/ep_curve.hpp"
 #include "pricing/pricing.hpp"
@@ -47,8 +47,10 @@ int main() {
   core::Portfolio portfolio;
   portfolio.layers.push_back(std::move(layer));
 
-  // 3. Aggregate analysis: YET x layer -> Year Loss Table.
-  const core::YearLossTable ylt = core::run_parallel(portfolio, year_event_table);
+  // 3. Aggregate analysis: YET x layer -> Year Loss Table, through the
+  //    unified front door (the default config is the thread-pool engine;
+  //    set AnalysisConfig::engine to pick any registered strategy).
+  const core::YearLossTable ylt = core::run({portfolio, year_event_table});
 
   // 4. Risk measures from the YLT.
   const metrics::EpCurve curve(ylt.layer_losses(0));

@@ -14,7 +14,7 @@
 #include <cstdlib>
 #include <vector>
 
-#include "core/engine.hpp"
+#include "core/analysis.hpp"
 #include "elt/synthetic.hpp"
 #include "metrics/ep_curve.hpp"
 #include "parallel/thread_pool.hpp"
@@ -84,7 +84,8 @@ int main(int argc, char** argv) {
     const auto quote_start = Clock::now();
     portfolio.layers[0].terms = proposal.terms;
 
-    const auto ylt = core::run_parallel(portfolio, yet_table, pool, {});
+    // Borrowed pool: the engine reuses the warm workers across quotes.
+    const auto ylt = core::run({portfolio, yet_table, {.pool = &pool}});
     const auto quote = pricing::price_layer(ylt.layer_losses(0), proposal.terms);
     const metrics::EpCurve curve(ylt.layer_losses(0));
 

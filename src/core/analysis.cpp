@@ -1,0 +1,57 @@
+#include "core/analysis.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "core/engine_registry.hpp"
+
+namespace are::core {
+
+std::string_view to_string(EngineKind kind) noexcept {
+  switch (kind) {
+    case EngineKind::kSequential: return "seq";
+    case EngineKind::kParallel: return "parallel";
+    case EngineKind::kChunked: return "chunked";
+    case EngineKind::kOpenMp: return "openmp";
+    case EngineKind::kSimd: return "simd";
+    case EngineKind::kWindowed: return "windowed";
+    case EngineKind::kInstrumented: return "instrumented";
+  }
+  return "unknown";
+}
+
+void AnalysisConfig::validate() const {
+  if (window) window->validate();
+  if (partition_chunk == 0) {
+    throw std::invalid_argument("AnalysisConfig: partition_chunk must be > 0");
+  }
+  if (chunk_size == 0) throw std::invalid_argument("AnalysisConfig: chunk_size must be > 0");
+}
+
+YearLossTable run(const AnalysisRequest& request) {
+  const AnalysisConfig& config = request.config;
+  config.validate();
+
+  const EngineRegistry& registry = EngineRegistry::global();
+  const EngineDescriptor& engine = config.engine_name.empty()
+                                       ? registry.require(config.engine)
+                                       : registry.require(config.engine_name);
+  if (!engine.available_in_this_build) {
+    throw std::invalid_argument("engine '" + engine.name + "' is not available in this build (" +
+                                engine.availability_note + ")");
+  }
+  // Capability mismatches are errors, never silently ignored fields.
+  if (config.window && !engine.supports_windowing) {
+    throw std::invalid_argument("engine '" + engine.name +
+                                "' does not support a coverage window (use the 'windowed' "
+                                "engine, or clear AnalysisConfig::window)");
+  }
+  if (config.pool != nullptr && !engine.supports_pool_reuse) {
+    throw std::invalid_argument("engine '" + engine.name +
+                                "' cannot reuse a borrowed thread pool (clear "
+                                "AnalysisConfig::pool)");
+  }
+  return engine.run(request);
+}
+
+}  // namespace are::core

@@ -1,0 +1,132 @@
+#pragma once
+
+// Unified engine API — the single front door to the aggregate-analysis
+// engines. The paper's contribution is one algorithm mapped onto many
+// execution strategies; this header makes that literal: callers build an
+// AnalysisRequest (portfolio + YET + AnalysisConfig) and call run(). Which
+// strategy executes is data (EngineKind in the config, resolved through the
+// EngineRegistry), not a choice of free function, so an
+// engines x window x instrumentation sweep is a loop over configs.
+//
+// The legacy run_sequential / run_parallel / run_chunked / run_openmp /
+// run_simd / run_windowed / run_instrumented entry points remain as the
+// engine implementations; outside src/core they should only appear in
+// equivalence tests that pin the new API against them.
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "core/engine.hpp"
+#include "core/simd_engine.hpp"
+#include "core/windowed_engine.hpp"
+
+namespace are::core {
+
+/// Every execution strategy the registry knows about. The enumerators are
+/// stable identifiers; their canonical string names (used by the CLI and
+/// config files) live in the EngineRegistry descriptors.
+enum class EngineKind {
+  kSequential = 0,  ///< reference implementation, the bit-identity anchor
+  kParallel,        ///< thread-pool trial parallelism (paper's multi-core)
+  kChunked,         ///< event-chunked kernel (CPU analogue of the GPU kernel)
+  kOpenMp,          ///< OpenMP directives (falls back to thread pool)
+  kSimd,            ///< lane-parallel batch engine (one trial per lane)
+  kWindowed,        ///< sequential with a mid-year coverage window
+  kInstrumented,    ///< sequential with per-phase timers + access counters
+};
+
+/// Canonical name of the engine kind ("seq", "parallel", ...). Matches the
+/// registry descriptor's name.
+std::string_view to_string(EngineKind kind) noexcept;
+
+/// Per-run facts written back through AnalysisConfig::instrumentation.
+/// Every engine adapter records which engine actually executed and its
+/// engine-specific resolution (did OpenMP really run? which SIMD lane type
+/// did kAuto pick?); only engines whose descriptor sets
+/// supports_instrumentation also fill the phase/access breakdown.
+struct InstrumentationSink {
+  /// The engine that executed the request.
+  std::optional<EngineKind> engine_used;
+
+  /// kOpenMp only: true when OpenMP directives actually ran, false when the
+  /// build lacks OpenMP and the bit-identical thread-pool fallback executed.
+  /// The legacy run_openmp hid this; the registry surfaces it.
+  std::optional<bool> openmp_used;
+
+  /// kSimd only: the extension that actually executed after kAuto
+  /// resolution (including the memory-bound narrowing to SSE2).
+  std::optional<SimdExtension> simd_extension_used;
+
+  /// Fig-6b phase attribution and memory-access counters (kInstrumented).
+  std::optional<PhaseBreakdown> phases;
+  std::optional<AccessCounts> accesses;
+};
+
+/// Composable execution configuration. One struct covers every engine; each
+/// engine reads the fields it understands and run() rejects combinations
+/// the engine's descriptor says it cannot honour (no silent ignoring).
+struct AnalysisConfig {
+  EngineKind engine = EngineKind::kParallel;
+
+  /// When non-empty, run() dispatches by this registry name instead of
+  /// `engine`. This is how engines registered under custom names are
+  /// reached: EngineKind is a closed enum, so a runtime-registered backend
+  /// reuses an existing kind, and kind lookup would find the builtin first.
+  /// The CLI always dispatches by name.
+  std::string engine_name;
+
+  /// Worker threads for the threaded engines (kParallel, kChunked, kOpenMp,
+  /// kSimd): 0 = hardware concurrency, 1 = single-threaded.
+  std::size_t num_threads = 0;
+
+  /// kParallel: trial-range partitioning strategy and, for dynamic/guided,
+  /// the number of trials per work item.
+  parallel::Partition partition = parallel::Partition::kStatic;
+  std::size_t partition_chunk = 256;
+
+  /// kChunked: events staged per scratch chunk (the paper's Fig-5a knob).
+  std::size_t chunk_size = 4;
+
+  /// kSimd: lane type to run; kAuto resolves to the widest compiled
+  /// extension with the memory-bound narrowing.
+  SimdExtension simd_extension = SimdExtension::kAuto;
+
+  /// Coverage window within the contractual year; requires an engine whose
+  /// descriptor sets supports_windowing (kWindowed). Absent = full year.
+  std::optional<CoverageWindow> window;
+
+  /// When set, the engine adapter records execution facts here, and
+  /// engines with supports_instrumentation fill the phase breakdown.
+  /// Borrowed, not owned; any engine accepts it.
+  InstrumentationSink* instrumentation = nullptr;
+
+  /// Borrowed thread pool, reused across runs (the real-time pricing path);
+  /// requires an engine whose descriptor sets supports_pool_reuse
+  /// (kParallel, kSimd). nullptr = the engine owns its threads.
+  parallel::ThreadPool* pool = nullptr;
+
+  /// Engine-independent sanity checks; throws std::invalid_argument on a
+  /// malformed window, partition_chunk == 0, or chunk_size == 0.
+  /// Engine-capability checks (window/pool vs. descriptor flags, extension
+  /// availability) happen in run(), which knows the registry.
+  void validate() const;
+};
+
+/// Everything run() needs: the inputs by reference (portfolio and YET are
+/// large and immutable during a run) plus the execution config by value.
+struct AnalysisRequest {
+  const Portfolio& portfolio;
+  const yet::YearEventTable& yet_table;
+  AnalysisConfig config{};
+};
+
+/// The front door: validates the config, resolves the engine through
+/// EngineRegistry::global(), rejects capability mismatches
+/// (std::invalid_argument), and dispatches. Output YLTs of engines whose
+/// descriptor sets bit_identical_to_sequential are bit-identical to
+/// EngineKind::kSequential for the same request.
+YearLossTable run(const AnalysisRequest& request);
+
+}  // namespace are::core

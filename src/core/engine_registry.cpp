@@ -1,0 +1,226 @@
+#include "core/engine_registry.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "core/openmp_engine.hpp"
+
+namespace are::core {
+
+namespace {
+
+InstrumentationSink* sink_of(const AnalysisRequest& request) {
+  return request.config.instrumentation;
+}
+
+void note_engine(const AnalysisRequest& request, EngineKind kind) {
+  if (InstrumentationSink* sink = sink_of(request)) sink->engine_used = kind;
+}
+
+// --- Adapters: AnalysisRequest -> legacy engine entry points ----------------
+
+YearLossTable adapt_sequential(const AnalysisRequest& request) {
+  note_engine(request, EngineKind::kSequential);
+  return run_sequential(request.portfolio, request.yet_table);
+}
+
+YearLossTable adapt_parallel(const AnalysisRequest& request) {
+  note_engine(request, EngineKind::kParallel);
+  const AnalysisConfig& config = request.config;
+  const ParallelOptions options{config.num_threads, config.partition, config.partition_chunk};
+  if (config.pool != nullptr) {
+    return run_parallel(request.portfolio, request.yet_table, *config.pool, options);
+  }
+  return run_parallel(request.portfolio, request.yet_table, options);
+}
+
+YearLossTable adapt_chunked(const AnalysisRequest& request) {
+  note_engine(request, EngineKind::kChunked);
+  const ChunkedOptions options{request.config.chunk_size, request.config.num_threads};
+  return run_chunked(request.portfolio, request.yet_table, options);
+}
+
+YearLossTable adapt_openmp(const AnalysisRequest& request) {
+  if (InstrumentationSink* sink = sink_of(request)) {
+    sink->engine_used = EngineKind::kOpenMp;
+    // run_openmp uses OpenMP directives whenever the build has them and
+    // otherwise falls back to the thread pool; surface which one ran
+    // instead of making callers probe openmp_available() themselves.
+    sink->openmp_used = openmp_available();
+  }
+  return run_openmp(request.portfolio, request.yet_table,
+                    static_cast<int>(request.config.num_threads));
+}
+
+YearLossTable adapt_simd(const AnalysisRequest& request) {
+  const AnalysisConfig& config = request.config;
+  const SimdOptions options{config.num_threads, config.simd_extension};
+  if (InstrumentationSink* sink = sink_of(request)) {
+    sink->engine_used = EngineKind::kSimd;
+    sink->simd_extension_used = resolve_simd_extension(request.portfolio, options);
+  }
+  if (config.pool != nullptr) {
+    return run_simd(request.portfolio, request.yet_table, *config.pool, options);
+  }
+  return run_simd(request.portfolio, request.yet_table, options);
+}
+
+YearLossTable adapt_windowed(const AnalysisRequest& request) {
+  note_engine(request, EngineKind::kWindowed);
+  // Absent window = full contractual year, which is bit-identical to seq;
+  // the descriptor still reports bit_identical false because a real window
+  // changes the YLT by design.
+  const CoverageWindow window = request.config.window.value_or(CoverageWindow{});
+  return run_windowed(request.portfolio, request.yet_table, window);
+}
+
+YearLossTable adapt_instrumented(const AnalysisRequest& request) {
+  InstrumentedResult result = run_instrumented(request.portfolio, request.yet_table);
+  if (InstrumentationSink* sink = sink_of(request)) {
+    sink->engine_used = EngineKind::kInstrumented;
+    sink->phases = result.phases;
+    sink->accesses = result.accesses;
+  }
+  return std::move(result.ylt);
+}
+
+std::string compiled_simd_extensions() {
+  std::string names;
+  for (const SimdExtension extension :
+       {SimdExtension::kScalar, SimdExtension::kSse2, SimdExtension::kAvx2,
+        SimdExtension::kAvx512, SimdExtension::kNeon}) {
+    if (!simd_extension_available(extension)) continue;
+    if (!names.empty()) names += ",";
+    names += to_string(extension);
+  }
+  return names;
+}
+
+}  // namespace
+
+void EngineRegistry::register_engine(EngineDescriptor descriptor) {
+  if (descriptor.name.empty()) {
+    throw std::invalid_argument("engine descriptor needs a non-empty name");
+  }
+  if (descriptor.run == nullptr) {
+    throw std::invalid_argument("engine descriptor '" + descriptor.name +
+                                "' needs a run function");
+  }
+  for (EngineDescriptor& existing : descriptors_) {
+    if (existing.name == descriptor.name) {
+      existing = std::move(descriptor);
+      return;
+    }
+  }
+  descriptors_.push_back(std::move(descriptor));
+}
+
+const EngineDescriptor* EngineRegistry::find(EngineKind kind) const noexcept {
+  for (const EngineDescriptor& descriptor : descriptors_) {
+    if (descriptor.kind == kind) return &descriptor;
+  }
+  return nullptr;
+}
+
+const EngineDescriptor* EngineRegistry::find(std::string_view name) const noexcept {
+  for (const EngineDescriptor& descriptor : descriptors_) {
+    if (descriptor.name == name) return &descriptor;
+  }
+  return nullptr;
+}
+
+const EngineDescriptor& EngineRegistry::require(EngineKind kind) const {
+  if (const EngineDescriptor* descriptor = find(kind)) return *descriptor;
+  throw std::invalid_argument("no engine registered for kind '" +
+                              std::string(to_string(kind)) + "'");
+}
+
+const EngineDescriptor& EngineRegistry::require(std::string_view name) const {
+  if (const EngineDescriptor* descriptor = find(name)) return *descriptor;
+  throw std::invalid_argument("unknown engine '" + std::string(name) +
+                              "' (known engines: " + known_names() + ")");
+}
+
+std::string EngineRegistry::known_names() const {
+  std::string names;
+  for (const EngineDescriptor& descriptor : descriptors_) {
+    if (!names.empty()) names += ", ";
+    names += descriptor.name;
+  }
+  return names;
+}
+
+EngineRegistry make_builtin_registry() {
+  EngineRegistry registry;
+
+  registry.register_engine({
+      .kind = EngineKind::kSequential,
+      .name = "seq",
+      .summary = "sequential reference engine (the bit-identity anchor)",
+      .bit_identical_to_sequential = true,
+      .run = &adapt_sequential,
+  });
+  registry.register_engine({
+      .kind = EngineKind::kParallel,
+      .name = "parallel",
+      .summary = "thread-pool trial parallelism (static/dynamic/guided partition)",
+      .supports_pool_reuse = true,
+      .bit_identical_to_sequential = true,
+      .run = &adapt_parallel,
+  });
+  registry.register_engine({
+      .kind = EngineKind::kChunked,
+      .name = "chunked",
+      .summary = "event-chunked kernel, the CPU analogue of the paper's GPU kernel",
+      .bit_identical_to_sequential = true,
+      .run = &adapt_chunked,
+  });
+  registry.register_engine({
+      .kind = EngineKind::kOpenMp,
+      .name = "openmp",
+      .summary = "OpenMP trial parallelism (paper's multi-core implementation)",
+      .bit_identical_to_sequential = true,
+      .availability_note = openmp_available()
+                               ? "OpenMP compiled in; directives run"
+                               : "OpenMP not compiled in; bit-identical thread-pool "
+                                 "fallback runs (see InstrumentationSink::openmp_used)",
+      .run = &adapt_openmp,
+  });
+  registry.register_engine({
+      .kind = EngineKind::kSimd,
+      .name = "simd",
+      .summary = "lane-parallel batch engine, one trial per vector lane",
+      .supports_pool_reuse = true,
+      .bit_identical_to_sequential = true,
+      .availability_note = "compiled extensions: " + compiled_simd_extensions() +
+                           "; auto resolves to " + std::string(to_string(best_simd_extension())),
+      .run = &adapt_simd,
+  });
+  registry.register_engine({
+      .kind = EngineKind::kWindowed,
+      .name = "windowed",
+      .summary = "sequential engine with a mid-year coverage window",
+      .supports_windowing = true,
+      // A real window changes the YLT by design; only the full-year default
+      // matches seq, so the flag must stay false for the CI CSV diff.
+      .bit_identical_to_sequential = false,
+      .run = &adapt_windowed,
+  });
+  registry.register_engine({
+      .kind = EngineKind::kInstrumented,
+      .name = "instrumented",
+      .summary = "sequential engine with Fig-6b phase timers and access counters",
+      .supports_instrumentation = true,
+      .bit_identical_to_sequential = true,
+      .run = &adapt_instrumented,
+  });
+
+  return registry;
+}
+
+EngineRegistry& EngineRegistry::global() {
+  static EngineRegistry registry = make_builtin_registry();
+  return registry;
+}
+
+}  // namespace are::core

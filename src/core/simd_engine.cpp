@@ -215,6 +215,15 @@ std::string_view to_string(SimdExtension extension) noexcept {
   return "unknown";
 }
 
+std::optional<SimdExtension> simd_extension_from_string(std::string_view name) noexcept {
+  for (const SimdExtension extension :
+       {SimdExtension::kAuto, SimdExtension::kScalar, SimdExtension::kSse2, SimdExtension::kAvx2,
+        SimdExtension::kAvx512, SimdExtension::kNeon}) {
+    if (name == to_string(extension)) return extension;
+  }
+  return std::nullopt;
+}
+
 bool simd_extension_available(SimdExtension extension) noexcept {
   switch (extension) {
     case SimdExtension::kAuto:

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <string_view>
 
 #include "core/engine.hpp"
@@ -23,6 +24,10 @@ enum class SimdExtension {
 };
 
 std::string_view to_string(SimdExtension extension) noexcept;
+
+/// Inverse of to_string, for CLI/config parsing ("auto", "scalar", "sse2",
+/// "avx2", "avx512", "neon"); std::nullopt for unknown names.
+std::optional<SimdExtension> simd_extension_from_string(std::string_view name) noexcept;
 
 /// True when the extension's lane type was compiled into this build
 /// (kScalar and kAuto are always available).

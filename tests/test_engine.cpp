@@ -7,7 +7,7 @@
 #include <memory>
 #include <tuple>
 
-#include "core/engine.hpp"
+#include "core/analysis.hpp"
 #include "elt/synthetic.hpp"
 #include "yet/generator.hpp"
 
@@ -189,17 +189,21 @@ TEST_P(EngineEquivalence, AllVariantsBitIdentical) {
   const Portfolio portfolio = synthetic_portfolio(2, 4, GetParam());
   const auto yet_table = synthetic_yet(500, 80.0);
 
+  // Pin the unified API against the legacy reference entry point, then
+  // sweep the other engines through core::run.
   const auto sequential = core::run_sequential(portfolio, yet_table);
+  expect_identical(sequential,
+                   core::run({portfolio, yet_table, {.engine = core::EngineKind::kSequential}}));
 
-  core::ParallelOptions parallel_options;
-  parallel_options.num_threads = 4;
-  expect_identical(sequential, core::run_parallel(portfolio, yet_table, parallel_options));
-
-  core::ChunkedOptions chunked_options;
-  chunked_options.chunk_size = 4;
-  expect_identical(sequential, core::run_chunked(portfolio, yet_table, chunked_options));
-
-  expect_identical(sequential, core::run_instrumented(portfolio, yet_table).ylt);
+  expect_identical(sequential, core::run({portfolio, yet_table,
+                                          {.engine = core::EngineKind::kParallel,
+                                           .num_threads = 4}}));
+  expect_identical(sequential, core::run({portfolio, yet_table,
+                                          {.engine = core::EngineKind::kChunked,
+                                           .num_threads = 1,
+                                           .chunk_size = 4}}));
+  expect_identical(sequential,
+                   core::run({portfolio, yet_table, {.engine = core::EngineKind::kInstrumented}}));
 }
 
 INSTANTIATE_TEST_SUITE_P(AllKinds, EngineEquivalence,

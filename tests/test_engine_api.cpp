@@ -1,0 +1,342 @@
+// Tests for the unified engine API: EngineRegistry lookup by kind and by
+// name, AnalysisConfig validation, capability enforcement in core::run,
+// instrumentation facts, custom-engine registration, and the cross-engine
+// equivalence sweep asserting every registered bit-identical engine matches
+// run_sequential through the one front door.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/analysis.hpp"
+#include "core/engine_registry.hpp"
+#include "core/openmp_engine.hpp"
+#include "elt/synthetic.hpp"
+#include "parallel/thread_pool.hpp"
+#include "yet/generator.hpp"
+
+namespace {
+
+using namespace are;
+using core::AnalysisConfig;
+using core::AnalysisRequest;
+using core::EngineDescriptor;
+using core::EngineKind;
+using core::EngineRegistry;
+
+constexpr std::size_t kUniverse = 10'000;
+
+core::Portfolio test_portfolio(std::size_t elts = 3,
+                               elt::LookupKind kind = elt::LookupKind::kDirectAccess) {
+  core::Portfolio portfolio;
+  core::Layer layer;
+  layer.id = 1;
+  layer.terms.occurrence_retention = 100e3;
+  layer.terms.occurrence_limit = 5e6;
+  layer.terms.aggregate_retention = 200e3;
+  layer.terms.aggregate_limit = 50e6;
+  for (std::uint64_t e = 0; e < elts; ++e) {
+    elt::SyntheticEltConfig config;
+    config.catalog_size = kUniverse;
+    config.entries = 1'500;
+    config.elt_id = e;
+    core::LayerElt layer_elt;
+    layer_elt.lookup = elt::make_lookup(kind, elt::make_synthetic_elt(config), kUniverse);
+    layer_elt.terms.share = 0.8;
+    layer.elts.push_back(std::move(layer_elt));
+  }
+  portfolio.layers.push_back(std::move(layer));
+  return portfolio;
+}
+
+yet::YearEventTable test_yet(std::uint64_t trials = 300, double events = 40.0) {
+  yet::YetConfig config;
+  config.num_trials = trials;
+  config.events_per_trial = events;
+  config.count_model = yet::CountModel::kPoisson;
+  config.seed = 17;
+  return yet::generate_uniform_yet(config, kUniverse);
+}
+
+void expect_identical(const core::YearLossTable& a, const core::YearLossTable& b) {
+  ASSERT_EQ(a.num_layers(), b.num_layers());
+  ASSERT_EQ(a.num_trials(), b.num_trials());
+  for (std::size_t layer = 0; layer < a.num_layers(); ++layer) {
+    for (std::size_t trial = 0; trial < a.num_trials(); ++trial) {
+      ASSERT_EQ(a.at(layer, trial), b.at(layer, trial)) << "layer " << layer << " trial "
+                                                        << trial;
+    }
+  }
+}
+
+// --- Registry lookup ----------------------------------------------------------
+
+TEST(EngineRegistry, LooksUpEveryBuiltinByKindAndByName) {
+  const auto& registry = EngineRegistry::global();
+  for (const EngineKind kind :
+       {EngineKind::kSequential, EngineKind::kParallel, EngineKind::kChunked,
+        EngineKind::kOpenMp, EngineKind::kSimd, EngineKind::kWindowed,
+        EngineKind::kInstrumented}) {
+    const EngineDescriptor* by_kind = registry.find(kind);
+    ASSERT_NE(by_kind, nullptr) << core::to_string(kind);
+    EXPECT_EQ(by_kind->kind, kind);
+    // The canonical name round-trips through name lookup and to_string.
+    EXPECT_EQ(by_kind->name, core::to_string(kind));
+    const EngineDescriptor* by_name = registry.find(by_kind->name);
+    ASSERT_NE(by_name, nullptr);
+    EXPECT_EQ(by_name, by_kind);
+  }
+  // >= : a later test registers a custom engine into global().
+  EXPECT_GE(registry.descriptors().size(), 7u);
+}
+
+TEST(EngineRegistry, UnknownNameListsKnownEngines) {
+  const auto& registry = EngineRegistry::global();
+  EXPECT_EQ(registry.find("warp-drive"), nullptr);
+  try {
+    registry.require("warp-drive");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("warp-drive"), std::string::npos);
+    EXPECT_NE(message.find("seq"), std::string::npos) << message;
+    EXPECT_NE(message.find("simd"), std::string::npos) << message;
+  }
+}
+
+TEST(EngineRegistry, DescriptorCapabilitiesMatchTheEngines) {
+  const auto& registry = EngineRegistry::global();
+  EXPECT_TRUE(registry.require("windowed").supports_windowing);
+  EXPECT_FALSE(registry.require("windowed").bit_identical_to_sequential);
+  EXPECT_TRUE(registry.require("instrumented").supports_instrumentation);
+  EXPECT_TRUE(registry.require("parallel").supports_pool_reuse);
+  EXPECT_TRUE(registry.require("simd").supports_pool_reuse);
+  EXPECT_FALSE(registry.require("seq").supports_windowing);
+  // Every builtin is runnable in every build (openmp/simd degrade, with the
+  // story in the availability note).
+  for (const auto& descriptor : registry.descriptors()) {
+    EXPECT_TRUE(descriptor.available_in_this_build) << descriptor.name;
+  }
+  EXPECT_FALSE(registry.require("simd").availability_note.empty());
+}
+
+TEST(EngineRegistry, RegistersAndReplacesCustomEngines) {
+  EngineRegistry registry;  // isolated from global()
+  EngineDescriptor custom;
+  custom.kind = EngineKind::kSequential;
+  custom.name = "custom";
+  custom.summary = "test double";
+  custom.run = [](const AnalysisRequest& request) {
+    return core::run_sequential(request.portfolio, request.yet_table);
+  };
+  registry.register_engine(custom);
+  ASSERT_NE(registry.find("custom"), nullptr);
+  EXPECT_EQ(registry.known_names(), "custom");
+
+  custom.summary = "replaced";
+  registry.register_engine(custom);  // same name: replace, not append
+  EXPECT_EQ(registry.descriptors().size(), 1u);
+  EXPECT_EQ(registry.find("custom")->summary, "replaced");
+
+  EngineDescriptor bad;
+  bad.run = custom.run;
+  EXPECT_THROW(registry.register_engine(bad), std::invalid_argument);  // empty name
+  bad.name = "no-run";
+  bad.run = nullptr;
+  EXPECT_THROW(registry.register_engine(bad), std::invalid_argument);
+}
+
+// --- AnalysisConfig validation and capability enforcement ---------------------
+
+TEST(AnalysisConfig, ValidateRejectsBadWindowAndZeroChunks) {
+  AnalysisConfig config;
+  EXPECT_NO_THROW(config.validate());
+
+  config.window = core::CoverageWindow{0.7f, 0.3f};  // from >= to
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config.window = core::CoverageWindow{-0.1f, 0.5f};
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config.window.reset();
+
+  config.partition_chunk = 0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config.partition_chunk = 256;
+
+  config.chunk_size = 0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+}
+
+TEST(UnifiedRun, RejectsWindowOnEngineWithoutWindowSupport) {
+  const auto portfolio = test_portfolio(1);
+  const auto yet_table = test_yet(20, 10.0);
+  AnalysisConfig config;
+  config.engine = EngineKind::kSequential;
+  config.window = core::CoverageWindow{0.0f, 0.5f};
+  EXPECT_THROW(core::run({portfolio, yet_table, config}), std::invalid_argument);
+}
+
+TEST(UnifiedRun, RejectsBorrowedPoolOnEngineWithoutPoolSupport) {
+  const auto portfolio = test_portfolio(1);
+  const auto yet_table = test_yet(20, 10.0);
+  parallel::ThreadPool pool(2);
+  AnalysisConfig config;
+  config.engine = EngineKind::kChunked;
+  config.pool = &pool;
+  EXPECT_THROW(core::run({portfolio, yet_table, config}), std::invalid_argument);
+}
+
+TEST(UnifiedRun, RejectsSimdExtensionNotCompiledIntoThisBuild) {
+  const auto portfolio = test_portfolio(1);
+  const auto yet_table = test_yet(20, 10.0);
+  bool found_unavailable = false;
+  for (const auto extension :
+       {core::SimdExtension::kSse2, core::SimdExtension::kAvx2, core::SimdExtension::kAvx512,
+        core::SimdExtension::kNeon}) {
+    if (core::simd_extension_available(extension)) continue;
+    found_unavailable = true;
+    AnalysisConfig config;
+    config.engine = EngineKind::kSimd;
+    config.simd_extension = extension;
+    EXPECT_THROW(core::run({portfolio, yet_table, config}), std::invalid_argument)
+        << core::to_string(extension);
+  }
+  // x86 builds never compile NEON (and vice versa), so at least one
+  // extension is always unavailable.
+  EXPECT_TRUE(found_unavailable);
+}
+
+// --- Cross-engine equivalence through the front door --------------------------
+
+TEST(UnifiedRun, EveryBitIdenticalEngineMatchesSequential) {
+  const auto portfolio = test_portfolio(3);
+  const auto yet_table = test_yet(400, 60.0);
+  const auto reference = core::run_sequential(portfolio, yet_table);
+
+  std::size_t swept = 0;
+  for (const auto& engine : EngineRegistry::global().descriptors()) {
+    if (!engine.bit_identical_to_sequential || !engine.available_in_this_build) continue;
+    AnalysisConfig config;
+    config.engine_name = engine.name;
+    config.num_threads = 3;
+    SCOPED_TRACE(engine.name);
+    expect_identical(reference, core::run({portfolio, yet_table, config}));
+    ++swept;
+  }
+  EXPECT_GE(swept, 6u);  // seq, parallel, chunked, openmp, simd, instrumented
+}
+
+TEST(UnifiedRun, GenericLookupPathAlsoBitIdentical) {
+  const auto portfolio = test_portfolio(3, elt::LookupKind::kRobinHood);
+  const auto yet_table = test_yet(200, 40.0);
+  const auto reference = core::run_sequential(portfolio, yet_table);
+  for (const auto& engine : EngineRegistry::global().descriptors()) {
+    if (!engine.bit_identical_to_sequential || !engine.available_in_this_build) continue;
+    AnalysisConfig config;
+    config.engine_name = engine.name;
+    config.num_threads = 2;
+    SCOPED_TRACE(engine.name);
+    expect_identical(reference, core::run({portfolio, yet_table, config}));
+  }
+}
+
+TEST(UnifiedRun, FullYearWindowMatchesSequential) {
+  const auto portfolio = test_portfolio();
+  const auto yet_table = test_yet();
+  const auto reference = core::run_sequential(portfolio, yet_table);
+  AnalysisConfig config;
+  config.engine = EngineKind::kWindowed;
+  config.window = core::CoverageWindow{0.0f, 1.0f};
+  expect_identical(reference, core::run({portfolio, yet_table, config}));
+  config.window.reset();  // absent window = full year too
+  expect_identical(reference, core::run({portfolio, yet_table, config}));
+}
+
+TEST(UnifiedRun, BorrowedPoolReusedAcrossRunsStaysBitIdentical) {
+  const auto portfolio = test_portfolio();
+  const auto yet_table = test_yet();
+  const auto reference = core::run_sequential(portfolio, yet_table);
+  parallel::ThreadPool pool(3);
+  for (const EngineKind kind : {EngineKind::kParallel, EngineKind::kSimd}) {
+    AnalysisConfig config;
+    config.engine = kind;
+    config.pool = &pool;
+    SCOPED_TRACE(core::to_string(kind));
+    expect_identical(reference, core::run({portfolio, yet_table, config}));
+    expect_identical(reference, core::run({portfolio, yet_table, config}));  // pool still warm
+  }
+}
+
+// --- Instrumentation facts ----------------------------------------------------
+
+TEST(UnifiedRun, SinkRecordsEngineAndSimdResolution) {
+  const auto portfolio = test_portfolio();
+  const auto yet_table = test_yet(50, 10.0);
+
+  core::InstrumentationSink sink;
+  AnalysisConfig config;
+  config.engine = EngineKind::kSimd;
+  config.instrumentation = &sink;
+  core::run({portfolio, yet_table, config});
+  ASSERT_TRUE(sink.engine_used.has_value());
+  EXPECT_EQ(*sink.engine_used, EngineKind::kSimd);
+  ASSERT_TRUE(sink.simd_extension_used.has_value());
+  EXPECT_EQ(*sink.simd_extension_used,
+            core::resolve_simd_extension(portfolio, {1, core::SimdExtension::kAuto}));
+  EXPECT_FALSE(sink.phases.has_value());  // only kInstrumented fills phases
+}
+
+TEST(UnifiedRun, InstrumentedEngineFillsPhasesAndAccessCounts) {
+  const auto portfolio = test_portfolio();
+  const auto yet_table = test_yet(100, 30.0);
+
+  core::InstrumentationSink sink;
+  AnalysisConfig config;
+  config.engine = EngineKind::kInstrumented;
+  config.instrumentation = &sink;
+  core::run({portfolio, yet_table, config});
+
+  ASSERT_TRUE(sink.phases.has_value());
+  EXPECT_GT(sink.phases->total_seconds(), 0.0);
+  ASSERT_TRUE(sink.accesses.has_value());
+  const auto predicted = core::predict_access_counts(portfolio, yet_table);
+  EXPECT_EQ(sink.accesses->elt_lookups, predicted.elt_lookups);
+  EXPECT_EQ(sink.accesses->events_fetched, predicted.events_fetched);
+}
+
+TEST(UnifiedRun, DispatchesByNameToCustomEngineSharingABuiltinKind) {
+  // EngineKind is a closed enum, so a runtime-registered backend reuses an
+  // existing kind; AnalysisConfig::engine_name must reach it anyway (kind
+  // lookup would find the builtin first).
+  static bool custom_ran = false;
+  EngineDescriptor custom;
+  custom.kind = EngineKind::kParallel;
+  custom.name = "custom-parallel";
+  custom.summary = "runtime-registered test engine";
+  custom.bit_identical_to_sequential = false;  // keep registry sweeps honest
+  custom.run = [](const AnalysisRequest& request) {
+    custom_ran = true;
+    return core::run_sequential(request.portfolio, request.yet_table);
+  };
+  EngineRegistry::global().register_engine(custom);
+
+  const auto portfolio = test_portfolio(1);
+  const auto yet_table = test_yet(30, 10.0);
+  AnalysisConfig config;
+  config.engine_name = "custom-parallel";
+  custom_ran = false;
+  const auto ylt = core::run({portfolio, yet_table, config});
+  EXPECT_TRUE(custom_ran) << "builtin kParallel adapter ran instead of the custom engine";
+  expect_identical(core::run_sequential(portfolio, yet_table), ylt);
+
+  config.engine_name = "no-such-engine";
+  EXPECT_THROW(core::run({portfolio, yet_table, config}), std::invalid_argument);
+}
+
+TEST(UnifiedRun, RunsWithoutSinkAndWithDefaults) {
+  // Default config = parallel engine at hardware concurrency.
+  const auto portfolio = test_portfolio();
+  const auto yet_table = test_yet(50, 10.0);
+  const auto ylt = core::run({portfolio, yet_table});
+  expect_identical(core::run_sequential(portfolio, yet_table), ylt);
+}
+
+}  // namespace

@@ -3,7 +3,8 @@
 // (paper §IV), and reinstatement-aware pricing.
 #include <gtest/gtest.h>
 
-#include "core/engine.hpp"
+#include "core/analysis.hpp"
+#include "core/engine_registry.hpp"
 #include "core/openmp_engine.hpp"
 #include "elt/synthetic.hpp"
 #include "pricing/reinstatement_pricing.hpp"
@@ -47,8 +48,11 @@ TEST(OpenMpEngine, BitIdenticalToSequential) {
   const auto yet_table = yet::generate_uniform_yet(config, 10'000);
 
   const auto sequential = core::run_sequential(portfolio, yet_table);
-  for (int threads : {1, 2, 4}) {
-    const auto omp = core::run_openmp(portfolio, yet_table, threads);
+  for (std::size_t threads : {1, 2, 4}) {
+    core::AnalysisConfig config;
+    config.engine = core::EngineKind::kOpenMp;
+    config.num_threads = threads;
+    const auto omp = core::run({portfolio, yet_table, config});
     ASSERT_EQ(omp.num_trials(), sequential.num_trials());
     for (std::size_t trial = 0; trial < sequential.num_trials(); ++trial) {
       ASSERT_EQ(omp.at(0, trial), sequential.at(0, trial)) << "threads " << threads;
@@ -62,8 +66,36 @@ TEST(OpenMpEngine, DefaultThreadCountWorks) {
   config.num_trials = 50;
   config.events_per_trial = 20.0;
   const auto yet_table = yet::generate_uniform_yet(config, 10'000);
-  const auto ylt = core::run_openmp(portfolio, yet_table);
+  const auto ylt = core::run({portfolio, yet_table, {.engine = core::EngineKind::kOpenMp}});
   EXPECT_EQ(ylt.num_trials(), 50u);
+}
+
+TEST(OpenMpEngine, InstrumentationSurfacesFallback) {
+  // The silent-fallback footgun: whether OpenMP directives actually ran is
+  // recorded in the sink instead of requiring callers to probe
+  // openmp_available() themselves.
+  const auto portfolio = small_portfolio();
+  yet::YetConfig config;
+  config.num_trials = 20;
+  config.events_per_trial = 10.0;
+  const auto yet_table = yet::generate_uniform_yet(config, 10'000);
+
+  core::InstrumentationSink sink;
+  core::AnalysisConfig analysis;
+  analysis.engine = core::EngineKind::kOpenMp;
+  analysis.instrumentation = &sink;
+  core::run({portfolio, yet_table, analysis});
+
+  ASSERT_TRUE(sink.engine_used.has_value());
+  EXPECT_EQ(*sink.engine_used, core::EngineKind::kOpenMp);
+  ASSERT_TRUE(sink.openmp_used.has_value());
+  EXPECT_EQ(*sink.openmp_used, core::openmp_available());
+}
+
+TEST(OpenMpEngine, RegistryNoteExplainsAvailability) {
+  const auto& descriptor = core::EngineRegistry::global().require("openmp");
+  EXPECT_TRUE(descriptor.available_in_this_build);  // fallback keeps it runnable
+  EXPECT_FALSE(descriptor.availability_note.empty());
 }
 
 TEST(OpenMpEngine, ReportsAvailability) {

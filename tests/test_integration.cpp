@@ -7,7 +7,7 @@
 #include <sstream>
 
 #include "catmodel/cat_model.hpp"
-#include "core/engine.hpp"
+#include "core/analysis.hpp"
 #include "elt/synthetic.hpp"
 #include "io/binary.hpp"
 #include "io/csv.hpp"
@@ -86,7 +86,10 @@ TEST_F(FullPipeline, CatModelProducesUsableElts) {
 }
 
 TEST_F(FullPipeline, EndToEndProducesFiniteNonTrivialYlt) {
-  const auto ylt = core::run_parallel(make_portfolio(), yet_, {2, {}, 128});
+  const auto ylt = core::run({make_portfolio(), yet_,
+                              {.engine = core::EngineKind::kParallel,
+                               .num_threads = 2,
+                               .partition_chunk = 128}});
   ASSERT_EQ(ylt.num_trials(), 2'000u);
   const auto losses = ylt.layer_losses(0);
   double total = 0.0;
@@ -102,8 +105,14 @@ TEST_F(FullPipeline, EndToEndProducesFiniteNonTrivialYlt) {
 TEST_F(FullPipeline, AllEnginesAgreeOnRealData) {
   const auto portfolio = make_portfolio();
   const auto sequential = core::run_sequential(portfolio, yet_);
-  const auto parallel = core::run_parallel(portfolio, yet_, {4, {}, 64});
-  const auto chunked = core::run_chunked(portfolio, yet_, {4, 2});
+  const auto parallel = core::run({portfolio, yet_,
+                                   {.engine = core::EngineKind::kParallel,
+                                    .num_threads = 4,
+                                    .partition_chunk = 64}});
+  const auto chunked = core::run({portfolio, yet_,
+                                  {.engine = core::EngineKind::kChunked,
+                                   .num_threads = 2,
+                                   .chunk_size = 4}});
   for (std::size_t trial = 0; trial < yet_.num_trials(); ++trial) {
     ASSERT_EQ(sequential.at(0, trial), parallel.at(0, trial)) << trial;
     ASSERT_EQ(sequential.at(0, trial), chunked.at(0, trial)) << trial;

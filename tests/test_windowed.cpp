@@ -1,8 +1,8 @@
-// Tests for the coverage-window engine and the severity-stress decorator.
+// Tests for the coverage-window engine (driven through the unified
+// core::run front door) and the severity-stress decorator.
 #include <gtest/gtest.h>
 
-#include "core/engine.hpp"
-#include "core/windowed_engine.hpp"
+#include "core/analysis.hpp"
 #include "elt/scaled_lookup.hpp"
 #include "elt/synthetic.hpp"
 #include "metrics/statistics.hpp"
@@ -12,6 +12,16 @@ namespace {
 
 using namespace are;
 using core::CoverageWindow;
+
+/// The windowed engine through the front door: kWindowed + config window.
+core::YearLossTable run_windowed_api(const core::Portfolio& portfolio,
+                                     const yet::YearEventTable& yet_table,
+                                     const CoverageWindow& window) {
+  core::AnalysisConfig config;
+  config.engine = core::EngineKind::kWindowed;
+  config.window = window;
+  return core::run({portfolio, yet_table, config});
+}
 
 core::Portfolio test_portfolio(std::size_t elts = 3) {
   core::Portfolio portfolio;
@@ -61,7 +71,7 @@ TEST(WindowedEngine, FullYearMatchesSequentialBitExact) {
   const auto portfolio = test_portfolio();
   const auto yet_table = test_yet();
   const auto reference = core::run_sequential(portfolio, yet_table);
-  const auto windowed = core::run_windowed(portfolio, yet_table, {0.0f, 1.0f});
+  const auto windowed = run_windowed_api(portfolio, yet_table, {0.0f, 1.0f});
   for (std::size_t trial = 0; trial < yet_table.num_trials(); ++trial) {
     ASSERT_EQ(windowed.at(0, trial), reference.at(0, trial)) << trial;
   }
@@ -71,7 +81,7 @@ TEST(WindowedEngine, WindowNeverIncreasesLoss) {
   const auto portfolio = test_portfolio();
   const auto yet_table = test_yet();
   const auto full = core::run_sequential(portfolio, yet_table);
-  const auto half = core::run_windowed(portfolio, yet_table, {0.0f, 0.5f});
+  const auto half = run_windowed_api(portfolio, yet_table, {0.0f, 0.5f});
   for (std::size_t trial = 0; trial < yet_table.num_trials(); ++trial) {
     ASSERT_LE(half.at(0, trial), full.at(0, trial) + 1e-9);
   }
@@ -94,8 +104,8 @@ TEST(WindowedEngine, ComplementaryWindowLossesSumWithoutAggregateTerms) {
   const auto yet_table = test_yet();
 
   const auto full = core::run_sequential(portfolio, yet_table);
-  const auto first = core::run_windowed(portfolio, yet_table, {0.0f, 0.5f});
-  const auto second = core::run_windowed(portfolio, yet_table, {0.5f, 1.0f});
+  const auto first = run_windowed_api(portfolio, yet_table, {0.0f, 0.5f});
+  const auto second = run_windowed_api(portfolio, yet_table, {0.5f, 1.0f});
   for (std::size_t trial = 0; trial < yet_table.num_trials(); ++trial) {
     EXPECT_NEAR(first.at(0, trial) + second.at(0, trial), full.at(0, trial),
                 1e-9 * (1.0 + full.at(0, trial)));
@@ -115,7 +125,7 @@ TEST(WindowedEngine, NarrowWindowCapturesFewOccurrences) {
 
 TEST(WindowedEngine, RejectsInvalidWindow) {
   const auto portfolio = test_portfolio();
-  EXPECT_THROW(core::run_windowed(portfolio, test_yet(10), {0.7f, 0.3f}),
+  EXPECT_THROW(run_windowed_api(portfolio, test_yet(10), {0.7f, 0.3f}),
                std::invalid_argument);
 }
 

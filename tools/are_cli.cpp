@@ -10,11 +10,21 @@
 //   are_cli report    --yet years.yet --elt a.elt ... [terms...]     (EP table to stdout)
 //   are_cli price     --yet years.yet --elt a.elt ... [terms...]     (quote to stdout)
 //   are_cli info      --yet years.yet | --elt book.elt               (describe a file)
+//   are_cli list-engines [--names] [--bit-identical]   (dump the engine registry)
 //
 // Layer terms: --occ-retention --occ-limit --agg-retention --agg-limit
-// Engine:      --engine seq|parallel|chunked|openmp|simd  --threads N  --chunk N
+// Engine:      --engine NAME (any name in `are_cli list-engines`)
+//              --threads N --chunk N (chunked engine's events per chunk)
+//              --partition static|dynamic|guided --partition-chunk N
+//              (parallel engine's trials per dynamic/guided work item)
 //              --simd-ext auto|scalar|sse2|avx2|avx512|neon
+//              --window FROM:TO (windowed engine; fractions of the year)
 //              --lookup direct|sorted|robinhood|cuckoo
+//
+// Engine selection goes through core::run(AnalysisRequest) and the
+// EngineRegistry, so a backend registered there is immediately reachable
+// here by name — this file has no per-engine dispatch ladder.
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -23,9 +33,9 @@
 
 #include "args.hpp"
 #include "catmodel/cat_model.hpp"
-#include "core/engine.hpp"
+#include "core/analysis.hpp"
+#include "core/engine_registry.hpp"
 #include "core/openmp_engine.hpp"
-#include "core/simd_engine.hpp"
 #include "elt/synthetic.hpp"
 #include "io/binary.hpp"
 #include "io/csv.hpp"
@@ -51,11 +61,14 @@ commands:
   report             aggregate analysis -> EP table      (--yet F --elt F...)
   price              aggregate analysis -> layer quote   (--yet F --elt F...)
   info               describe a .yet/.elt binary file    (--yet F | --elt F)
+  list-engines       dump the engine registry            (--names --bit-identical)
 
 common options:
   layer terms   --occ-retention X --occ-limit X --agg-retention X --agg-limit X
-  engine        --engine seq|parallel|chunked|openmp|simd --threads N --chunk N
+  engine        --engine NAME (see list-engines) --threads N --chunk N
+                --partition static|dynamic|guided --partition-chunk N
   simd          --simd-ext auto|scalar|sse2|avx2|avx512|neon (lane type for --engine simd)
+  window        --window FROM:TO  (fractions of the year, for --engine windowed)
   lookup        --lookup direct|sorted|robinhood|cuckoo
   run 'are_cli <command> --help' is not needed: every option has a default.
 )";
@@ -128,48 +141,90 @@ core::Portfolio build_portfolio(const Args& args, std::size_t catalog_size) {
   return portfolio;
 }
 
+core::CoverageWindow parse_window(const std::string& spec) {
+  const auto colon = spec.find(':');
+  core::CoverageWindow window;
+  try {
+    if (colon == std::string::npos) throw std::invalid_argument("");
+    window.from = std::stof(spec.substr(0, colon));
+    window.to = std::stof(spec.substr(colon + 1));
+  } catch (const std::exception&) {
+    throw std::runtime_error("--window expects FROM:TO (fractions of the year, e.g. 0.25:0.75), "
+                             "got '" + spec + "'");
+  }
+  window.validate();
+  return window;
+}
+
+parallel::Partition parse_partition(const Args& args) {
+  const std::string name = args.get("partition", "static");
+  if (name == "static") return parallel::Partition::kStatic;
+  if (name == "dynamic") return parallel::Partition::kDynamic;
+  if (name == "guided") return parallel::Partition::kGuided;
+  throw std::runtime_error("unknown --partition '" + name + "'");
+}
+
+/// Builds the AnalysisConfig from the command line. Engine names resolve
+/// through the registry, so `--engine` accepts exactly what list-engines
+/// prints.
+core::AnalysisConfig parse_engine_config(const Args& args) {
+  core::AnalysisConfig config;
+  const auto& engine = core::EngineRegistry::global().require(args.get("engine", "parallel"));
+  config.engine = engine.kind;
+  config.engine_name = engine.name;  // exact descriptor, even for custom-named engines
+  config.num_threads = static_cast<std::size_t>(args.get_u64("threads", 0));
+  config.partition = parse_partition(args);
+  config.partition_chunk = static_cast<std::size_t>(args.get_u64("partition-chunk", 256));
+  config.chunk_size = static_cast<std::size_t>(args.get_u64("chunk", 4));
+  const std::string ext = args.get("simd-ext", "auto");
+  const auto extension = core::simd_extension_from_string(ext);
+  if (!extension) throw std::runtime_error("unknown --simd-ext '" + ext + "'");
+  config.simd_extension = *extension;
+  if (args.has("window")) config.window = parse_window(args.require("window"));
+  return config;
+}
+
+/// Post-run execution facts (stderr, so CSV/report stdout stays clean):
+/// the Fig-6b phase breakdown for the instrumented engine, the resolved
+/// lane type for simd, and whether openmp actually ran OpenMP or fell back.
+void report_execution(const core::InstrumentationSink& sink) {
+  if (sink.openmp_used && !*sink.openmp_used) {
+    std::cerr << "note: OpenMP not compiled in; bit-identical thread-pool fallback ran\n";
+  }
+  if (sink.simd_extension_used) {
+    std::cerr << "note: simd engine executed extension '"
+              << core::to_string(*sink.simd_extension_used) << "'\n";
+  }
+  if (sink.phases) {
+    const core::PhaseBreakdown& phases = *sink.phases;
+    std::cerr << "phase breakdown (Fig 6b):\n";
+    const auto row = [](const char* name, double seconds, double fraction) {
+      std::fprintf(stderr, "  %-15s %10.4f s  %5.1f%%\n", name, seconds, 100.0 * fraction);
+    };
+    row("event fetch", phases.fetch_seconds, phases.fetch_fraction());
+    row("ELT lookup", phases.lookup_seconds, phases.lookup_fraction());
+    row("financial terms", phases.financial_seconds, phases.financial_fraction());
+    row("layer terms", phases.layer_seconds, phases.layer_fraction());
+    row("total", phases.total_seconds(), 1.0);
+  }
+  if (sink.accesses) {
+    std::fprintf(stderr,
+                 "accesses: %llu events fetched, %llu ELT lookups, %llu financial, %llu layer\n",
+                 static_cast<unsigned long long>(sink.accesses->events_fetched),
+                 static_cast<unsigned long long>(sink.accesses->elt_lookups),
+                 static_cast<unsigned long long>(sink.accesses->financial_applications),
+                 static_cast<unsigned long long>(sink.accesses->layer_term_applications));
+  }
+}
+
 core::YearLossTable run_engine(const Args& args, const core::Portfolio& portfolio,
                                const yet::YearEventTable& yet_table) {
-  const std::string engine = args.get("engine", "parallel");
-  const auto threads = args.get_u64("threads", 0);
-  if (engine == "seq") return core::run_sequential(portfolio, yet_table);
-  if (engine == "parallel") {
-    core::ParallelOptions options;
-    options.num_threads = static_cast<std::size_t>(threads);
-    return core::run_parallel(portfolio, yet_table, options);
-  }
-  if (engine == "chunked") {
-    core::ChunkedOptions options;
-    options.chunk_size = static_cast<std::size_t>(args.get_u64("chunk", 4));
-    options.num_threads = static_cast<std::size_t>(threads);
-    return core::run_chunked(portfolio, yet_table, options);
-  }
-  if (engine == "openmp") {
-    return core::run_openmp(portfolio, yet_table, static_cast<int>(threads));
-  }
-  if (engine == "simd") {
-    core::SimdOptions options;
-    // Same convention as the other engines: 0 = hardware concurrency.
-    options.num_threads = static_cast<std::size_t>(threads);
-    const std::string ext = args.get("simd-ext", "auto");
-    if (ext == "auto") {
-      options.extension = core::SimdExtension::kAuto;
-    } else if (ext == "scalar") {
-      options.extension = core::SimdExtension::kScalar;
-    } else if (ext == "sse2") {
-      options.extension = core::SimdExtension::kSse2;
-    } else if (ext == "avx2") {
-      options.extension = core::SimdExtension::kAvx2;
-    } else if (ext == "avx512") {
-      options.extension = core::SimdExtension::kAvx512;
-    } else if (ext == "neon") {
-      options.extension = core::SimdExtension::kNeon;
-    } else {
-      throw std::runtime_error("unknown --simd-ext '" + ext + "'");
-    }
-    return core::run_simd(portfolio, yet_table, options);
-  }
-  throw std::runtime_error("unknown --engine '" + engine + "'");
+  core::AnalysisConfig config = parse_engine_config(args);
+  core::InstrumentationSink sink;
+  config.instrumentation = &sink;
+  auto ylt = core::run({portfolio, yet_table, std::move(config)});
+  report_execution(sink);
+  return ylt;
 }
 
 std::size_t universe_of(const yet::YearEventTable& yet_table, const Args& args) {
@@ -300,6 +355,38 @@ int cmd_price(const Args& args) {
   return 0;
 }
 
+int cmd_list_engines(const Args& args) {
+  const auto& registry = core::EngineRegistry::global();
+  const bool names_only = args.has("names");
+  const bool only_bit_identical = args.has("bit-identical");
+
+  if (names_only) {
+    // Machine-readable: one canonical name per line, restricted to engines
+    // this build can actually run (what CI smoke-loops over).
+    for (const auto& engine : registry.descriptors()) {
+      if (!engine.available_in_this_build) continue;
+      if (only_bit_identical && !engine.bit_identical_to_sequential) continue;
+      std::cout << engine.name << "\n";
+    }
+    return 0;
+  }
+
+  std::printf("%-13s %-9s %-13s %-7s %-6s %-5s %s\n", "engine", "available", "bit-identical",
+              "window", "instr", "pool", "summary");
+  for (const auto& engine : registry.descriptors()) {
+    if (only_bit_identical && !engine.bit_identical_to_sequential) continue;
+    const auto yn = [](bool value) { return value ? "yes" : "no"; };
+    std::printf("%-13s %-9s %-13s %-7s %-6s %-5s %s\n", engine.name.c_str(),
+                yn(engine.available_in_this_build), yn(engine.bit_identical_to_sequential),
+                yn(engine.supports_windowing), yn(engine.supports_instrumentation),
+                yn(engine.supports_pool_reuse), engine.summary.c_str());
+    if (!engine.availability_note.empty()) {
+      std::printf("%-13s   %s\n", "", engine.availability_note.c_str());
+    }
+  }
+  return 0;
+}
+
 int cmd_info(const Args& args) {
   if (args.has("yet")) {
     const auto table = load_yet(args.require("yet"));
@@ -331,6 +418,7 @@ int main(int argc, char** argv) {
     if (command == "report") return cmd_report(args);
     if (command == "price") return cmd_price(args);
     if (command == "info") return cmd_info(args);
+    if (command == "list-engines" || command == "--list-engines") return cmd_list_engines(args);
     std::cerr << "unknown command '" << command << "'\n";
     return usage();
   } catch (const std::exception& error) {
