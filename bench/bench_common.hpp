@@ -14,6 +14,7 @@
 #include <memory>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "core/analysis.hpp"
 #include "elt/synthetic.hpp"
@@ -100,5 +101,74 @@ inline void print_row(const char* figure, const char* x_name, double x, const ch
 }
 
 inline void print_note(const char* text) { std::printf("[note] %s\n", text); }
+
+// --- Machine-readable benchmark output ---------------------------------------
+//
+// Benches that track the perf trajectory across PRs write their measured
+// points as a JSON array (e.g. bench_fused_tiling -> BENCH_fused.json); CI
+// uploads the file as an artifact so regressions are visible run over run.
+
+/// One measured point: a (workload, engine/config) pair with its wall time
+/// and its speedup over the sequential reference on the same workload.
+struct JsonRecord {
+  std::string workload;
+  std::string engine;
+  double wall_seconds = 0.0;
+  double speedup_vs_sequential = 0.0;
+};
+
+class JsonReport {
+ public:
+  void add(std::string workload, std::string engine, double wall_seconds,
+           double speedup_vs_sequential) {
+    records_.push_back(
+        {std::move(workload), std::move(engine), wall_seconds, speedup_vs_sequential});
+  }
+
+  /// Writes the records as a JSON array; returns false on I/O failure.
+  /// Workload/engine strings are plain identifiers (no escaping needed).
+  bool write(const std::string& path) const {
+    std::FILE* out = std::fopen(path.c_str(), "w");
+    if (out == nullptr) return false;
+    std::fprintf(out, "[\n");
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      const JsonRecord& record = records_[i];
+      std::fprintf(out,
+                   "  {\"workload\": \"%s\", \"engine\": \"%s\", \"wall_seconds\": %.6f, "
+                   "\"speedup_vs_sequential\": %.4f}%s\n",
+                   record.workload.c_str(), record.engine.c_str(), record.wall_seconds,
+                   record.speedup_vs_sequential, i + 1 < records_.size() ? "," : "");
+    }
+    std::fprintf(out, "]\n");
+    return std::fclose(out) == 0;
+  }
+
+  std::size_t size() const noexcept { return records_.size(); }
+
+ private:
+  std::vector<JsonRecord> records_;
+};
+
+/// Extracts `--json PATH` (or `--json=PATH`) from argv, removing it so the
+/// remaining flags can go to benchmark::Initialize (google benchmark
+/// rejects flags it does not know). Returns `fallback` when absent.
+inline std::string consume_json_flag(int* argc, char** argv, const char* fallback) {
+  std::string path = fallback;
+  int write_index = 1;
+  for (int read_index = 1; read_index < *argc; ++read_index) {
+    const char* arg = argv[read_index];
+    if (std::strcmp(arg, "--json") == 0 && read_index + 1 < *argc) {
+      path = argv[++read_index];
+      continue;
+    }
+    if (std::strncmp(arg, "--json=", 7) == 0) {
+      path = arg + 7;
+      continue;
+    }
+    argv[write_index++] = argv[read_index];
+  }
+  *argc = write_index;
+  return path;
+}
 
 }  // namespace are::bench

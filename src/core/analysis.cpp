@@ -16,6 +16,7 @@ std::string_view to_string(EngineKind kind) noexcept {
     case EngineKind::kSimd: return "simd";
     case EngineKind::kWindowed: return "windowed";
     case EngineKind::kInstrumented: return "instrumented";
+    case EngineKind::kFused: return "fused";
   }
   return "unknown";
 }
@@ -26,6 +27,7 @@ void AnalysisConfig::validate() const {
     throw std::invalid_argument("AnalysisConfig: partition_chunk must be > 0");
   }
   if (chunk_size == 0) throw std::invalid_argument("AnalysisConfig: chunk_size must be > 0");
+  if (tile_trials == 0) throw std::invalid_argument("AnalysisConfig: tile_trials must be > 0");
 }
 
 YearLossTable run(const AnalysisRequest& request) {

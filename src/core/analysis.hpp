@@ -35,6 +35,7 @@ enum class EngineKind {
   kSimd,            ///< lane-parallel batch engine (one trial per lane)
   kWindowed,        ///< sequential with a mid-year coverage window
   kInstrumented,    ///< sequential with per-phase timers + access counters
+  kFused,           ///< trial-tiled single-pass engine: all layers per tile
 };
 
 /// Canonical name of the engine kind ("seq", "parallel", ...). Matches the
@@ -89,6 +90,10 @@ struct AnalysisConfig {
   /// kChunked: events staged per scratch chunk (the paper's Fig-5a knob).
   std::size_t chunk_size = 4;
 
+  /// kFused: trials per tile (the fused engine processes every layer over
+  /// one tile's events before moving on; see core/fused_engine.hpp).
+  std::size_t tile_trials = 64;
+
   /// kSimd: lane type to run; kAuto resolves to the widest compiled
   /// extension with the memory-bound narrowing.
   SimdExtension simd_extension = SimdExtension::kAuto;
@@ -108,7 +113,8 @@ struct AnalysisConfig {
   parallel::ThreadPool* pool = nullptr;
 
   /// Engine-independent sanity checks; throws std::invalid_argument on a
-  /// malformed window, partition_chunk == 0, or chunk_size == 0.
+  /// malformed window, partition_chunk == 0, chunk_size == 0, or
+  /// tile_trials == 0.
   /// Engine-capability checks (window/pool vs. descriptor flags, extension
   /// availability) happen in run(), which knows the registry.
   void validate() const;

@@ -7,6 +7,7 @@
 
 #include "core/direct_elt_view.hpp"
 #include "financial/trial_accumulator.hpp"
+#include "parallel/task_scratch.hpp"
 
 namespace are::core {
 
@@ -203,15 +204,19 @@ YearLossTable run_chunked(const Portfolio& portfolio, const yet::YearEventTable&
   for (const Layer& layer : portfolio.layers) ids.push_back(layer.id);
   YearLossTable ylt(std::move(ids), yet_table.num_trials());
 
-  const std::size_t threads = options.num_threads == 0 ? 0 : options.num_threads;
-  parallel::ThreadPool pool(threads == 0 ? 0 : threads);
+  parallel::ThreadPool pool(options.num_threads);
 
   for (std::size_t layer_index = 0; layer_index < portfolio.layers.size(); ++layer_index) {
     const Layer& layer = portfolio.layers[layer_index];
     auto losses = ylt.layer_losses(layer_index);
+    // One runner per worker, reused across every task that worker claims —
+    // the scratch buffers (and the direct view) are built once, not per
+    // submitted trial range.
+    parallel::TaskScratch<ChunkedTrialRunner> runners(pool);
     parallel::parallel_for(pool, 0, yet_table.num_trials(),
                            [&](std::uint64_t first, std::uint64_t last) {
-                             ChunkedTrialRunner runner(layer, options.chunk_size);
+                             ChunkedTrialRunner& runner = runners.local(
+                                 [&] { return ChunkedTrialRunner(layer, options.chunk_size); });
                              for (std::uint64_t trial = first; trial < last; ++trial) {
                                losses[trial] = runner.run(yet_table.trial_events(trial));
                              }

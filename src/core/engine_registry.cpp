@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/fused_engine.hpp"
 #include "core/openmp_engine.hpp"
 
 namespace are::core {
@@ -72,6 +73,17 @@ YearLossTable adapt_windowed(const AnalysisRequest& request) {
   // changes the YLT by design.
   const CoverageWindow window = request.config.window.value_or(CoverageWindow{});
   return run_windowed(request.portfolio, request.yet_table, window);
+}
+
+YearLossTable adapt_fused(const AnalysisRequest& request) {
+  note_engine(request, EngineKind::kFused);
+  const AnalysisConfig& config = request.config;
+  const FusedOptions options{config.tile_trials, config.num_threads, config.partition,
+                             config.window};
+  if (config.pool != nullptr) {
+    return run_fused(request.portfolio, request.yet_table, *config.pool, options);
+  }
+  return run_fused(request.portfolio, request.yet_table, options);
 }
 
 YearLossTable adapt_instrumented(const AnalysisRequest& request) {
@@ -205,6 +217,21 @@ EngineRegistry make_builtin_registry() {
       // matches seq, so the flag must stay false for the CI CSV diff.
       .bit_identical_to_sequential = false,
       .run = &adapt_windowed,
+  });
+  registry.register_engine({
+      .kind = EngineKind::kFused,
+      .name = "fused",
+      .summary = "trial-tiled single-pass engine: all layers per tile, batch ELT "
+                 "lookups, zero-allocation scratch",
+      .supports_windowing = true,
+      .supports_pool_reuse = true,
+      // Bit-identical for the default full-year coverage (what CI diffs); a
+      // real mid-year window intentionally changes the YLT — it matches
+      // run_windowed for the same window instead.
+      .bit_identical_to_sequential = true,
+      .availability_note = "a non-full-year --window changes the YLT by design "
+                           "(same semantics as the windowed engine)",
+      .run = &adapt_fused,
   });
   registry.register_engine({
       .kind = EngineKind::kInstrumented,

@@ -1,0 +1,241 @@
+#include "core/fused_engine.hpp"
+
+#include <algorithm>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "core/direct_elt_view.hpp"
+#include "core/simd_terms.hpp"
+#include "financial/trial_accumulator.hpp"
+#include "parallel/task_scratch.hpp"
+#include "simd/prefetch.hpp"
+#include "simd/vec.hpp"
+
+namespace are::core {
+
+namespace {
+
+using detail::DirectElt;
+using detail::direct_view;
+
+// Element-wise vertical math over contiguous buffers: the widest compiled
+// lane type always pays here (unlike the trial-per-lane engine, there is no
+// gather-width trade-off to narrow for).
+using V = simd::VecD<simd::best_ext>;
+constexpr std::size_t kW = V::kLanes;
+
+/// Per-worker scratch, owned by a parallel::TaskScratch arena: buffers grow
+/// to the tile high-water mark during the first tasks and are then reused,
+/// so the steady-state hot path allocates nothing.
+struct FusedScratch {
+  std::vector<double> raw;       // one ELT's batch lookups for the tile
+  std::vector<double> combined;  // per-event combined loss, then net of occurrence terms
+};
+
+/// Immutable per-layer execution state hoisted out of the parallel region:
+/// the direct-table view (when eligible), the ELT/layer terms broadcast
+/// into registers once, and the layer's YLT row.
+struct LayerPlan {
+  const Layer* layer;
+  std::vector<DirectElt> direct;  // empty unless Layer::all_direct_access()
+  std::vector<detail::EltTermsV<V>> elt_terms;
+  detail::LayerTermsV<V> terms;
+  std::span<double> losses;
+};
+
+/// Combined ELT loss per event over the tile, direct-table fast path:
+/// guarded gathers straight out of the (untransposed) YET event slice. The
+/// first ELT writes, later ELTs accumulate — same per-event summation order
+/// as run_sequential (0.0 + x == x exactly for the engine's domain).
+void combine_elts_direct(const LayerPlan& plan, const yet::EventId* events, std::size_t count,
+                         double* combined) noexcept {
+  for (std::size_t e = 0; e < plan.direct.size(); ++e) {
+    const DirectElt& direct = plan.direct[e];
+    const detail::EltTermsV<V>& terms_v = plan.elt_terms[e];
+    const financial::FinancialTerms& terms = direct.terms;
+    std::size_t i = 0;
+    if (e == 0) {
+      for (; i + kW <= count; i += kW) {
+        const typename V::ivec idx = V::load_index(events + i);
+        const typename V::reg loss = V::gather_guarded(direct.data, idx, direct.universe);
+        V::store(combined + i, detail::apply_financial_v<V>(loss, terms_v));
+      }
+      for (; i < count; ++i) {
+        const yet::EventId event = events[i];
+        combined[i] = terms.apply(event < direct.universe ? direct.data[event] : 0.0);
+      }
+    } else {
+      for (; i + kW <= count; i += kW) {
+        const typename V::ivec idx = V::load_index(events + i);
+        const typename V::reg loss = V::gather_guarded(direct.data, idx, direct.universe);
+        V::store(combined + i,
+                 V::add(V::load(combined + i), detail::apply_financial_v<V>(loss, terms_v)));
+      }
+      for (; i < count; ++i) {
+        const yet::EventId event = events[i];
+        combined[i] += terms.apply(event < direct.universe ? direct.data[event] : 0.0);
+      }
+    }
+  }
+}
+
+/// Generic path: one lookup_many batch call per ELT (the prefetching
+/// overrides in src/elt/), then the vectorized financial terms over the
+/// staged raw losses.
+void combine_elts_generic(const LayerPlan& plan, const yet::EventId* events, std::size_t count,
+                          double* combined, std::vector<double>& raw) {
+  raw.resize(count);
+  const std::vector<LayerElt>& elts = plan.layer->elts;
+  for (std::size_t e = 0; e < elts.size(); ++e) {
+    elts[e].lookup->lookup_many(events, count, raw.data());
+    const detail::EltTermsV<V>& terms_v = plan.elt_terms[e];
+    const financial::FinancialTerms& terms = elts[e].terms;
+    std::size_t i = 0;
+    if (e == 0) {
+      for (; i + kW <= count; i += kW) {
+        V::store(combined + i, detail::apply_financial_v<V>(V::load(raw.data() + i), terms_v));
+      }
+      for (; i < count; ++i) combined[i] = terms.apply(raw[i]);
+    } else {
+      for (; i + kW <= count; i += kW) {
+        V::store(combined + i,
+                 V::add(V::load(combined + i),
+                        detail::apply_financial_v<V>(V::load(raw.data() + i), terms_v)));
+      }
+      for (; i < count; ++i) combined[i] += terms.apply(raw[i]);
+    }
+  }
+}
+
+/// Tiles of [first, last) — one task's share of the trial range. Per tile,
+/// every layer is processed while the tile's YET slice (and the staged
+/// per-event buffers) are hot: this is the fusion that streams the YET once
+/// per analysis instead of once per layer.
+void run_tiles(const std::vector<LayerPlan>& plans, const yet::YearEventTable& yet_table,
+               const CoverageWindow* window, std::size_t tile_trials, std::uint64_t first,
+               std::uint64_t last, FusedScratch& scratch) {
+  const std::span<const std::uint64_t> offsets = yet_table.offsets();
+  const yet::EventId* all_events = yet_table.events().data();
+  const float* all_times = yet_table.times().data();
+
+  for (std::uint64_t t0 = first; t0 < last; t0 += tile_trials) {
+    const std::uint64_t t1 = std::min<std::uint64_t>(t0 + tile_trials, last);
+
+    // Stream the head of the NEXT tile's event ids toward the cache while
+    // this tile computes (16 u32 ids per 64-byte line). The burst is capped:
+    // past ~4 KB the lines would be evicted again before the multi-layer
+    // compute reaches them, and an unbounded burst for large tiles would
+    // pollute the very working set the tiling protects.
+    constexpr std::uint64_t kPrefetchIds = 1024;  // 64 cache lines
+    const std::uint64_t n1 = std::min<std::uint64_t>(t1 + tile_trials, last);
+    const std::uint64_t next_end =
+        std::min<std::uint64_t>(offsets[n1], offsets[t1] + kPrefetchIds);
+    for (std::uint64_t p = offsets[t1]; p < next_end; p += 16) {
+      simd::prefetch_read(all_events + p);
+    }
+
+    const std::uint64_t ev0 = offsets[t0];
+    const std::size_t count = static_cast<std::size_t>(offsets[t1] - ev0);
+    const yet::EventId* events = all_events + ev0;
+    const float* times = all_times + ev0;
+    scratch.combined.resize(count);
+    double* combined = scratch.combined.data();
+
+    for (const LayerPlan& plan : plans) {
+      // Phase 1+2: batch ELT lookups + financial terms across ELTs.
+      if (!plan.direct.empty()) {
+        combine_elts_direct(plan, events, count, combined);
+      } else {
+        combine_elts_generic(plan, events, count, combined, scratch.raw);
+      }
+
+      // Phase 3: occurrence terms, vectorized in place.
+      {
+        std::size_t i = 0;
+        for (; i + kW <= count; i += kW) {
+          V::store(combined + i, detail::excess_v<V>(V::load(combined + i),
+                                                     plan.terms.occ_retention,
+                                                     plan.terms.occ_limit));
+        }
+        for (; i < count; ++i) combined[i] = plan.layer->terms.apply_occurrence(combined[i]);
+      }
+
+      // Phase 4: the path-dependent aggregate recurrence, per trial.
+      for (std::uint64_t trial = t0; trial < t1; ++trial) {
+        financial::TrialAccumulator accumulator(plan.layer->terms);
+        const std::size_t begin = static_cast<std::size_t>(offsets[trial] - ev0);
+        const std::size_t end = static_cast<std::size_t>(offsets[trial + 1] - ev0);
+        if (window == nullptr) {
+          for (std::size_t k = begin; k < end; ++k) accumulator.add_occurrence(combined[k]);
+        } else {
+          // Windowed semantics: out-of-window occurrences are skipped
+          // entirely, so they do not advance the recurrence.
+          for (std::size_t k = begin; k < end; ++k) {
+            if (window->covers(times[k])) accumulator.add_occurrence(combined[k]);
+          }
+        }
+        plan.losses[trial] = accumulator.trial_loss();
+      }
+    }
+  }
+}
+
+}  // namespace
+
+YearLossTable run_fused(const Portfolio& portfolio, const yet::YearEventTable& yet_table,
+                        parallel::ThreadPool& pool, const FusedOptions& options) {
+  portfolio.validate();
+  if (options.tile_trials == 0) {
+    throw std::invalid_argument("fused engine: tile_trials must be > 0");
+  }
+  if (options.window) options.window->validate();
+  const CoverageWindow* window =
+      (options.window && !options.window->full_year()) ? &*options.window : nullptr;
+
+  std::vector<std::uint32_t> ids;
+  for (const Layer& layer : portfolio.layers) ids.push_back(layer.id);
+  YearLossTable ylt(std::move(ids), yet_table.num_trials());
+
+  std::vector<LayerPlan> plans;
+  plans.reserve(portfolio.layers.size());
+  for (std::size_t layer_index = 0; layer_index < portfolio.layers.size(); ++layer_index) {
+    const Layer& layer = portfolio.layers[layer_index];
+    LayerPlan plan;
+    plan.layer = &layer;
+    if (layer.all_direct_access()) plan.direct = direct_view(layer);
+    plan.elt_terms.reserve(layer.elts.size());
+    for (const LayerElt& layer_elt : layer.elts) {
+      plan.elt_terms.push_back(detail::EltTermsV<V>::from(layer_elt.terms));
+    }
+    plan.terms = detail::LayerTermsV<V>::from(layer.terms);
+    plan.losses = ylt.layer_losses(layer_index);
+    plans.push_back(std::move(plan));
+  }
+
+  const std::uint64_t num_trials = yet_table.num_trials();
+  if (num_trials == 0) return ylt;
+
+  // Schedule by event count (the YET offsets are the cost prefix), claiming
+  // ~one tile's worth of events per chunk, so skewed trial lengths spread
+  // across workers instead of serialising on the longest static block.
+  const double mean_events = std::max(1.0, yet_table.mean_events_per_trial());
+  const std::uint64_t chunk_cost = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(static_cast<double>(options.tile_trials) * mean_events));
+  parallel::TaskScratch<FusedScratch> scratch(pool);
+  parallel::parallel_for_costed(
+      pool, 0, num_trials, yet_table.offsets(), chunk_cost,
+      [&](std::uint64_t first, std::uint64_t last) {
+        run_tiles(plans, yet_table, window, options.tile_trials, first, last, scratch.local());
+      },
+      options.partition);
+  return ylt;
+}
+
+YearLossTable run_fused(const Portfolio& portfolio, const yet::YearEventTable& yet_table,
+                        const FusedOptions& options) {
+  parallel::ThreadPool pool(options.num_threads);
+  return run_fused(portfolio, yet_table, pool, options);
+}
+
+}  // namespace are::core

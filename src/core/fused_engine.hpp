@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "core/engine.hpp"
+#include "core/windowed_engine.hpp"
+
+namespace are::core {
+
+struct FusedOptions {
+  /// Trials per tile. Small tiles keep a tile's events (and the staged
+  /// per-event loss buffers) cache-resident across all layers; large tiles
+  /// amortise per-tile overhead. bench_fused_tiling sweeps this knob.
+  std::size_t tile_trials = 64;
+  /// Worker threads; 0 = hardware concurrency, 1 = single-threaded.
+  std::size_t num_threads = 0;
+  /// How trial tiles are scheduled onto workers. The fused engine schedules
+  /// by *event count* (parallel_for_costed over the YET offsets), so even
+  /// kStatic blocks are balanced by work, and kDynamic/kGuided additionally
+  /// absorb runtime skew by claiming ~tile-sized chunks from a shared
+  /// cursor instead of serialising on the slowest static partition.
+  parallel::Partition partition = parallel::Partition::kDynamic;
+  /// Optional coverage window (the windowed engine's semantics: occurrences
+  /// outside the window contribute nothing and do not advance the
+  /// aggregate-terms recurrence). Absent or full-year = bit-identical to
+  /// run_sequential; a real mid-year window changes the YLT by design and
+  /// is bit-identical to run_windowed instead.
+  std::optional<CoverageWindow> window;
+};
+
+/// Fused trial-tiled engine: the loop nest of every other engine
+/// (`for layer: for trial:`) is inverted and tiled — one pass over trial
+/// tiles, and for each tile *all layers* are processed while the tile's
+/// slice of the year-event table is hot, so the YET is streamed once per
+/// analysis instead of once per layer. Within a tile the paper's phases run
+/// batched over the tile's events: ELT lookups go through
+/// ILossLookup::lookup_many (prefetching batch overrides; hardware gathers
+/// on direct tables), financial and occurrence terms run on simd::VecD
+/// lanes, and only the path-dependent aggregate recurrence sweeps each
+/// trial scalar. Scratch lives in per-worker arenas (parallel::TaskScratch)
+/// so the hot path performs no allocation, and the next tile's event ids
+/// are software-prefetched while the current tile computes.
+///
+/// Bit-identical to run_sequential for every tile size, thread count, and
+/// scheduling policy (each lane/batch element performs the reference
+/// engine's operations in the reference order; tiling only decides which
+/// events share a register, never how a trial's arithmetic associates).
+YearLossTable run_fused(const Portfolio& portfolio, const yet::YearEventTable& yet_table,
+                        const FusedOptions& options = {});
+
+/// Reuses an existing pool (cheaper when an application runs many analyses;
+/// mirrors the run_parallel/run_simd overloads).
+YearLossTable run_fused(const Portfolio& portfolio, const yet::YearEventTable& yet_table,
+                        parallel::ThreadPool& pool, const FusedOptions& options = {});
+
+}  // namespace are::core

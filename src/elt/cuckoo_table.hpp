@@ -25,6 +25,10 @@ class CuckooTable final : public ILossLookup {
     return 0.0;
   }
 
+  /// Batch path: both candidate slots are pure functions of the id, so a
+  /// lookahead window prefetches the two probes before the compare.
+  void lookup_many(const EventId* events, std::size_t count, double* out) const noexcept override;
+
   std::size_t memory_bytes() const noexcept override {
     return (buckets_[0].size() + buckets_[1].size()) * sizeof(Slot);
   }

@@ -21,6 +21,10 @@ class DirectAccessTable final : public ILossLookup {
     return event < losses_.size() ? losses_[event] : 0.0;
   }
 
+  /// Batch path: same guarded loads with the probe target prefetched a few
+  /// iterations ahead (the ids are known, only the loads are random).
+  void lookup_many(const EventId* events, std::size_t count, double* out) const noexcept override;
+
   std::size_t memory_bytes() const noexcept override {
     return losses_.size() * sizeof(double);
   }

@@ -36,6 +36,11 @@ class PagedDirectTable final : public ILossLookup {
     return pages_[page_table_[page]][event & kPageMask];
   }
 
+  /// Batch path: the two dependent accesses are split into two passes over
+  /// a small block — pass one resolves (and prefetches) every slot address
+  /// through the page table, pass two reads the slots.
+  void lookup_many(const EventId* events, std::size_t count, double* out) const noexcept override;
+
   std::size_t memory_bytes() const noexcept override {
     return page_table_.size() * sizeof(std::uint32_t) +
            pages_.size() * kPageSize * sizeof(double);

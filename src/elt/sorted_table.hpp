@@ -28,6 +28,12 @@ class SortedTable final : public ILossLookup {
     return (lo < events_.size() && events_[lo] == event) ? losses_[lo] : 0.0;
   }
 
+  /// Batch path: a group of binary searches advanced in lockstep, one level
+  /// per pass, with every query's next probe element prefetched before any
+  /// compare — the log(n) dependent misses of one search overlap across the
+  /// group instead of serialising. Identical lo/hi updates to lookup().
+  void lookup_many(const EventId* events, std::size_t count, double* out) const noexcept override;
+
   std::size_t memory_bytes() const noexcept override {
     return events_.size() * sizeof(EventId) + losses_.size() * sizeof(double);
   }

@@ -7,6 +7,7 @@
 #include "elt/paged_direct_table.hpp"
 #include "elt/robin_hood_table.hpp"
 #include "elt/sorted_table.hpp"
+#include "simd/prefetch.hpp"
 
 namespace are::elt {
 
@@ -30,6 +31,170 @@ DirectAccessTable::DirectAccessTable(const EventLossTable& table, std::size_t ca
   for (const EventLoss& record : table.records()) {
     losses_[record.event] = record.loss;
     ++entries_;
+  }
+}
+
+void DirectAccessTable::lookup_many(const EventId* events, std::size_t count,
+                                    double* out) const noexcept {
+  constexpr std::size_t kLookahead = 16;
+  const double* data = losses_.data();
+  const std::size_t universe = losses_.size();
+  for (std::size_t i = 0; i < count; ++i) {
+    if (i + kLookahead < count) {
+      const EventId ahead = events[i + kLookahead];
+      if (ahead < universe) simd::prefetch_read(data + ahead);
+    }
+    const EventId event = events[i];
+    out[i] = event < universe ? data[event] : 0.0;
+  }
+}
+
+void SortedTable::lookup_many(const EventId* events, std::size_t count,
+                              double* out) const noexcept {
+  constexpr std::size_t kGroup = 8;
+  const std::size_t n = events_.size();
+  for (std::size_t base = 0; base < count; base += kGroup) {
+    const std::size_t group = std::min(kGroup, count - base);
+    std::size_t lo[kGroup];
+    std::size_t hi[kGroup];
+    std::size_t mid[kGroup];
+    for (std::size_t q = 0; q < group; ++q) {
+      lo[q] = 0;
+      hi[q] = n;
+    }
+    // One level of every query's binary search per pass: all probes are
+    // prefetched before the first compare touches any of them.
+    for (bool active = n != 0; active;) {
+      for (std::size_t q = 0; q < group; ++q) {
+        if (lo[q] < hi[q]) {
+          mid[q] = lo[q] + (hi[q] - lo[q]) / 2;
+          simd::prefetch_read(events_.data() + mid[q]);
+        }
+      }
+      active = false;
+      for (std::size_t q = 0; q < group; ++q) {
+        if (lo[q] >= hi[q]) continue;
+        if (events_[mid[q]] < events[base + q]) {
+          lo[q] = mid[q] + 1;
+        } else {
+          hi[q] = mid[q];
+        }
+        active |= lo[q] < hi[q];
+      }
+    }
+    for (std::size_t q = 0; q < group; ++q) {
+      const std::size_t position = lo[q];
+      out[base + q] =
+          (position < n && events_[position] == events[base + q]) ? losses_[position] : 0.0;
+    }
+  }
+}
+
+void RobinHoodTable::lookup_many(const EventId* events, std::size_t count,
+                                 double* out) const noexcept {
+  if (slots_.empty()) {
+    for (std::size_t i = 0; i < count; ++i) out[i] = 0.0;
+    return;
+  }
+  constexpr std::size_t kLookahead = 8;
+  std::size_t home[kLookahead];
+  const std::size_t primed = std::min(kLookahead, count);
+  for (std::size_t i = 0; i < primed; ++i) {
+    home[i] = hash(events[i]) & mask_;
+    simd::prefetch_read(slots_.data() + home[i]);
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    std::size_t index = home[i % kLookahead];
+    if (i + kLookahead < count) {
+      const std::size_t ahead = hash(events[i + kLookahead]) & mask_;
+      home[i % kLookahead] = ahead;  // the ring slot just consumed
+      simd::prefetch_read(slots_.data() + ahead);
+    }
+    // Probe chain identical to lookup().
+    const EventId event = events[i];
+    double result = 0.0;
+    std::uint32_t distance = 0;
+    for (;;) {
+      const Slot& slot = slots_[index];
+      if (!slot.occupied) break;
+      if (slot.event == event) {
+        result = slot.loss;
+        break;
+      }
+      if (distance > slot.distance) break;
+      index = (index + 1) & mask_;
+      ++distance;
+    }
+    out[i] = result;
+  }
+}
+
+void CuckooTable::lookup_many(const EventId* events, std::size_t count,
+                              double* out) const noexcept {
+  if (buckets_[0].empty()) {
+    for (std::size_t i = 0; i < count; ++i) out[i] = 0.0;
+    return;
+  }
+  constexpr std::size_t kLookahead = 8;
+  std::size_t home0[kLookahead];
+  std::size_t home1[kLookahead];
+  const std::size_t primed = std::min(kLookahead, count);
+  for (std::size_t i = 0; i < primed; ++i) {
+    home0[i] = hash0(events[i]) & mask_;
+    home1[i] = hash1(events[i]) & mask_;
+    simd::prefetch_read(buckets_[0].data() + home0[i]);
+    simd::prefetch_read(buckets_[1].data() + home1[i]);
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t index0 = home0[i % kLookahead];
+    const std::size_t index1 = home1[i % kLookahead];
+    if (i + kLookahead < count) {
+      const EventId ahead = events[i + kLookahead];
+      const std::size_t slot = i % kLookahead;  // the ring slot just consumed
+      home0[slot] = hash0(ahead) & mask_;
+      home1[slot] = hash1(ahead) & mask_;
+      simd::prefetch_read(buckets_[0].data() + home0[slot]);
+      simd::prefetch_read(buckets_[1].data() + home1[slot]);
+    }
+    const EventId event = events[i];
+    const Slot& first = buckets_[0][index0];
+    if (first.occupied && first.event == event) {
+      out[i] = first.loss;
+      continue;
+    }
+    const Slot& second = buckets_[1][index1];
+    out[i] = (second.occupied && second.event == event) ? second.loss : 0.0;
+  }
+}
+
+void PagedDirectTable::lookup_many(const EventId* events, std::size_t count,
+                                   double* out) const noexcept {
+  static constexpr double kZero = 0.0;
+  constexpr std::size_t kBlock = 64;
+  constexpr std::size_t kLookahead = 8;
+  const double* slot_ptr[kBlock];
+  for (std::size_t base = 0; base < count; base += kBlock) {
+    const std::size_t block = std::min(kBlock, count - base);
+    // Pass 1: resolve every slot address through the page table (its own
+    // reads prefetched ahead) and prefetch the slots.
+    for (std::size_t i = 0; i < block; ++i) {
+      if (i + kLookahead < block) {
+        const std::uint32_t ahead_page = events[base + i + kLookahead] >> kPageBits;
+        if (ahead_page < page_table_.size()) {
+          simd::prefetch_read(page_table_.data() + ahead_page);
+        }
+      }
+      const EventId event = events[base + i];
+      const std::uint32_t page = event >> kPageBits;
+      if (page < page_table_.size()) {
+        slot_ptr[i] = pages_[page_table_[page]].data() + (event & kPageMask);
+        simd::prefetch_read(slot_ptr[i]);
+      } else {
+        slot_ptr[i] = &kZero;
+      }
+    }
+    // Pass 2: the slot loads, now overlapped.
+    for (std::size_t i = 0; i < block; ++i) out[base + i] = *slot_ptr[i];
   }
 }
 

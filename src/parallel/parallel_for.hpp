@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <span>
 
 #include "parallel/thread_pool.hpp"
 
@@ -77,6 +78,104 @@ void parallel_for(ThreadPool& pool, std::uint64_t first, std::uint64_t last, con
               const std::uint64_t size =
                   std::max<std::uint64_t>(min_chunk, remaining / (2 * workers));
               hi = std::min<std::uint64_t>(lo + size, last);
+            } while (!cursor->compare_exchange_weak(lo, hi, std::memory_order_relaxed));
+            body(lo, hi);
+          }
+        });
+      }
+      break;
+    }
+  }
+  pool.wait_idle();
+}
+
+namespace detail {
+
+/// First index hi in (lo, last] whose chunk [lo, hi) carries at least
+/// `budget` cost under the monotone prefix, or last. Always advances by at
+/// least one index, so zero-cost indices (e.g. empty trials) cannot stall
+/// a claimant.
+inline std::uint64_t advance_by_cost(std::span<const std::uint64_t> cost_prefix,
+                                     std::uint64_t lo, std::uint64_t last,
+                                     std::uint64_t budget) noexcept {
+  const std::uint64_t target = cost_prefix[lo] + budget;
+  const auto begin = cost_prefix.begin();
+  // Search ends at index `last` exclusive: when every candidate chunk falls
+  // short of the budget the claimant takes everything up to `last`.
+  const auto it = std::lower_bound(begin + static_cast<std::ptrdiff_t>(lo + 1),
+                                   begin + static_cast<std::ptrdiff_t>(last), target);
+  return static_cast<std::uint64_t>(it - begin);
+}
+
+}  // namespace detail
+
+/// Cost-aware parallel_for for ranges whose per-index work is skewed (the
+/// aggregate engines' trials: a Poisson/neg-binomial YET makes some trials
+/// many times longer than others, so equal-*count* chunks serialize on the
+/// worker that drew the long trials). `cost_prefix` is a monotone prefix
+/// sum over the index domain — cost of [a, b) is prefix[b] - prefix[a] and
+/// prefix must be valid on [first, last]; the YET's offsets() span is
+/// exactly this shape for trial indices. Chunk boundaries are chosen so
+/// every chunk carries ~`chunk_cost` cost:
+///   kStatic  — equal-cost contiguous blocks, at most one per worker
+///              (chunk_cost is ignored; best locality, balanced by cost)
+///   kDynamic — ~chunk_cost-sized chunks claimed from an atomic cursor
+///   kGuided  — cost-proportional shrinking chunks, floored at chunk_cost
+/// Same body contract and inline small-range behaviour as parallel_for.
+template <typename Body>
+void parallel_for_costed(ThreadPool& pool, std::uint64_t first, std::uint64_t last,
+                         std::span<const std::uint64_t> cost_prefix, std::uint64_t chunk_cost,
+                         const Body& body, Partition partition = Partition::kDynamic) {
+  if (first >= last) return;
+  const std::size_t workers = pool.size();
+  if (workers <= 1 || last - first == 1) {
+    body(first, last);
+    return;
+  }
+  const std::uint64_t min_cost = std::max<std::uint64_t>(1, chunk_cost);
+
+  switch (partition) {
+    case Partition::kStatic: {
+      const std::uint64_t total = cost_prefix[last] - cost_prefix[first];
+      const std::uint64_t block_cost = total / workers + 1;  // ceil-ish: <= workers blocks
+      std::uint64_t lo = first;
+      while (lo < last) {
+        const std::uint64_t hi = detail::advance_by_cost(cost_prefix, lo, last, block_cost);
+        pool.submit([&body, lo, hi] { body(lo, hi); });
+        lo = hi;
+      }
+      break;
+    }
+    case Partition::kDynamic: {
+      auto cursor = std::make_shared<std::atomic<std::uint64_t>>(first);
+      for (std::size_t w = 0; w < workers; ++w) {
+        pool.submit([&body, cursor, cost_prefix, min_cost, last] {
+          for (;;) {
+            std::uint64_t lo = cursor->load(std::memory_order_relaxed);
+            std::uint64_t hi;
+            do {
+              if (lo >= last) return;
+              hi = detail::advance_by_cost(cost_prefix, lo, last, min_cost);
+            } while (!cursor->compare_exchange_weak(lo, hi, std::memory_order_relaxed));
+            body(lo, hi);
+          }
+        });
+      }
+      break;
+    }
+    case Partition::kGuided: {
+      auto cursor = std::make_shared<std::atomic<std::uint64_t>>(first);
+      for (std::size_t w = 0; w < workers; ++w) {
+        pool.submit([&body, cursor, cost_prefix, min_cost, last, workers] {
+          for (;;) {
+            std::uint64_t lo = cursor->load(std::memory_order_relaxed);
+            std::uint64_t hi;
+            do {
+              if (lo >= last) return;
+              const std::uint64_t remaining = cost_prefix[last] - cost_prefix[lo];
+              const std::uint64_t budget =
+                  std::max<std::uint64_t>(min_cost, remaining / (2 * workers));
+              hi = detail::advance_by_cost(cost_prefix, lo, last, budget);
             } while (!cursor->compare_exchange_weak(lo, hi, std::memory_order_relaxed));
             body(lo, hi);
           }

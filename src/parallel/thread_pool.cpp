@@ -2,6 +2,16 @@
 
 namespace are::parallel {
 
+namespace {
+
+/// 1..size() inside a pool worker, 0 elsewhere. thread_local (not a pool
+/// member): a thread serves one pool forever, so its slot never changes.
+thread_local std::size_t tls_worker_slot = 0;
+
+}  // namespace
+
+std::size_t ThreadPool::worker_slot() noexcept { return tls_worker_slot; }
+
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) {
     num_threads = std::thread::hardware_concurrency();
@@ -9,7 +19,7 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
   }
   workers_.reserve(num_threads);
   for (std::size_t i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i + 1); });
   }
 }
 
@@ -36,7 +46,8 @@ void ThreadPool::wait_idle() {
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t slot) {
+  tls_worker_slot = slot;
   for (;;) {
     std::function<void()> task;
     {

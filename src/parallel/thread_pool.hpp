@@ -25,6 +25,14 @@ class ThreadPool {
 
   std::size_t size() const noexcept { return workers_.size(); }
 
+  /// Identity of the calling thread within its owning pool: 1..size() on a
+  /// pool worker, 0 on any other thread (including the thread that runs a
+  /// parallel_for body inline when the pool has one worker). A worker
+  /// belongs to exactly one pool for its whole life, so the slot is stable
+  /// — TaskScratch uses it to give each worker a private scratch arena
+  /// without locks or allocation on the hot path.
+  static std::size_t worker_slot() noexcept;
+
   /// Enqueues a task. Tasks must not throw; exceptions escaping a task
   /// terminate (by design — engine kernels are noexcept).
   void submit(std::function<void()> task);
@@ -33,7 +41,7 @@ class ThreadPool {
   void wait_idle();
 
  private:
-  void worker_loop();
+  void worker_loop(std::size_t slot);
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;

@@ -1,0 +1,20 @@
+#pragma once
+
+// Software-prefetch primitive for the batch-execution subsystem. The
+// aggregate engines are memory-access bound (Fig 6b: ~78% of time in ELT
+// lookups), and batch entry points know their probe addresses many
+// iterations ahead — issuing the loads early converts serial cache misses
+// into overlapped ones. A hint only: correctness never depends on it, and
+// it compiles to nothing where the builtin is unavailable.
+
+namespace are::simd {
+
+#if defined(__GNUC__) || defined(__clang__)
+inline void prefetch_read(const void* address) noexcept {
+  __builtin_prefetch(address, /*rw=*/0, /*locality=*/1);
+}
+#else
+inline void prefetch_read(const void*) noexcept {}
+#endif
+
+}  // namespace are::simd

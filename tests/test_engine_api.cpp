@@ -75,7 +75,7 @@ TEST(EngineRegistry, LooksUpEveryBuiltinByKindAndByName) {
   for (const EngineKind kind :
        {EngineKind::kSequential, EngineKind::kParallel, EngineKind::kChunked,
         EngineKind::kOpenMp, EngineKind::kSimd, EngineKind::kWindowed,
-        EngineKind::kInstrumented}) {
+        EngineKind::kInstrumented, EngineKind::kFused}) {
     const EngineDescriptor* by_kind = registry.find(kind);
     ASSERT_NE(by_kind, nullptr) << core::to_string(kind);
     EXPECT_EQ(by_kind->kind, kind);
@@ -86,7 +86,7 @@ TEST(EngineRegistry, LooksUpEveryBuiltinByKindAndByName) {
     EXPECT_EQ(by_name, by_kind);
   }
   // >= : a later test registers a custom engine into global().
-  EXPECT_GE(registry.descriptors().size(), 7u);
+  EXPECT_GE(registry.descriptors().size(), 8u);
 }
 
 TEST(EngineRegistry, UnknownNameListsKnownEngines) {
@@ -221,7 +221,7 @@ TEST(UnifiedRun, EveryBitIdenticalEngineMatchesSequential) {
     expect_identical(reference, core::run({portfolio, yet_table, config}));
     ++swept;
   }
-  EXPECT_GE(swept, 6u);  // seq, parallel, chunked, openmp, simd, instrumented
+  EXPECT_GE(swept, 7u);  // seq, parallel, chunked, openmp, simd, instrumented, fused
 }
 
 TEST(UnifiedRun, GenericLookupPathAlsoBitIdentical) {

@@ -1,5 +1,7 @@
 // Tests for the thread pool and parallel_for: completeness, disjointness
-// and full coverage of ranges under every partitioning strategy.
+// and full coverage of ranges under every partitioning strategy, the
+// cost-aware parallel_for_costed variant, worker identity, and the
+// per-worker TaskScratch arena.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -9,6 +11,7 @@
 #include <vector>
 
 #include "parallel/parallel_for.hpp"
+#include "parallel/task_scratch.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace {
@@ -160,6 +163,142 @@ TEST(ParallelFor, SingleThreadPoolRunsInline) {
     for (std::uint64_t i = lo; i < hi; ++i) ++visits[i];
   });
   for (int v : visits) EXPECT_EQ(v, 1);
+}
+
+class ParallelForCosted : public ::testing::TestWithParam<Partition> {};
+
+TEST_P(ParallelForCosted, CoversSkewedRangeExactlyOnce) {
+  ThreadPool pool(4);
+  // Heavily skewed costs including zero-cost indices (empty trials): the
+  // prefix is what the fused engine passes (YET offsets).
+  constexpr std::uint64_t kN = 4'001;
+  std::vector<std::uint64_t> prefix(kN + 1, 0);
+  for (std::uint64_t i = 0; i < kN; ++i) {
+    const std::uint64_t cost = (i % 7 == 0) ? 0 : (i % 97) * (i % 97);
+    prefix[i + 1] = prefix[i] + cost;
+  }
+  std::vector<std::atomic<int>> visits(kN);
+  for (auto& v : visits) v.store(0);
+
+  parallel_for_costed(
+      pool, 0, kN, prefix, /*chunk_cost=*/1'000,
+      [&](std::uint64_t lo, std::uint64_t hi) {
+        ASSERT_LT(lo, hi);
+        ASSERT_LE(hi, kN);
+        for (std::uint64_t i = lo; i < hi; ++i) visits[i].fetch_add(1);
+      },
+      GetParam());
+
+  for (std::uint64_t i = 0; i < kN; ++i) ASSERT_EQ(visits[i].load(), 1) << i;
+}
+
+TEST_P(ParallelForCosted, StaticBlocksAreCostBalanced) {
+  if (GetParam() != Partition::kStatic) GTEST_SKIP();
+  ThreadPool pool(4);
+  // All the cost concentrated in the first quarter of the range: an
+  // equal-count static split would give worker 0 everything.
+  constexpr std::uint64_t kN = 1'000;
+  std::vector<std::uint64_t> prefix(kN + 1, 0);
+  for (std::uint64_t i = 0; i < kN; ++i) prefix[i + 1] = prefix[i] + (i < 250 ? 100 : 1);
+  std::mutex mutex;
+  std::vector<std::uint64_t> chunk_costs;
+  parallel_for_costed(
+      pool, 0, kN, prefix, /*chunk_cost=*/1,
+      [&](std::uint64_t lo, std::uint64_t hi) {
+        std::lock_guard lock(mutex);
+        chunk_costs.push_back(prefix[hi] - prefix[lo]);
+      },
+      Partition::kStatic);
+  ASSERT_GE(chunk_costs.size(), 2u);
+  ASSERT_LE(chunk_costs.size(), 4u);
+  const std::uint64_t total = prefix[kN];
+  for (const std::uint64_t cost : chunk_costs) {
+    // No block may carry the whole cost; every block stays near total/4.
+    EXPECT_LE(cost, total / 2) << "static cost partition degenerated";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPartitions, ParallelForCosted,
+                         ::testing::Values(Partition::kStatic, Partition::kDynamic,
+                                           Partition::kGuided),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case Partition::kStatic: return "static";
+                             case Partition::kDynamic: return "dynamic";
+                             case Partition::kGuided: return "guided";
+                           }
+                           return "unknown";
+                         });
+
+TEST(WorkerSlot, ZeroOffPoolAndStableWithinWorkers) {
+  EXPECT_EQ(ThreadPool::worker_slot(), 0u);  // test thread is not a worker
+  ThreadPool pool(4);
+  std::mutex mutex;
+  std::set<std::size_t> slots;
+  for (int i = 0; i < 64; ++i) {
+    pool.submit([&] {
+      const std::size_t slot = ThreadPool::worker_slot();
+      std::lock_guard lock(mutex);
+      slots.insert(slot);
+    });
+  }
+  pool.wait_idle();
+  // Every observed slot is in 1..size(), and no worker reported 0.
+  EXPECT_FALSE(slots.contains(0));
+  for (const std::size_t slot : slots) EXPECT_LE(slot, pool.size());
+}
+
+TEST(TaskScratch, OneInstancePerWorkerReusedAcrossTasks) {
+  struct Scratch {
+    int uses = 0;
+  };
+  ThreadPool pool(3);
+  TaskScratch<Scratch> scratch(pool);
+  std::atomic<int> total_uses{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.submit([&] {
+      Scratch& local = scratch.local();
+      ++local.uses;  // no lock: the slot belongs to this worker alone
+      total_uses.fetch_add(1);
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(total_uses.load(), 50);
+  // The inline (non-worker) slot was never touched, and the factory form
+  // constructs on first use only.
+  int constructed = 0;
+  TaskScratch<Scratch> lazy(pool);
+  Scratch& a = lazy.local([&] {
+    ++constructed;
+    return Scratch{};
+  });
+  Scratch& b = lazy.local([&] {
+    ++constructed;
+    return Scratch{};
+  });
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(constructed, 1);
+}
+
+TEST(TaskScratch, ForeignPoolWorkerFoldsToInlineSlot) {
+  // A thread that is worker N of a big pool running an engine with its own
+  // small pool reaches TaskScratch through parallel_for's inline path with
+  // a process-wide slot beyond the small arena; it must fold to slot 0
+  // instead of indexing out of bounds (the borrowed-pool pricing pattern).
+  ThreadPool outer(8);
+  std::atomic<int> runs{0};
+  for (int i = 0; i < 16; ++i) {
+    outer.submit([&] {
+      ThreadPool inner(1);
+      TaskScratch<int> scratch(inner);  // 2 slots; this thread's slot is 1..8
+      parallel_for(inner, 0, 4, [&](std::uint64_t lo, std::uint64_t hi) {
+        scratch.local() += static_cast<int>(hi - lo);
+      });
+      runs.fetch_add(1);
+    });
+  }
+  outer.wait_idle();
+  EXPECT_EQ(runs.load(), 16);
 }
 
 TEST(ParallelFor, StaticPartitionsAreContiguousBlocks) {

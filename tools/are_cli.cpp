@@ -16,9 +16,11 @@
 // Engine:      --engine NAME (any name in `are_cli list-engines`)
 //              --threads N --chunk N (chunked engine's events per chunk)
 //              --partition static|dynamic|guided --partition-chunk N
-//              (parallel engine's trials per dynamic/guided work item)
+//              (parallel engine's trials per dynamic/guided work item;
+//              for the fused engine, --partition picks the tile scheduler)
+//              --tile N (fused engine's trials per tile)
 //              --simd-ext auto|scalar|sse2|avx2|avx512|neon
-//              --window FROM:TO (windowed engine; fractions of the year)
+//              --window FROM:TO (windowed/fused engines; fractions of the year)
 //              --lookup direct|sorted|robinhood|cuckoo
 //
 // Engine selection goes through core::run(AnalysisRequest) and the
@@ -67,8 +69,9 @@ common options:
   layer terms   --occ-retention X --occ-limit X --agg-retention X --agg-limit X
   engine        --engine NAME (see list-engines) --threads N --chunk N
                 --partition static|dynamic|guided --partition-chunk N
+                --tile N (trials per tile, for --engine fused)
   simd          --simd-ext auto|scalar|sse2|avx2|avx512|neon (lane type for --engine simd)
-  window        --window FROM:TO  (fractions of the year, for --engine windowed)
+  window        --window FROM:TO  (fractions of the year, for --engine windowed|fused)
   lookup        --lookup direct|sorted|robinhood|cuckoo
   run 'are_cli <command> --help' is not needed: every option has a default.
 )";
@@ -176,6 +179,7 @@ core::AnalysisConfig parse_engine_config(const Args& args) {
   config.partition = parse_partition(args);
   config.partition_chunk = static_cast<std::size_t>(args.get_u64("partition-chunk", 256));
   config.chunk_size = static_cast<std::size_t>(args.get_u64("chunk", 4));
+  config.tile_trials = static_cast<std::size_t>(args.get_u64("tile", 64));
   const std::string ext = args.get("simd-ext", "auto");
   const auto extension = core::simd_extension_from_string(ext);
   if (!extension) throw std::runtime_error("unknown --simd-ext '" + ext + "'");
