@@ -110,19 +110,22 @@ inline void print_note(const char* text) { std::printf("[note] %s\n", text); }
 
 /// One measured point: a (workload, engine/config) pair with its wall time
 /// and its speedup over the sequential reference on the same workload.
+/// `extra` is an optional pre-rendered JSON fragment of additional keys
+/// (e.g. `"spills": 3, "faults": 12` from the sharded-YLT bench).
 struct JsonRecord {
   std::string workload;
   std::string engine;
   double wall_seconds = 0.0;
   double speedup_vs_sequential = 0.0;
+  std::string extra;
 };
 
 class JsonReport {
  public:
   void add(std::string workload, std::string engine, double wall_seconds,
-           double speedup_vs_sequential) {
-    records_.push_back(
-        {std::move(workload), std::move(engine), wall_seconds, speedup_vs_sequential});
+           double speedup_vs_sequential, std::string extra = {}) {
+    records_.push_back({std::move(workload), std::move(engine), wall_seconds,
+                        speedup_vs_sequential, std::move(extra)});
   }
 
   /// Writes the records as a JSON array; returns false on I/O failure.
@@ -135,9 +138,10 @@ class JsonReport {
       const JsonRecord& record = records_[i];
       std::fprintf(out,
                    "  {\"workload\": \"%s\", \"engine\": \"%s\", \"wall_seconds\": %.6f, "
-                   "\"speedup_vs_sequential\": %.4f}%s\n",
+                   "\"speedup_vs_sequential\": %.4f%s%s}%s\n",
                    record.workload.c_str(), record.engine.c_str(), record.wall_seconds,
-                   record.speedup_vs_sequential, i + 1 < records_.size() ? "," : "");
+                   record.speedup_vs_sequential, record.extra.empty() ? "" : ", ",
+                   record.extra.c_str(), i + 1 < records_.size() ? "," : "");
     }
     std::fprintf(out, "]\n");
     return std::fclose(out) == 0;

@@ -1,0 +1,147 @@
+// Sharded out-of-core YLT: sweeps the trial count past the point where the
+// full trials x layers table exceeds the shard store's memory budget, so
+// the top points only complete because cold shards spill to disk and fault
+// back. Per point it measures the materialized engines against sharded
+// execution (unlimited budget = pure sharding overhead; tight budget =
+// spill/fault cost) and a shard-wise EP reduction, recording wall time and
+// the spill/fault counters to BENCH_sharded.json (--json PATH) — the CI
+// artifact that tracks the out-of-core trajectory run over run.
+//
+// The workload is deliberately lookup-light (few events/trial, small
+// ELTs): the axis under test is YLT footprint, not lookup throughput.
+#include <chrono>
+#include <string>
+
+#include "bench_common.hpp"
+#include "metrics/ep_curve.hpp"
+#include "metrics/sharded_reduce.hpp"
+#include "shard/sharded_run.hpp"
+
+namespace {
+
+using namespace are;
+using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t kNumLayers = 2;
+constexpr double kEventsPerTrial = 8.0;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+std::string store_extra(const shard::ShardStoreStats& stats, std::size_t ylt_bytes,
+                        std::size_t budget_bytes) {
+  return "\"spills\": " + std::to_string(stats.spills) +
+         ", \"faults\": " + std::to_string(stats.faults) +
+         ", \"peak_resident_bytes\": " + std::to_string(stats.peak_resident_bytes) +
+         ", \"ylt_bytes\": " + std::to_string(ylt_bytes) +
+         ", \"budget_bytes\": " + std::to_string(budget_bytes);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = bench::consume_json_flag(&argc, argv, "BENCH_sharded.json");
+  if (!bench::full_scale()) {
+    bench::print_note("calibrated sub-scale; set ARE_BENCH_FULL=1 for paper scale");
+  }
+
+  // Small regional catalog so every engine is compute-light; the sweep
+  // multiplies trials until the YLT dwarfs the budget.
+  const bench::Scale scale{/*catalog_size=*/20'000, /*trials=*/0, kEventsPerTrial,
+                           /*elt_entries=*/2'000};
+  const core::Portfolio portfolio = bench::make_portfolio(scale, kNumLayers, 2);
+
+  const std::uint64_t base_trials = bench::full_scale() ? 1'000'000 : 50'000;
+  const std::uint64_t trial_sweep[] = {base_trials, base_trials * 4, base_trials * 16};
+  // Budget: the smallest sweep point fits comfortably; the largest exceeds
+  // it ~8x, so its analysis *must* spill to complete.
+  const std::size_t budget_bytes =
+      static_cast<std::size_t>(base_trials * 2) * kNumLayers * sizeof(double);
+  const std::uint64_t shard_trials = base_trials / 4;
+
+  bench::JsonReport report;
+  for (const std::uint64_t trials : trial_sweep) {
+    const auto yet_table = bench::make_yet(scale, trials, kEventsPerTrial);
+    const std::string workload = "trials_" + std::to_string(trials);
+    const std::size_t ylt_bytes =
+        static_cast<std::size_t>(trials) * kNumLayers * sizeof(double);
+
+    // Materialized references.
+    auto start = Clock::now();
+    auto seq_ylt = bench::run(portfolio, yet_table, {.engine = core::EngineKind::kSequential});
+    const double seq_seconds = seconds_since(start);
+    volatile double guard = seq_ylt.at(0, 0);
+    (void)guard;
+    report.add(workload, "seq_materialized", seq_seconds, 1.0);
+    bench::print_row("sharded_ylt", "trials", static_cast<double>(trials),
+                     "seq_materialized_seconds", seq_seconds);
+
+    start = Clock::now();
+    auto fused_ylt = bench::run(portfolio, yet_table, {.engine = core::EngineKind::kFused});
+    const double fused_seconds = seconds_since(start);
+    guard = fused_ylt.at(0, 0);
+    report.add(workload, "fused_materialized", fused_seconds,
+               fused_seconds > 0.0 ? seq_seconds / fused_seconds : 0.0);
+
+    // Sharded, unlimited budget: pure sharding overhead, nothing spills.
+    core::AnalysisConfig config;
+    config.engine = core::EngineKind::kFused;
+    config.output = core::OutputMode::kSharded;
+    config.sharding.shard_trials = shard_trials;
+    start = Clock::now();
+    {
+      auto sharded = shard::run_sharded({portfolio, yet_table, config});
+      const double sharded_seconds = seconds_since(start);
+      report.add(workload, "fused_sharded_unlimited", sharded_seconds,
+                 sharded_seconds > 0.0 ? seq_seconds / sharded_seconds : 0.0,
+                 store_extra(sharded.stats(), ylt_bytes, 0));
+    }
+
+    // Sharded under the tight budget: the top sweep points exceed it and
+    // only complete by spilling; the EP reduction then streams the shards
+    // back (more faults) without ever materializing the table.
+    config.sharding.memory_budget_bytes = budget_bytes;
+    start = Clock::now();
+    auto sharded = shard::run_sharded({portfolio, yet_table, config});
+    const double sharded_seconds = seconds_since(start);
+    report.add(workload, "fused_sharded_budget", sharded_seconds,
+               sharded_seconds > 0.0 ? seq_seconds / sharded_seconds : 0.0,
+               store_extra(sharded.stats(), ylt_bytes, budget_bytes));
+    bench::print_row("sharded_ylt", "trials", static_cast<double>(trials),
+                     "fused_sharded_budget_seconds", sharded_seconds);
+
+    start = Clock::now();
+    const metrics::EpCurve curve = metrics::ep_curve_sharded(sharded, 0);
+    const double reduce_seconds = seconds_since(start);
+    guard = curve.expected_loss();
+    report.add(workload, "ep_reduce_sharded", reduce_seconds, 0.0,
+               store_extra(sharded.stats(), ylt_bytes, budget_bytes));
+
+    const shard::ShardStoreStats stats = sharded.stats();
+    std::printf("[note] %s: ylt %.1f MB vs budget %.1f MB -> %llu spills, %llu faults, "
+                "peak resident %.1f MB\n",
+                workload.c_str(), static_cast<double>(ylt_bytes) / 1e6,
+                static_cast<double>(budget_bytes) / 1e6,
+                static_cast<unsigned long long>(stats.spills),
+                static_cast<unsigned long long>(stats.faults),
+                static_cast<double>(stats.peak_resident_bytes) / 1e6);
+  }
+
+  // Acceptance guard: the largest sweep point's YLT must not have fit the
+  // budget — if it did, the bench no longer demonstrates out-of-core runs.
+  const std::size_t largest_ylt =
+      static_cast<std::size_t>(trial_sweep[2]) * kNumLayers * sizeof(double);
+  if (largest_ylt <= budget_bytes) {
+    std::fprintf(stderr, "bench_sharded_ylt: sweep never exceeded the memory budget\n");
+    return 1;
+  }
+
+  if (report.write(json_path)) {
+    std::printf("[note] wrote %zu records to %s\n", report.size(), json_path.c_str());
+  } else {
+    std::fprintf(stderr, "bench_sharded_ylt: cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -27,11 +27,18 @@ void AnalysisConfig::validate() const {
     throw std::invalid_argument("AnalysisConfig: partition_chunk must be > 0");
   }
   if (chunk_size == 0) throw std::invalid_argument("AnalysisConfig: chunk_size must be > 0");
-  if (tile_trials == 0) throw std::invalid_argument("AnalysisConfig: tile_trials must be > 0");
+  // tile_trials == 0 is valid: the fused engine derives the tile size.
+  if (sharding.shard_trials == 0) {
+    throw std::invalid_argument("AnalysisConfig: sharding.shard_trials must be > 0");
+  }
 }
 
-YearLossTable run(const AnalysisRequest& request) {
-  const AnalysisConfig& config = request.config;
+namespace {
+
+/// Shared validation + registry resolution + capability checks for both
+/// front doors. Capability mismatches are errors, never silently ignored
+/// fields.
+const EngineDescriptor& resolve_engine(const AnalysisConfig& config) {
   config.validate();
 
   const EngineRegistry& registry = EngineRegistry::global();
@@ -42,7 +49,6 @@ YearLossTable run(const AnalysisRequest& request) {
     throw std::invalid_argument("engine '" + engine.name + "' is not available in this build (" +
                                 engine.availability_note + ")");
   }
-  // Capability mismatches are errors, never silently ignored fields.
   if (config.window && !engine.supports_windowing) {
     throw std::invalid_argument("engine '" + engine.name +
                                 "' does not support a coverage window (use the 'windowed' "
@@ -53,7 +59,39 @@ YearLossTable run(const AnalysisRequest& request) {
                                 "' cannot reuse a borrowed thread pool (clear "
                                 "AnalysisConfig::pool)");
   }
+  if (config.collect_phases && !engine.supports_instrumentation) {
+    throw std::invalid_argument("engine '" + engine.name +
+                                "' cannot collect a phase breakdown (use the 'instrumented' or "
+                                "'fused' engine, or clear AnalysisConfig::collect_phases)");
+  }
+  if (config.collect_phases && config.instrumentation == nullptr) {
+    throw std::invalid_argument(
+        "AnalysisConfig::collect_phases needs an InstrumentationSink to deliver the breakdown "
+        "(set AnalysisConfig::instrumentation)");
+  }
+  return engine;
+}
+
+}  // namespace
+
+YearLossTable run(const AnalysisRequest& request) {
+  const EngineDescriptor& engine = resolve_engine(request.config);
+  if (request.config.output == OutputMode::kSharded) {
+    throw std::invalid_argument(
+        "run() returns a materialized YLT; for OutputMode::kSharded call shard::run_sharded "
+        "(or core::run_to_sink with your own sink)");
+  }
   return engine.run(request);
+}
+
+void run_to_sink(const AnalysisRequest& request, YltSink& sink) {
+  const EngineDescriptor& engine = resolve_engine(request.config);
+  if (engine.run_to_sink == nullptr) {
+    throw std::invalid_argument("engine '" + engine.name +
+                                "' cannot emit into a YltSink (no sharded/out-of-core output; "
+                                "see list-engines for engines with the 'sharded' capability)");
+  }
+  engine.run_to_sink(request, sink);
 }
 
 }  // namespace are::core

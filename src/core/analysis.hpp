@@ -65,6 +65,30 @@ struct InstrumentationSink {
   std::optional<AccessCounts> accesses;
 };
 
+/// Where the output YLT lives. kMaterialized is the classic in-memory
+/// trials x layers YearLossTable returned by run(); kSharded stores losses
+/// in fixed trial-range shards behind a disk-spilling ShardStore
+/// (src/shard/) and is executed through shard::run_sharded / run_to_sink —
+/// the out-of-core path for trial counts whose full table would not fit
+/// the memory budget.
+enum class OutputMode {
+  kMaterialized = 0,
+  kSharded,
+};
+
+/// Knobs of the sharded output mode (read when output == kSharded).
+struct ShardingOptions {
+  /// Trials per shard. Shard boundaries also clamp the fused engine's tile
+  /// boundaries, so every finished tile lands in exactly one shard.
+  std::uint64_t shard_trials = 4096;
+  /// Resident-shard budget in bytes; 0 = unlimited (nothing spills).
+  std::size_t memory_budget_bytes = 0;
+  /// Base directory for spilled shards (each run spills into its own
+  /// unique subdirectory, removed afterwards); empty = the system temp
+  /// dir.
+  std::string spill_dir;
+};
+
 /// Composable execution configuration. One struct covers every engine; each
 /// engine reads the fields it understands and run() rejects combinations
 /// the engine's descriptor says it cannot honour (no silent ignoring).
@@ -92,7 +116,9 @@ struct AnalysisConfig {
 
   /// kFused: trials per tile (the fused engine processes every layer over
   /// one tile's events before moving on; see core/fused_engine.hpp).
-  std::size_t tile_trials = 64;
+  /// 0 = derive from the ELT footprint and events/trial
+  /// (core::default_tile_trials).
+  std::size_t tile_trials = 0;
 
   /// kSimd: lane type to run; kAuto resolves to the widest compiled
   /// extension with the memory-bound narrowing.
@@ -107,6 +133,20 @@ struct AnalysisConfig {
   /// Borrowed, not owned; any engine accepts it.
   InstrumentationSink* instrumentation = nullptr;
 
+  /// Request the Fig-6b phase breakdown; requires an engine whose
+  /// descriptor sets supports_instrumentation and a non-null
+  /// `instrumentation` sink to receive it. kInstrumented always fills the
+  /// breakdown; kFused switches to a timer-instrumented (slower,
+  /// bit-identical) tile path only when this is set, so the default fused
+  /// hot path stays untimed.
+  bool collect_phases = false;
+
+  /// Output placement. run() serves kMaterialized only; kSharded runs go
+  /// through shard::run_sharded (or run_to_sink with your own sink) and
+  /// require an engine whose descriptor has a run_to_sink adapter.
+  OutputMode output = OutputMode::kMaterialized;
+  ShardingOptions sharding;
+
   /// Borrowed thread pool, reused across runs (the real-time pricing path);
   /// requires an engine whose descriptor sets supports_pool_reuse
   /// (kParallel, kSimd). nullptr = the engine owns its threads.
@@ -114,7 +154,8 @@ struct AnalysisConfig {
 
   /// Engine-independent sanity checks; throws std::invalid_argument on a
   /// malformed window, partition_chunk == 0, chunk_size == 0, or
-  /// tile_trials == 0.
+  /// sharding.shard_trials == 0 (tile_trials == 0 is valid: it selects the
+  /// tile-size heuristic).
   /// Engine-capability checks (window/pool vs. descriptor flags, extension
   /// availability) happen in run(), which knows the registry.
   void validate() const;
@@ -132,7 +173,17 @@ struct AnalysisRequest {
 /// EngineRegistry::global(), rejects capability mismatches
 /// (std::invalid_argument), and dispatches. Output YLTs of engines whose
 /// descriptor sets bit_identical_to_sequential are bit-identical to
-/// EngineKind::kSequential for the same request.
+/// EngineKind::kSequential for the same request. Serves
+/// OutputMode::kMaterialized only — a sharded config is redirected (by
+/// error message) to shard::run_sharded, which owns the sharded table.
 YearLossTable run(const AnalysisRequest& request);
+
+/// Sink front door: same validation/capability checks as run(), then the
+/// engine emits finished trial-range blocks into `sink` instead of an
+/// owned YearLossTable. Requires an engine whose descriptor carries a
+/// run_to_sink adapter (descriptor.supports_sharded_output()); engines
+/// whose descriptor also sets bit_identical_to_sequential deliver exactly
+/// the bytes run_sequential would have produced for every cell.
+void run_to_sink(const AnalysisRequest& request, YltSink& sink);
 
 }  // namespace are::core

@@ -82,6 +82,45 @@ YearLossTable run_sequential(const Portfolio& portfolio, const yet::YearEventTab
   return ylt;
 }
 
+void run_sequential_to_sink(const Portfolio& portfolio, const yet::YearEventTable& yet_table,
+                            YltSink& sink) {
+  portfolio.validate();
+  const std::uint64_t num_trials = yet_table.num_trials();
+  const std::uint64_t block =
+      sink.block_trials() != 0 ? sink.block_trials() : std::uint64_t{4096};
+
+  // Direct views hoisted out of the block loop (tiny blocks — shard size 1
+  // is supported — would otherwise rebuild them per block per layer).
+  std::vector<std::vector<DirectElt>> direct_views(portfolio.layers.size());
+  for (std::size_t layer_index = 0; layer_index < portfolio.layers.size(); ++layer_index) {
+    if (portfolio.layers[layer_index].all_direct_access()) {
+      direct_views[layer_index] = direct_view(portfolio.layers[layer_index]);
+    }
+  }
+
+  std::vector<double> row;  // one layer's losses for the current block
+  for (std::uint64_t first = 0; first < num_trials; first += block) {
+    const std::uint64_t last = std::min(first + block, num_trials);
+    row.resize(static_cast<std::size_t>(last - first));
+    for (std::size_t layer_index = 0; layer_index < portfolio.layers.size(); ++layer_index) {
+      const Layer& layer = portfolio.layers[layer_index];
+      const std::vector<DirectElt>& elts = direct_views[layer_index];
+      if (!elts.empty()) {
+        for_each_trial(yet_table, first, last,
+                       [&](std::uint64_t trial, std::span<const yet::EventId> events) {
+                         row[trial - first] = run_trial_direct(elts, layer.terms, events);
+                       });
+      } else {
+        for_each_trial(yet_table, first, last,
+                       [&](std::uint64_t trial, std::span<const yet::EventId> events) {
+                         row[trial - first] = run_trial_generic(layer, events);
+                       });
+      }
+      sink.emit(layer_index, first, row);
+    }
+  }
+}
+
 YearLossTable run_parallel(const Portfolio& portfolio, const yet::YearEventTable& yet_table,
                            parallel::ThreadPool& pool, const ParallelOptions& options) {
   portfolio.validate();

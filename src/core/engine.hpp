@@ -5,6 +5,7 @@
 
 #include "core/layer.hpp"
 #include "core/year_loss_table.hpp"
+#include "core/ylt_sink.hpp"
 #include "parallel/parallel_for.hpp"
 #include "yet/year_event_table.hpp"
 
@@ -17,6 +18,16 @@ namespace are::core {
 /// across ELTs, (3) apply occurrence terms, (4) accumulate and apply
 /// aggregate terms; the net trial loss lands in the YLT.
 YearLossTable run_sequential(const Portfolio& portfolio, const yet::YearEventTable& yet_table);
+
+/// Sequential engine emitting into a YltSink: trials are processed in
+/// blocks that never cross sink.block_trials() (default 4096 when the sink
+/// has no alignment), each block's layer rows staged in one block-sized
+/// scratch buffer and emitted — so with a sharded sink the monolithic
+/// trials x layers table never exists. The per-trial arithmetic is exactly
+/// run_sequential's, so a MaterializedYltSink reproduces its YLT
+/// byte-for-byte.
+void run_sequential_to_sink(const Portfolio& portfolio, const yet::YearEventTable& yet_table,
+                            YltSink& sink);
 
 struct ParallelOptions {
   /// Worker threads; 0 = hardware concurrency.

@@ -25,6 +25,11 @@ YearLossTable adapt_sequential(const AnalysisRequest& request) {
   return run_sequential(request.portfolio, request.yet_table);
 }
 
+void adapt_sequential_to_sink(const AnalysisRequest& request, YltSink& sink) {
+  note_engine(request, EngineKind::kSequential);
+  run_sequential_to_sink(request.portfolio, request.yet_table, sink);
+}
+
 YearLossTable adapt_parallel(const AnalysisRequest& request) {
   note_engine(request, EngineKind::kParallel);
   const AnalysisConfig& config = request.config;
@@ -75,15 +80,47 @@ YearLossTable adapt_windowed(const AnalysisRequest& request) {
   return run_windowed(request.portfolio, request.yet_table, window);
 }
 
-YearLossTable adapt_fused(const AnalysisRequest& request) {
+/// Shared scaffolding of the two fused adapters: builds the FusedOptions
+/// (wiring the phase sink only when collect_phases asked for the
+/// timer-instrumented tile path — the default hot path stays untimed),
+/// invokes the engine, and delivers the breakdown afterwards.
+template <typename Invoke>
+void with_fused_options(const AnalysisRequest& request, const Invoke& invoke) {
   note_engine(request, EngineKind::kFused);
   const AnalysisConfig& config = request.config;
-  const FusedOptions options{config.tile_trials, config.num_threads, config.partition,
-                             config.window};
-  if (config.pool != nullptr) {
-    return run_fused(request.portfolio, request.yet_table, *config.pool, options);
-  }
-  return run_fused(request.portfolio, request.yet_table, options);
+  InstrumentationSink* sink = sink_of(request);
+  PhaseBreakdown phases;
+  const bool instrument = config.collect_phases && sink != nullptr;
+
+  FusedOptions options;
+  options.tile_trials = config.tile_trials;
+  options.num_threads = config.num_threads;
+  options.partition = config.partition;
+  options.window = config.window;
+  options.phases = instrument ? &phases : nullptr;
+  invoke(options);
+  if (instrument) sink->phases = phases;
+}
+
+YearLossTable adapt_fused(const AnalysisRequest& request) {
+  YearLossTable ylt;
+  with_fused_options(request, [&](const FusedOptions& options) {
+    ylt = request.config.pool != nullptr
+              ? run_fused(request.portfolio, request.yet_table, *request.config.pool, options)
+              : run_fused(request.portfolio, request.yet_table, options);
+  });
+  return ylt;
+}
+
+void adapt_fused_to_sink(const AnalysisRequest& request, YltSink& ylt_sink) {
+  with_fused_options(request, [&](const FusedOptions& options) {
+    if (request.config.pool != nullptr) {
+      run_fused_to_sink(request.portfolio, request.yet_table, *request.config.pool, options,
+                        ylt_sink);
+    } else {
+      run_fused_to_sink(request.portfolio, request.yet_table, options, ylt_sink);
+    }
+  });
 }
 
 YearLossTable adapt_instrumented(const AnalysisRequest& request) {
@@ -171,6 +208,7 @@ EngineRegistry make_builtin_registry() {
       .summary = "sequential reference engine (the bit-identity anchor)",
       .bit_identical_to_sequential = true,
       .run = &adapt_sequential,
+      .run_to_sink = &adapt_sequential_to_sink,
   });
   registry.register_engine({
       .kind = EngineKind::kParallel,
@@ -224,6 +262,10 @@ EngineRegistry make_builtin_registry() {
       .summary = "trial-tiled single-pass engine: all layers per tile, batch ELT "
                  "lookups, zero-allocation scratch",
       .supports_windowing = true,
+      // Fills the Fig-6b breakdown from timers around the batched tile
+      // phases, but only when AnalysisConfig::collect_phases asks for it
+      // (the instrumented tile path is slower; the default stays untimed).
+      .supports_instrumentation = true,
       .supports_pool_reuse = true,
       // Bit-identical for the default full-year coverage (what CI diffs); a
       // real mid-year window intentionally changes the YLT — it matches
@@ -232,6 +274,7 @@ EngineRegistry make_builtin_registry() {
       .availability_note = "a non-full-year --window changes the YLT by design "
                            "(same semantics as the windowed engine)",
       .run = &adapt_fused,
+      .run_to_sink = &adapt_fused_to_sink,
   });
   registry.register_engine({
       .kind = EngineKind::kInstrumented,

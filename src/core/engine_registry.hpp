@@ -52,6 +52,15 @@ struct EngineDescriptor {
   /// Preconditions (config validated, capabilities checked) are run()'s
   /// job; adapters may assume them.
   YearLossTable (*run)(const AnalysisRequest&) = nullptr;
+
+  /// Optional sink adapter: emits finished trial-range blocks into a
+  /// YltSink instead of returning an owned table — the out-of-core path
+  /// behind OutputMode::kSharded. Engines without one reject sharded
+  /// output in core::run_to_sink.
+  void (*run_to_sink)(const AnalysisRequest&, YltSink&) = nullptr;
+
+  /// True when this engine can execute with sharded/out-of-core output.
+  bool supports_sharded_output() const noexcept { return run_to_sink != nullptr; }
 };
 
 /// Registry of execution strategies, keyed by kind and by name.

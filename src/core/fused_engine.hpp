@@ -5,14 +5,18 @@
 
 #include "core/engine.hpp"
 #include "core/windowed_engine.hpp"
+#include "core/ylt_sink.hpp"
 
 namespace are::core {
 
 struct FusedOptions {
   /// Trials per tile. Small tiles keep a tile's events (and the staged
   /// per-event loss buffers) cache-resident across all layers; large tiles
-  /// amortise per-tile overhead. bench_fused_tiling sweeps this knob.
-  std::size_t tile_trials = 64;
+  /// amortise per-tile overhead. 0 (the default) derives the tile from the
+  /// portfolio's ELT footprint and the YET's events/trial — see
+  /// default_tile_trials(); bench_fused_tiling sweeps this knob and any
+  /// explicit value overrides the heuristic.
+  std::size_t tile_trials = 0;
   /// Worker threads; 0 = hardware concurrency, 1 = single-threaded.
   std::size_t num_threads = 0;
   /// How trial tiles are scheduled onto workers. The fused engine schedules
@@ -27,7 +31,27 @@ struct FusedOptions {
   /// run_sequential; a real mid-year window changes the YLT by design and
   /// is bit-identical to run_windowed instead.
   std::optional<CoverageWindow> window;
+  /// When non-null, the engine runs a timer-instrumented tile path (still
+  /// bit-identical — it stages each tile's events once and routes every
+  /// layer through the batched generic lookups) and accumulates the Fig-6b
+  /// phase attribution here: fetch = the per-tile YET staging (paid once
+  /// per tile instead of once per layer x trial — the fusion's predicted
+  /// event-fetch saving, now directly measurable), lookup = the
+  /// lookup_many batches, financial = the vectorized terms + cross-ELT
+  /// combine, layer = occurrence terms + the aggregate recurrence.
+  PhaseBreakdown* phases = nullptr;
 };
+
+/// The tile-size heuristic behind FusedOptions::tile_trials == 0: sizes the
+/// tile so its staged per-event working set (~20 B per event across ids,
+/// timestamps, and the combined-loss buffer) fits the cache share the tile
+/// can realistically claim. Cache-regime aware: when the portfolio's
+/// lookup tables themselves fit in cache the whole budget goes to the tile
+/// (the regime where bench_fused_tiling measured ~256-trial optima); once
+/// the tables far exceed it, lookups miss regardless and a smaller tile
+/// keeps the staged buffers from thrashing too. Clamped to [16, 4096].
+std::size_t default_tile_trials(const Portfolio& portfolio,
+                                const yet::YearEventTable& yet_table) noexcept;
 
 /// Fused trial-tiled engine: the loop nest of every other engine
 /// (`for layer: for trial:`) is inverted and tiled — one pass over trial
@@ -53,5 +77,18 @@ YearLossTable run_fused(const Portfolio& portfolio, const yet::YearEventTable& y
 /// mirrors the run_parallel/run_simd overloads).
 YearLossTable run_fused(const Portfolio& portfolio, const yet::YearEventTable& yet_table,
                         parallel::ThreadPool& pool, const FusedOptions& options = {});
+
+/// Sink-emitting variant: every finished tile is delivered to `sink` as one
+/// block per layer instead of being written into an owned YearLossTable,
+/// and tile boundaries are clamped to multiples of sink.block_trials() so
+/// each block lands in exactly one shard of a sharded sink. With a
+/// MaterializedYltSink this produces the same bytes as run_fused; with a
+/// shard::ShardedYltSink the full trials x layers table never exists in
+/// memory — the out-of-core path.
+void run_fused_to_sink(const Portfolio& portfolio, const yet::YearEventTable& yet_table,
+                       parallel::ThreadPool& pool, const FusedOptions& options, YltSink& sink);
+
+void run_fused_to_sink(const Portfolio& portfolio, const yet::YearEventTable& yet_table,
+                       const FusedOptions& options, YltSink& sink);
 
 }  // namespace are::core

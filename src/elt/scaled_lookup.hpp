@@ -26,6 +26,14 @@ class ScaledLookup final : public ILossLookup {
     return factor_ * base_->lookup(event);
   }
 
+  /// Forwards the batch to the base table's (prefetching) override, then
+  /// scales in place — so decorating an ELT keeps the fused/simd engines'
+  /// batched lookup path instead of degrading to the scalar default loop.
+  void lookup_many(const EventId* events, std::size_t count, double* out) const noexcept override {
+    base_->lookup_many(events, count, out);
+    for (std::size_t i = 0; i < count; ++i) out[i] *= factor_;
+  }
+
   std::size_t memory_bytes() const noexcept override { return base_->memory_bytes(); }
   LookupKind kind() const noexcept override { return base_->kind(); }
   std::size_t entry_count() const noexcept override { return base_->entry_count(); }

@@ -4,14 +4,16 @@
 #include <istream>
 #include <ostream>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace are::io {
 
 namespace {
 
-constexpr std::uint32_t kEltMagic = 0x454C5431;  // "ELT1"
-constexpr std::uint32_t kYetMagic = 0x59455431;  // "YET1"
+constexpr std::uint32_t kEltMagic = 0x454C5431;    // "ELT1"
+constexpr std::uint32_t kYetMagic = 0x59455431;    // "YET1"
+constexpr std::uint32_t kShardMagic = 0x53485244;  // "SHRD"
 constexpr std::uint32_t kVersion = 1;
 
 template <typename T>
@@ -116,6 +118,30 @@ void write_yet_binary(std::ostream& out, const yet::YearEventTable& table) {
   write_vector(out, times, hash);
   write_vector(out, offsets, hash);
   write_pod(out, hash);
+}
+
+void write_shard_binary(std::ostream& out, std::span<const double> values) {
+  write_pod(out, kShardMagic);
+  write_pod(out, kVersion);
+  const auto count = static_cast<std::uint64_t>(values.size());
+  write_pod(out, count);
+  out.write(reinterpret_cast<const char*>(values.data()),
+            static_cast<std::streamsize>(values.size() * sizeof(double)));
+  write_pod(out, fnv1a(values.data(), values.size() * sizeof(double)));
+}
+
+void read_shard_binary(std::istream& in, std::span<double> values) {
+  check_header(in, kShardMagic);
+  const auto count = read_pod<std::uint64_t>(in);
+  if (count != values.size()) {
+    throw std::runtime_error("shard binary stream: size mismatch (file has " +
+                             std::to_string(count) + " values, expected " +
+                             std::to_string(values.size()) + ")");
+  }
+  in.read(reinterpret_cast<char*>(values.data()),
+          static_cast<std::streamsize>(values.size() * sizeof(double)));
+  if (!in) throw std::runtime_error("truncated binary stream");
+  check_footer(in, fnv1a(values.data(), values.size() * sizeof(double)));
 }
 
 yet::YearEventTable read_yet_binary(std::istream& in) {

@@ -2,22 +2,33 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <span>
 
 #include "elt/event_loss_table.hpp"
 #include "yet/year_event_table.hpp"
 
 namespace are::io {
 
-/// Compact binary formats for the two bulk inputs. Each record starts with
-/// a magic tag and a format version and ends with an FNV-1a checksum of the
-/// payload, so corrupted or truncated files are rejected rather than
-/// silently mispriced. All integers little-endian, losses as IEEE doubles.
+/// Compact binary formats for the bulk inputs and the YLT spill shards.
+/// Each record starts with a magic tag and a format version and ends with
+/// an FNV-1a checksum of the payload, so corrupted or truncated files are
+/// rejected rather than silently mispriced. All integers little-endian,
+/// losses as IEEE doubles.
 
 void write_elt_binary(std::ostream& out, const elt::EventLossTable& table);
 elt::EventLossTable read_elt_binary(std::istream& in);
 
 void write_yet_binary(std::ostream& out, const yet::YearEventTable& table);
 yet::YearEventTable read_yet_binary(std::istream& in);
+
+/// One spilled YLT shard: a flat run of doubles (the shard's layer-major
+/// loss buffer), checksummed like the other formats so a torn spill file is
+/// an error instead of silently zeroed trials.
+void write_shard_binary(std::ostream& out, std::span<const double> values);
+
+/// Restores a shard written by write_shard_binary into `values`; throws
+/// std::runtime_error on magic/version/size/checksum mismatch.
+void read_shard_binary(std::istream& in, std::span<double> values);
 
 /// FNV-1a 64-bit over a byte range (exposed for tests).
 std::uint64_t fnv1a(const void* data, std::size_t size) noexcept;

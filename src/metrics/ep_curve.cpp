@@ -16,6 +16,21 @@ EpCurve::EpCurve(std::span<const double> trial_losses)
   mean_ = sum / static_cast<double>(sorted_losses_.size());
 }
 
+EpCurve EpCurve::from_sorted(std::vector<double> sorted_losses) {
+  if (sorted_losses.empty()) throw std::invalid_argument("EP curve needs at least one trial");
+  if (!std::is_sorted(sorted_losses.begin(), sorted_losses.end())) {
+    throw std::invalid_argument("EpCurve::from_sorted: losses are not ascending");
+  }
+  EpCurve curve;
+  curve.sorted_losses_ = std::move(sorted_losses);
+  // Summed in ascending order, exactly as the sorting constructor does, so
+  // the shard-wise path reproduces its mean bit-for-bit.
+  double sum = 0.0;
+  for (double loss : curve.sorted_losses_) sum += loss;
+  curve.mean_ = sum / static_cast<double>(curve.sorted_losses_.size());
+  return curve;
+}
+
 double EpCurve::loss_at_probability(double p) const {
   if (!(p > 0.0) || !(p <= 1.0)) {
     throw std::invalid_argument("exceedance probability must be in (0,1]");

@@ -28,6 +28,12 @@ class EpCurve {
   /// Builds from unsorted trial losses.
   explicit EpCurve(std::span<const double> trial_losses);
 
+  /// Adopts an already-ascending loss vector without copying or re-sorting
+  /// — the hand-off from the shard-wise k-way merge (metrics/
+  /// sharded_reduce.hpp). Precondition (checked): `sorted_losses` is
+  /// non-empty and ascending.
+  static EpCurve from_sorted(std::vector<double> sorted_losses);
+
   /// Loss exceeded with probability p (the "PML at probability p"):
   /// the (1-p) empirical quantile of the annual loss.
   double loss_at_probability(double p) const;

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "metrics/ep_curve.hpp"
+#include "metrics/statistics.hpp"
+#include "shard/sharded_ylt.hpp"
+
+namespace are::metrics {
+
+/// Streaming shard-wise reductions over an out-of-core YLT: every function
+/// visits the shards once, in trial order, faulting each back from disk at
+/// most once and never holding more than one shard's *table* buffer plus
+/// its own reduction state. The reduction state is O(1) for the stats and
+/// O(num_trials) for the EP merge and portfolio sum — one layer-row's
+/// worth of doubles, not the layers x trials table (for exact empirical
+/// quantiles that row is irreducible). Results are bit-identical to the
+/// same metric computed on the materialized table (the reductions
+/// preserve both the value multiset and, where it matters — Welford,
+/// portfolio accumulation — the exact trial visit order), so a sharded
+/// analysis loses no numerical fidelity over an in-memory one.
+
+/// Exact EP curve for one layer: each shard's losses become a sorted run,
+/// and the runs are k-way merged into the ascending loss vector the curve
+/// adopts. Peak transient state: the sorted runs plus the growing merged
+/// vector, ~2 copies of the layer row (exhausted runs are freed as the
+/// merge drains them). Feed the aggregate trial losses for an AEP curve;
+/// the curve's quantiles/TVaR/mean equal EpCurve(materialized layer row)
+/// bit-for-bit.
+EpCurve ep_curve_sharded(shard::ShardedYearLossTable& table, std::size_t layer_index);
+
+/// Streaming AAL/stddev/min/max for one layer: RunningStats fed in trial
+/// order (shard by shard), bit-identical to summarize(materialized row).
+RunningStats stats_sharded(shard::ShardedYearLossTable& table, std::size_t layer_index);
+
+/// Portfolio-level trial losses (sum across layers per trial), accumulated
+/// shard-wise in the same layer-then-trial order as
+/// YearLossTable::portfolio_losses — bit-identical to it. The result is
+/// one double per trial (the portfolio row a stop-loss EP curve needs),
+/// not the full table.
+std::vector<double> portfolio_losses_sharded(shard::ShardedYearLossTable& table);
+
+}  // namespace are::metrics

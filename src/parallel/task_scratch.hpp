@@ -46,6 +46,17 @@ class TaskScratch {
     return *slot;
   }
 
+  /// Visits every scratch object constructed so far — the post-run merge
+  /// step for per-worker accumulators (phase timers, counters). Only valid
+  /// after the parallel region has completed; not synchronised with
+  /// running tasks.
+  template <typename Fn>
+  void for_each(const Fn& fn) const {
+    for (const std::unique_ptr<T>& slot : slots_) {
+      if (slot) fn(*slot);
+    }
+  }
+
  private:
   std::vector<std::unique_ptr<T>> slots_;
 };

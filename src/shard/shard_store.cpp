@@ -1,0 +1,158 @@
+#include "shard/shard_store.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <fstream>
+#include <stdexcept>
+#include <system_error>
+#include <utility>
+
+#include "io/binary.hpp"
+
+namespace are::shard {
+
+namespace {
+
+std::size_t bytes_of(std::size_t doubles) { return doubles * sizeof(double); }
+
+/// Unique default spill-dir name: pid + process-wide counter, so concurrent
+/// analyses (in this process or another on the same box) can never share a
+/// directory and fault back each other's shards.
+std::string unique_spill_dir_name() {
+  static std::atomic<std::uint64_t> counter{0};
+  return "are_ylt_shards_" + std::to_string(::getpid()) + "_" +
+         std::to_string(counter.fetch_add(1));
+}
+
+}  // namespace
+
+ShardStore::ShardStore(std::vector<std::size_t> shard_doubles, ShardStoreConfig config)
+    : config_(std::move(config)) {
+  shards_.resize(shard_doubles.size());
+  for (std::size_t i = 0; i < shard_doubles.size(); ++i) {
+    shards_[i].size_doubles = shard_doubles[i];
+  }
+  // The spill directory is resolved lazily in ensure_spill_dir(): a store
+  // that never spills must not touch the filesystem at all.
+}
+
+ShardStore::~ShardStore() {
+  std::error_code ignored;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    std::filesystem::remove(shard_path(i), ignored);
+  }
+  if (owns_spill_dir_) std::filesystem::remove(spill_dir_, ignored);
+}
+
+std::span<double> ShardStore::Pin::data() const noexcept {
+  Shard& shard = store_->shards_[index_];
+  return {shard.buffer.get(), shard.size_doubles};
+}
+
+void ShardStore::Pin::release() noexcept {
+  if (store_ == nullptr) return;
+  std::lock_guard<std::mutex> guard(store_->lock_);
+  --store_->shards_[index_].pins;
+  store_ = nullptr;
+}
+
+ShardStore::Pin ShardStore::pin(std::size_t shard_index) {
+  std::lock_guard<std::mutex> guard(lock_);
+  fault_in(shard_index);
+  Shard& shard = shards_[shard_index];
+  ++shard.pins;
+  shard.last_use = ++clock_;
+  evict_over_budget(shard_index);
+  return Pin(this, shard_index);
+}
+
+ShardStoreStats ShardStore::stats() const {
+  std::lock_guard<std::mutex> guard(lock_);
+  return stats_;
+}
+
+void ShardStore::fault_in(std::size_t shard_index) {
+  Shard& shard = shards_[shard_index];
+  if (shard.state == State::kResident) return;
+
+  if (shard.state == State::kSpilled) {
+    // The read fills every byte, so the buffer is allocated uninitialised.
+    shard.buffer = std::make_unique_for_overwrite<double[]>(shard.size_doubles);
+    std::ifstream in(shard_path(shard_index), std::ios::binary);
+    if (!in) {
+      throw std::runtime_error("shard store: cannot reopen spill file for shard " +
+                               std::to_string(shard_index));
+    }
+    io::read_shard_binary(in, {shard.buffer.get(), shard.size_doubles});
+    ++stats_.faults;
+  } else {
+    shard.buffer = std::make_unique<double[]>(shard.size_doubles);  // first touch: zeros
+  }
+  shard.state = State::kResident;
+  stats_.resident_bytes += bytes_of(shard.size_doubles);
+  if (stats_.resident_bytes > stats_.peak_resident_bytes) {
+    stats_.peak_resident_bytes = stats_.resident_bytes;
+  }
+}
+
+void ShardStore::evict_over_budget(std::size_t protect_index) {
+  if (config_.memory_budget_bytes == 0) return;
+  while (stats_.resident_bytes > config_.memory_budget_bytes) {
+    // Least-recently-pinned resident shard that nobody holds.
+    std::size_t victim = shards_.size();
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      const Shard& shard = shards_[i];
+      if (i == protect_index || shard.state != State::kResident || shard.pins != 0) continue;
+      if (victim == shards_.size() || shard.last_use < shards_[victim].last_use) victim = i;
+    }
+    if (victim == shards_.size()) return;  // everything evictable is pinned
+    spill(victim);
+  }
+}
+
+void ShardStore::spill(std::size_t shard_index) {
+  ensure_spill_dir();
+  Shard& shard = shards_[shard_index];
+  std::ofstream out(shard_path(shard_index), std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("shard store: cannot open spill file for shard " +
+                             std::to_string(shard_index) + " under " + spill_dir_.string());
+  }
+  io::write_shard_binary(out, {shard.buffer.get(), shard.size_doubles});
+  out.flush();
+  if (!out) {
+    throw std::runtime_error("shard store: short write spilling shard " +
+                             std::to_string(shard_index));
+  }
+  shard.buffer.reset();
+  shard.state = State::kSpilled;
+  stats_.resident_bytes -= bytes_of(shard.size_doubles);
+  ++stats_.spills;
+}
+
+std::filesystem::path ShardStore::shard_path(std::size_t shard_index) const {
+  if (spill_dir_.empty()) return {};  // no spill has resolved the dir yet
+  return spill_dir_ / ("shard_" + std::to_string(shard_index) + ".bin");
+}
+
+void ShardStore::ensure_spill_dir() {
+  if (spill_dir_ready_) return;
+  // Always a unique per-store subdirectory — under the configured dir or
+  // the system temp dir — so shard files (fixed names, shard_<i>.bin) of
+  // concurrent runs can never collide: a foreign same-index shard is a
+  // well-formed, correctly-checksummed file the reader cannot reject.
+  const std::filesystem::path base = config_.spill_dir.empty()
+                                         ? std::filesystem::temp_directory_path()
+                                         : std::filesystem::path(config_.spill_dir);
+  spill_dir_ = base / unique_spill_dir_name();
+  owns_spill_dir_ = true;
+  std::error_code error;
+  if (std::filesystem::create_directories(spill_dir_, error); error) {
+    throw std::runtime_error("shard store: cannot create spill dir " + spill_dir_.string() +
+                             ": " + error.message());
+  }
+  spill_dir_ready_ = true;
+}
+
+}  // namespace are::shard

@@ -1,0 +1,138 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace are::shard {
+
+/// Placement policy for shard buffers.
+struct ShardStoreConfig {
+  /// Resident-buffer budget in bytes; 0 = unlimited (nothing ever spills).
+  /// Pinned shards are exempt — the store may run over budget while a
+  /// writer/reader holds a pin, and evicts back under budget on the next
+  /// pin() (releases themselves never evict).
+  std::size_t memory_budget_bytes = 0;
+
+  /// Base directory for spill files. Each store spills into its own unique
+  /// subdirectory of this (or of the system temp dir when empty), one
+  /// checksummed binary file per spilled shard — see io::write_shard_binary
+  /// — so concurrent runs sharing a base dir never collide. Created on
+  /// first spill; the subdirectory and its files are removed by the
+  /// store's destructor.
+  std::string spill_dir;
+};
+
+/// Observability counters, stable across pin/release cycles.
+struct ShardStoreStats {
+  std::uint64_t spills = 0;  ///< shard buffers written out to disk
+  std::uint64_t faults = 0;  ///< shard buffers restored from disk
+  std::size_t resident_bytes = 0;
+  std::size_t peak_resident_bytes = 0;
+};
+
+/// Bounded-memory home for a fixed set of equal-role buffers ("shards").
+/// Shards start life virtually zero-filled (allocating nothing until first
+/// pinned), stay resident while the budget allows, and spill least-recently
+/// -used to disk when it does not; pinning a spilled shard transparently
+/// faults it back. All metadata operations are thread-safe; the data bytes
+/// behind a pin are the caller's to synchronise (the sharded YLT writes
+/// disjoint ranges from concurrent workers, which needs no locking).
+class ShardStore {
+ public:
+  /// `shard_doubles[i]` is shard i's element count (the last trial-range
+  /// shard of a YLT is usually ragged).
+  ShardStore(std::vector<std::size_t> shard_doubles, ShardStoreConfig config);
+  ~ShardStore();
+
+  ShardStore(const ShardStore&) = delete;
+  ShardStore& operator=(const ShardStore&) = delete;
+
+  /// RAII pin: the shard is resident and cannot be evicted while any Pin on
+  /// it lives. Movable, not copyable.
+  class Pin {
+   public:
+    Pin() = default;
+    Pin(Pin&& other) noexcept : store_(other.store_), index_(other.index_) {
+      other.store_ = nullptr;
+    }
+    Pin& operator=(Pin&& other) noexcept {
+      if (this != &other) {
+        release();
+        store_ = other.store_;
+        index_ = other.index_;
+        other.store_ = nullptr;
+      }
+      return *this;
+    }
+    ~Pin() { release(); }
+
+    std::span<double> data() const noexcept;
+    explicit operator bool() const noexcept { return store_ != nullptr; }
+
+   private:
+    friend class ShardStore;
+    Pin(ShardStore* store, std::size_t index) : store_(store), index_(index) {}
+    void release() noexcept;
+
+    ShardStore* store_ = nullptr;
+    std::size_t index_ = 0;
+  };
+
+  /// Faults the shard in (allocating zeros on first touch, reading the
+  /// spill file after an eviction) and pins it. May evict other, unpinned
+  /// shards to get back under budget. Throws std::runtime_error on spill
+  /// I/O failure.
+  Pin pin(std::size_t shard_index);
+
+  std::size_t num_shards() const noexcept { return shards_.size(); }
+  std::size_t shard_doubles(std::size_t shard_index) const noexcept {
+    return shards_[shard_index].size_doubles;
+  }
+  ShardStoreStats stats() const;
+
+  /// The directory spill files land in (resolved from the config; the
+  /// default temp subdirectory is created lazily).
+  const std::filesystem::path& spill_dir() const noexcept { return spill_dir_; }
+
+ private:
+  enum class State : std::uint8_t {
+    kZero,      ///< never materialised: logically all zeros, no buffer, no file
+    kResident,  ///< buffer in memory (a spill file from an earlier eviction may exist)
+    kSpilled,   ///< buffer on disk only
+  };
+
+  struct Shard {
+    std::size_t size_doubles = 0;
+    State state = State::kZero;
+    // Raw array, not vector: a fault from disk fills every byte from the
+    // spill file, so the buffer is allocated uninitialised (only a
+    // first-touch kZero fault pays the zero fill).
+    std::unique_ptr<double[]> buffer;
+    std::uint32_t pins = 0;
+    std::uint64_t last_use = 0;  // LRU clock value at last pin
+  };
+
+  // All require lock_ held.
+  void fault_in(std::size_t shard_index);
+  void evict_over_budget(std::size_t protect_index);
+  void spill(std::size_t shard_index);
+  std::filesystem::path shard_path(std::size_t shard_index) const;
+  void ensure_spill_dir();
+
+  mutable std::mutex lock_;
+  std::vector<Shard> shards_;
+  ShardStoreConfig config_;
+  std::filesystem::path spill_dir_;
+  bool owns_spill_dir_ = false;   // we created it -> destructor removes it
+  bool spill_dir_ready_ = false;  // directory exists on disk
+  std::uint64_t clock_ = 0;
+  ShardStoreStats stats_;
+};
+
+}  // namespace are::shard

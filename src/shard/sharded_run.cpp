@@ -1,0 +1,25 @@
+#include "shard/sharded_run.hpp"
+
+#include <vector>
+
+namespace are::shard {
+
+ShardedYearLossTable run_sharded(const core::AnalysisRequest& request) {
+  const core::AnalysisConfig& config = request.config;
+  config.validate();
+
+  std::vector<std::uint32_t> ids;
+  for (const core::Layer& layer : request.portfolio.layers) ids.push_back(layer.id);
+
+  ShardStoreConfig store_config;
+  store_config.memory_budget_bytes = config.sharding.memory_budget_bytes;
+  store_config.spill_dir = config.sharding.spill_dir;
+
+  ShardedYearLossTable table(std::move(ids), request.yet_table.num_trials(),
+                             config.sharding.shard_trials, std::move(store_config));
+  ShardedYltSink sink(table);
+  core::run_to_sink(request, sink);
+  return table;
+}
+
+}  // namespace are::shard

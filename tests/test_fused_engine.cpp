@@ -203,14 +203,81 @@ TEST(FusedEngine, ReachableThroughRegistryWithPoolReuse) {
   expect_identical(sequential, core::run({portfolio, yet_table, config}));  // pool still warm
 }
 
-TEST(FusedEngine, RejectsZeroTile) {
+TEST(FusedEngine, ZeroTileSelectsHeuristicAndStaysBitIdentical) {
   const Portfolio portfolio = synthetic_portfolio(1, 1);
   const auto yet_table = skewed_yet(10, 5.0);
-  EXPECT_THROW(core::run_fused(portfolio, yet_table, {0, 1}), std::invalid_argument);
+
+  // tile_trials == 0 means "derive from ELT footprint + events/trial".
+  const std::size_t tile = core::default_tile_trials(portfolio, yet_table);
+  EXPECT_GE(tile, 16u);
+  EXPECT_LE(tile, 4096u);
+  expect_identical(core::run_sequential(portfolio, yet_table),
+                   core::run_fused(portfolio, yet_table, {0, 1}));
 
   core::AnalysisConfig config;
-  config.tile_trials = 0;
-  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config.tile_trials = 0;  // valid now: selects the heuristic
+  config.validate();
+}
+
+TEST(FusedEngine, TileHeuristicShrinksWithDenserTrials) {
+  // More events per trial = bigger staged buffers per tile, so the
+  // heuristic must not pick a larger tile for the denser YET.
+  const Portfolio portfolio = synthetic_portfolio(1, 2);
+  const auto sparse = skewed_yet(64, 10.0);
+  const auto dense = skewed_yet(64, 500.0);
+  EXPECT_LE(core::default_tile_trials(portfolio, dense),
+            core::default_tile_trials(portfolio, sparse));
+}
+
+// --- Per-phase instrumentation ------------------------------------------------
+
+TEST(FusedEngine, CollectPhasesFillsBreakdownAndKeepsBytes) {
+  const Portfolio portfolio = synthetic_portfolio(2, 3);
+  const auto yet_table = skewed_yet(300, 50.0);
+  const auto sequential = core::run_sequential(portfolio, yet_table);
+
+  core::InstrumentationSink sink;
+  core::AnalysisConfig config;
+  config.engine = core::EngineKind::kFused;
+  config.tile_trials = 32;
+  config.num_threads = 3;
+  config.instrumentation = &sink;
+  config.collect_phases = true;
+  expect_identical(sequential, core::run({portfolio, yet_table, config}));
+
+  ASSERT_TRUE(sink.phases.has_value());
+  EXPECT_GT(sink.phases->total_seconds(), 0.0);
+  // Every batched phase ran: the staged fetch, the lookup_many batches,
+  // the vector financial fold, and the occurrence + aggregate sweep.
+  EXPECT_GT(sink.phases->lookup_seconds, 0.0);
+  EXPECT_GT(sink.phases->financial_seconds, 0.0);
+  EXPECT_GT(sink.phases->layer_seconds, 0.0);
+
+  // Without collect_phases the sink records the engine but no breakdown
+  // (the fused hot path stays untimed by default).
+  core::InstrumentationSink quiet;
+  config.collect_phases = false;
+  config.instrumentation = &quiet;
+  core::run({portfolio, yet_table, config});
+  EXPECT_FALSE(quiet.phases.has_value());
+  EXPECT_EQ(quiet.engine_used, core::EngineKind::kFused);
+}
+
+TEST(FusedEngine, CollectPhasesRejectedByNonInstrumentedEngine) {
+  const Portfolio portfolio = synthetic_portfolio(1, 1);
+  const auto yet_table = skewed_yet(10, 5.0);
+  core::InstrumentationSink sink;
+  core::AnalysisConfig config;
+  config.engine = core::EngineKind::kParallel;
+  config.instrumentation = &sink;
+  config.collect_phases = true;
+  EXPECT_THROW(core::run({portfolio, yet_table, config}), std::invalid_argument);
+
+  // collect_phases with nowhere to deliver the breakdown is an error too,
+  // not a silent no-op.
+  config.engine = core::EngineKind::kFused;
+  config.instrumentation = nullptr;
+  EXPECT_THROW(core::run({portfolio, yet_table, config}), std::invalid_argument);
 }
 
 TEST(FusedEngine, EmptyYetYieldsZeroTrials) {

@@ -202,6 +202,34 @@ TEST(ScaledLookup, StressAttachesRemoteLayers) {
   EXPECT_GT(stressed_total, 0.0);
 }
 
+TEST(ScaledLookup, LookupManyForwardsThroughDecorator) {
+  // The batch path must go through the base table's override and then
+  // scale, matching the scalar decorator lookup bit-for-bit — this is what
+  // keeps the fused engine's generic path batched on stressed ELTs.
+  elt::SyntheticEltConfig config;
+  config.catalog_size = 2'000;
+  config.entries = 400;
+  const auto table = elt::make_synthetic_elt(config);
+  for (const auto kind : {elt::LookupKind::kDirectAccess, elt::LookupKind::kSortedVector,
+                          elt::LookupKind::kRobinHood, elt::LookupKind::kCuckoo,
+                          elt::LookupKind::kPagedDirect}) {
+    const auto base =
+        std::shared_ptr<const elt::ILossLookup>(elt::make_lookup(kind, table, 2'000));
+    const elt::ScaledLookup stressed(base, 1.3);
+
+    std::vector<elt::EventId> events;
+    for (std::uint32_t i = 0; i < 300; ++i) events.push_back((i * 17) % 2'500);
+    events.push_back(catalog::kInvalidEvent);
+
+    std::vector<double> batch(events.size() + 1, -1.0);
+    stressed.lookup_many(events.data(), events.size(), batch.data());
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      ASSERT_EQ(batch[i], stressed.lookup(events[i])) << to_string(kind) << " index " << i;
+    }
+    EXPECT_EQ(batch[events.size()], -1.0) << "lookup_many wrote past count";
+  }
+}
+
 TEST(ScaledLookup, RejectsBadConstruction) {
   EXPECT_THROW(elt::ScaledLookup(nullptr, 1.0), std::invalid_argument);
   elt::SyntheticEltConfig config;

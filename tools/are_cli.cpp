@@ -18,14 +18,20 @@
 //              --partition static|dynamic|guided --partition-chunk N
 //              (parallel engine's trials per dynamic/guided work item;
 //              for the fused engine, --partition picks the tile scheduler)
-//              --tile N (fused engine's trials per tile)
+//              --tile N (fused engine's trials per tile; 0 = footprint heuristic)
 //              --simd-ext auto|scalar|sse2|avx2|avx512|neon
 //              --window FROM:TO (windowed/fused engines; fractions of the year)
+//              --phases (Fig-6b phase breakdown; instrumented/fused engines)
 //              --lookup direct|sorted|robinhood|cuckoo
+// Output:      --output materialized|sharded — sharded stores the YLT in
+//              trial-range shards that spill to disk under a memory budget
+//              (out-of-core; engines with the 'sharded' capability), with
+//              --shard-trials N --spill-dir PATH --memory-budget-mb M
 //
 // Engine selection goes through core::run(AnalysisRequest) and the
 // EngineRegistry, so a backend registered there is immediately reachable
 // here by name — this file has no per-engine dispatch ladder.
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -43,7 +49,9 @@
 #include "io/csv.hpp"
 #include "metrics/convergence.hpp"
 #include "metrics/ep_curve.hpp"
+#include "metrics/sharded_reduce.hpp"
 #include "pricing/pricing.hpp"
+#include "shard/sharded_run.hpp"
 #include "yet/generator.hpp"
 
 namespace {
@@ -69,10 +77,13 @@ common options:
   layer terms   --occ-retention X --occ-limit X --agg-retention X --agg-limit X
   engine        --engine NAME (see list-engines) --threads N --chunk N
                 --partition static|dynamic|guided --partition-chunk N
-                --tile N (trials per tile, for --engine fused)
+                --tile N (trials per tile, for --engine fused; 0 = auto heuristic)
   simd          --simd-ext auto|scalar|sse2|avx2|avx512|neon (lane type for --engine simd)
   window        --window FROM:TO  (fractions of the year, for --engine windowed|fused)
+  phases        --phases  (Fig-6b phase breakdown to stderr; instrumented/fused)
   lookup        --lookup direct|sorted|robinhood|cuckoo
+  output        --output materialized|sharded  (sharded = out-of-core YLT)
+                --shard-trials N --spill-dir PATH --memory-budget-mb M (0 = unlimited)
   run 'are_cli <command> --help' is not needed: every option has a default.
 )";
   return 2;
@@ -172,19 +183,37 @@ parallel::Partition parse_partition(const Args& args) {
 /// prints.
 core::AnalysisConfig parse_engine_config(const Args& args) {
   core::AnalysisConfig config;
-  const auto& engine = core::EngineRegistry::global().require(args.get("engine", "parallel"));
+  // Sharded output needs a sink-capable engine, so its default is fused
+  // (the engine that writes tiles straight into shards); --engine still
+  // overrides either default.
+  const bool sharded = args.get("output", "materialized") == "sharded";
+  const auto& engine =
+      core::EngineRegistry::global().require(args.get("engine", sharded ? "fused" : "parallel"));
   config.engine = engine.kind;
   config.engine_name = engine.name;  // exact descriptor, even for custom-named engines
   config.num_threads = static_cast<std::size_t>(args.get_u64("threads", 0));
   config.partition = parse_partition(args);
   config.partition_chunk = static_cast<std::size_t>(args.get_u64("partition-chunk", 256));
   config.chunk_size = static_cast<std::size_t>(args.get_u64("chunk", 4));
-  config.tile_trials = static_cast<std::size_t>(args.get_u64("tile", 64));
+  config.tile_trials = static_cast<std::size_t>(args.get_u64("tile", 0));  // 0 = heuristic
   const std::string ext = args.get("simd-ext", "auto");
   const auto extension = core::simd_extension_from_string(ext);
   if (!extension) throw std::runtime_error("unknown --simd-ext '" + ext + "'");
   config.simd_extension = *extension;
   if (args.has("window")) config.window = parse_window(args.require("window"));
+  config.collect_phases = args.has("phases");
+
+  const std::string output = args.get("output", "materialized");
+  if (output == "sharded") {
+    config.output = core::OutputMode::kSharded;
+  } else if (output != "materialized") {
+    throw std::runtime_error("unknown --output '" + output +
+                             "' (expected materialized or sharded)");
+  }
+  config.sharding.shard_trials = args.get_u64("shard-trials", 4096);
+  config.sharding.memory_budget_bytes =
+      static_cast<std::size_t>(args.get_u64("memory-budget-mb", 0)) << 20;
+  config.sharding.spill_dir = args.get("spill-dir", "");
   return config;
 }
 
@@ -230,6 +259,34 @@ core::YearLossTable run_engine(const Args& args, const core::Portfolio& portfoli
   report_execution(sink);
   return ylt;
 }
+
+/// Post-run shard-store facts (stderr): how hard the memory budget pressed.
+void report_sharding(const shard::ShardedYearLossTable& ylt) {
+  const shard::ShardStoreStats stats = ylt.stats();
+  std::fprintf(stderr,
+               "sharded YLT: %zu shards x %llu trials, %llu spills, %llu faults, "
+               "peak resident %.1f MB\n",
+               ylt.num_shards(), static_cast<unsigned long long>(ylt.shard_trials()),
+               static_cast<unsigned long long>(stats.spills),
+               static_cast<unsigned long long>(stats.faults),
+               static_cast<double>(stats.peak_resident_bytes) / 1e6);
+}
+
+/// Sharded execution path shared by run/report: engine -> out-of-core YLT.
+/// Callers print report_sharding() after consuming the table, so the
+/// spill/fault counters include the read-back pass too.
+shard::ShardedYearLossTable run_engine_sharded(const Args& args,
+                                               const core::Portfolio& portfolio,
+                                               const yet::YearEventTable& yet_table) {
+  core::AnalysisConfig config = parse_engine_config(args);
+  core::InstrumentationSink sink;
+  config.instrumentation = &sink;
+  auto ylt = shard::run_sharded({portfolio, yet_table, std::move(config)});
+  report_execution(sink);
+  return ylt;
+}
+
+bool sharded_output(const Args& args) { return args.get("output", "materialized") == "sharded"; }
 
 std::size_t universe_of(const yet::YearEventTable& yet_table, const Args& args) {
   // The catalog universe is whatever the user says, defaulting to one past
@@ -319,11 +376,30 @@ int cmd_gen_yet(const Args& args) {
 int cmd_run(const Args& args) {
   const auto yet_table = load_yet(args.require("yet"));
   const auto portfolio = build_portfolio(args, universe_of(yet_table, args));
-  const auto ylt = run_engine(args, portfolio, yet_table);
-
   const std::string out_path = args.require("out");
-  std::ofstream out(out_path);
-  if (!out) throw std::runtime_error("cannot write " + out_path);
+
+  // The output file is only opened (and truncated) once the engine has
+  // succeeded, so a failing run leaves any pre-existing file intact.
+  const auto open_out = [&] {
+    std::ofstream out(out_path);
+    if (!out) throw std::runtime_error("cannot write " + out_path);
+    return out;
+  };
+
+  if (sharded_output(args)) {
+    // Out-of-core: the full trials x layers table never exists in memory;
+    // the CSV streams out one pinned shard at a time, byte-identical to
+    // the materialized writer.
+    auto ylt = run_engine_sharded(args, portfolio, yet_table);
+    auto out = open_out();
+    io::write_ylt_csv(out, ylt);
+    report_sharding(ylt);
+    std::cout << "wrote " << out_path << ": " << ylt.num_trials() << " trial losses ("
+              << ylt.num_shards() << " shards)\n";
+    return 0;
+  }
+  const auto ylt = run_engine(args, portfolio, yet_table);
+  auto out = open_out();
   io::write_ylt_csv(out, ylt);
   std::cout << "wrote " << out_path << ": " << ylt.num_trials() << " trial losses\n";
   return 0;
@@ -332,14 +408,31 @@ int cmd_run(const Args& args) {
 int cmd_report(const Args& args) {
   const auto yet_table = load_yet(args.require("yet"));
   const auto portfolio = build_portfolio(args, universe_of(yet_table, args));
-  const auto ylt = run_engine(args, portfolio, yet_table);
 
-  const metrics::EpCurve curve(ylt.layer_losses(0));
-  std::cout << "trials              : " << ylt.num_trials() << "\n";
+  metrics::EpCurve curve;
+  std::uint64_t trials = 0;
+  double standard_error = 0.0;
+  if (sharded_output(args)) {
+    // Shard-wise streaming reduction: sorted runs + k-way merge for the
+    // exact EP curve, RunningStats for the standard error — bit-identical
+    // to the materialized metrics below.
+    auto ylt = run_engine_sharded(args, portfolio, yet_table);
+    trials = ylt.num_trials();
+    curve = metrics::ep_curve_sharded(ylt, 0);
+    const metrics::RunningStats stats = metrics::stats_sharded(ylt, 0);
+    standard_error = stats.stddev() / std::sqrt(static_cast<double>(stats.count()));
+    report_sharding(ylt);
+  } else {
+    const auto ylt = run_engine(args, portfolio, yet_table);
+    trials = ylt.num_trials();
+    curve = metrics::EpCurve(ylt.layer_losses(0));
+    standard_error = metrics::mean_standard_error(ylt.layer_losses(0));
+  }
+
+  std::cout << "trials              : " << trials << "\n";
   std::cout << "expected annual loss: " << curve.expected_loss() << "\n";
   std::cout << "TVaR(99%)           : " << curve.tail_value_at_risk(0.99) << "\n";
-  const auto se = metrics::mean_standard_error(ylt.layer_losses(0));
-  std::cout << "EL standard error   : " << se << "\n\n";
+  std::cout << "EL standard error   : " << standard_error << "\n\n";
   io::write_ep_csv(std::cout, curve.table(metrics::standard_return_periods()));
   return 0;
 }
@@ -375,15 +468,16 @@ int cmd_list_engines(const Args& args) {
     return 0;
   }
 
-  std::printf("%-13s %-9s %-13s %-7s %-6s %-5s %s\n", "engine", "available", "bit-identical",
-              "window", "instr", "pool", "summary");
+  std::printf("%-13s %-9s %-13s %-7s %-6s %-5s %-8s %s\n", "engine", "available",
+              "bit-identical", "window", "instr", "pool", "sharded", "summary");
   for (const auto& engine : registry.descriptors()) {
     if (only_bit_identical && !engine.bit_identical_to_sequential) continue;
     const auto yn = [](bool value) { return value ? "yes" : "no"; };
-    std::printf("%-13s %-9s %-13s %-7s %-6s %-5s %s\n", engine.name.c_str(),
+    std::printf("%-13s %-9s %-13s %-7s %-6s %-5s %-8s %s\n", engine.name.c_str(),
                 yn(engine.available_in_this_build), yn(engine.bit_identical_to_sequential),
                 yn(engine.supports_windowing), yn(engine.supports_instrumentation),
-                yn(engine.supports_pool_reuse), engine.summary.c_str());
+                yn(engine.supports_pool_reuse), yn(engine.supports_sharded_output()),
+                engine.summary.c_str());
     if (!engine.availability_note.empty()) {
       std::printf("%-13s   %s\n", "", engine.availability_note.c_str());
     }
