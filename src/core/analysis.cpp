@@ -51,8 +51,9 @@ const EngineDescriptor& resolve_engine(const AnalysisConfig& config) {
   }
   if (config.window && !engine.supports_windowing) {
     throw std::invalid_argument("engine '" + engine.name +
-                                "' does not support a coverage window (use the 'windowed' "
-                                "engine, or clear AnalysisConfig::window)");
+                                "' does not support a coverage window (every kernel-backed "
+                                "builtin does; use one of those, or clear "
+                                "AnalysisConfig::window)");
   }
   if (config.pool != nullptr && !engine.supports_pool_reuse) {
     throw std::invalid_argument("engine '" + engine.name +
@@ -61,8 +62,9 @@ const EngineDescriptor& resolve_engine(const AnalysisConfig& config) {
   }
   if (config.collect_phases && !engine.supports_instrumentation) {
     throw std::invalid_argument("engine '" + engine.name +
-                                "' cannot collect a phase breakdown (use the 'instrumented' or "
-                                "'fused' engine, or clear AnalysisConfig::collect_phases)");
+                                "' cannot collect a phase breakdown (every kernel-backed "
+                                "builtin can; use one of those, or clear "
+                                "AnalysisConfig::collect_phases)");
   }
   if (config.collect_phases && config.instrumentation == nullptr) {
     throw std::invalid_argument(

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <stdexcept>
+
+namespace are::core {
+
+/// A coverage window within the contractual year: real treaties incept and
+/// expire mid-year, so a layer only responds to occurrences whose YET
+/// timestamp falls inside [from, to). This is the first consumer of the
+/// timestamps the paper's YET carries alongside each event id. Every
+/// kernel-backed engine applies the same semantics: out-of-window
+/// occurrences contribute nothing and do not advance the aggregate-terms
+/// recurrence.
+struct CoverageWindow {
+  float from = 0.0f;  // inclusive, fraction of year
+  float to = 1.0f;    // exclusive
+
+  constexpr bool covers(float time) const noexcept { return time >= from && time < to; }
+  constexpr bool full_year() const noexcept { return from <= 0.0f && to >= 1.0f; }
+
+  void validate() const {
+    if (!(from >= 0.0f) || !(to <= 1.0f) || !(from < to)) {
+      throw std::invalid_argument("coverage window must satisfy 0 <= from < to <= 1");
+    }
+  }
+};
+
+}  // namespace are::core

@@ -1,161 +1,39 @@
 #include "core/engine.hpp"
 
-#include <algorithm>
-#include <chrono>
 #include <stdexcept>
 #include <vector>
 
-#include "core/direct_elt_view.hpp"
-#include "financial/trial_accumulator.hpp"
-#include "parallel/task_scratch.hpp"
+#include "core/trial_kernel.hpp"
+
+// Every engine in this file is a *driver* over the shared trial-block
+// kernel (core/trial_kernel.hpp): it only chooses block partitioning,
+// scheduling, and lane width. The loop nest itself — ELT lookups, financial
+// and occurrence terms, the aggregate recurrence — lives in the kernel,
+// exactly once, which is what keeps every engine's YLT bit-identical to the
+// sequential reference.
 
 namespace are::core {
 
-namespace {
-
-using Clock = std::chrono::steady_clock;
-
-using detail::DirectElt;
-using detail::direct_view;
-
-/// One trial against one layer, virtual-dispatch path. Every engine variant
-/// reduces to this arithmetic in this order, which is what makes their YLTs
-/// bit-identical.
-double run_trial_generic(const Layer& layer, std::span<const yet::EventId> events) noexcept {
-  financial::TrialAccumulator accumulator(layer.terms);
-  for (const yet::EventId event : events) {
-    double combined = 0.0;
-    for (const LayerElt& layer_elt : layer.elts) {
-      combined += layer_elt.terms.apply(layer_elt.lookup->lookup(event));
-    }
-    accumulator.add_occurrence(layer.terms.apply_occurrence(combined));
-  }
-  return accumulator.trial_loss();
-}
-
-double run_trial_direct(const std::vector<DirectElt>& elts, const financial::LayerTerms& terms,
-                        std::span<const yet::EventId> events) noexcept {
-  financial::TrialAccumulator accumulator(terms);
-  for (const yet::EventId event : events) {
-    double combined = 0.0;
-    for (const DirectElt& direct : elts) {
-      const double loss = event < direct.universe ? direct.data[event] : 0.0;
-      combined += direct.terms.apply(loss);
-    }
-    accumulator.add_occurrence(terms.apply_occurrence(combined));
-  }
-  return accumulator.trial_loss();
-}
-
-template <typename TrialFn>
-void for_each_trial(const yet::YearEventTable& yet_table, std::uint64_t first, std::uint64_t last,
-                    const TrialFn& trial_fn) {
-  for (std::uint64_t trial = first; trial < last; ++trial) {
-    trial_fn(trial, yet_table.trial_events(trial));
-  }
-}
-
-}  // namespace
-
 YearLossTable run_sequential(const Portfolio& portfolio, const yet::YearEventTable& yet_table) {
-  portfolio.validate();
-  std::vector<std::uint32_t> ids;
-  for (const Layer& layer : portfolio.layers) ids.push_back(layer.id);
-  YearLossTable ylt(std::move(ids), yet_table.num_trials());
-
-  for (std::size_t layer_index = 0; layer_index < portfolio.layers.size(); ++layer_index) {
-    const Layer& layer = portfolio.layers[layer_index];
-    auto losses = ylt.layer_losses(layer_index);
-    if (layer.all_direct_access()) {
-      const std::vector<DirectElt> elts = direct_view(layer);
-      for_each_trial(yet_table, 0, yet_table.num_trials(),
-                     [&](std::uint64_t trial, std::span<const yet::EventId> events) {
-                       losses[trial] = run_trial_direct(elts, layer.terms, events);
-                     });
-    } else {
-      for_each_trial(yet_table, 0, yet_table.num_trials(),
-                     [&](std::uint64_t trial, std::span<const yet::EventId> events) {
-                       losses[trial] = run_trial_generic(layer, events);
-                     });
-    }
-  }
+  YearLossTable ylt = make_year_loss_table(portfolio, yet_table);
+  run_trial_kernel(portfolio, yet_table, {}, {}, &ylt, nullptr);
   return ylt;
 }
 
 void run_sequential_to_sink(const Portfolio& portfolio, const yet::YearEventTable& yet_table,
                             YltSink& sink) {
-  portfolio.validate();
-  const std::uint64_t num_trials = yet_table.num_trials();
-  const std::uint64_t block =
-      sink.block_trials() != 0 ? sink.block_trials() : std::uint64_t{4096};
-
-  // Direct views hoisted out of the block loop (tiny blocks — shard size 1
-  // is supported — would otherwise rebuild them per block per layer).
-  std::vector<std::vector<DirectElt>> direct_views(portfolio.layers.size());
-  for (std::size_t layer_index = 0; layer_index < portfolio.layers.size(); ++layer_index) {
-    if (portfolio.layers[layer_index].all_direct_access()) {
-      direct_views[layer_index] = direct_view(portfolio.layers[layer_index]);
-    }
-  }
-
-  std::vector<double> row;  // one layer's losses for the current block
-  for (std::uint64_t first = 0; first < num_trials; first += block) {
-    const std::uint64_t last = std::min(first + block, num_trials);
-    row.resize(static_cast<std::size_t>(last - first));
-    for (std::size_t layer_index = 0; layer_index < portfolio.layers.size(); ++layer_index) {
-      const Layer& layer = portfolio.layers[layer_index];
-      const std::vector<DirectElt>& elts = direct_views[layer_index];
-      if (!elts.empty()) {
-        for_each_trial(yet_table, first, last,
-                       [&](std::uint64_t trial, std::span<const yet::EventId> events) {
-                         row[trial - first] = run_trial_direct(elts, layer.terms, events);
-                       });
-      } else {
-        for_each_trial(yet_table, first, last,
-                       [&](std::uint64_t trial, std::span<const yet::EventId> events) {
-                         row[trial - first] = run_trial_generic(layer, events);
-                       });
-      }
-      sink.emit(layer_index, first, row);
-    }
-  }
+  run_trial_kernel(portfolio, yet_table, {}, {}, nullptr, &sink);
 }
 
 YearLossTable run_parallel(const Portfolio& portfolio, const yet::YearEventTable& yet_table,
                            parallel::ThreadPool& pool, const ParallelOptions& options) {
-  portfolio.validate();
-  std::vector<std::uint32_t> ids;
-  for (const Layer& layer : portfolio.layers) ids.push_back(layer.id);
-  YearLossTable ylt(std::move(ids), yet_table.num_trials());
-
-  const parallel::ForOptions for_options{options.partition, options.chunk};
-
-  for (std::size_t layer_index = 0; layer_index < portfolio.layers.size(); ++layer_index) {
-    const Layer& layer = portfolio.layers[layer_index];
-    auto losses = ylt.layer_losses(layer_index);
-    if (layer.all_direct_access()) {
-      const std::vector<DirectElt> elts = direct_view(layer);
-      parallel::parallel_for(
-          pool, 0, yet_table.num_trials(),
-          [&](std::uint64_t first, std::uint64_t last) {
-            for_each_trial(yet_table, first, last,
-                           [&](std::uint64_t trial, std::span<const yet::EventId> events) {
-                             losses[trial] = run_trial_direct(elts, layer.terms, events);
-                           });
-          },
-          for_options);
-    } else {
-      parallel::parallel_for(
-          pool, 0, yet_table.num_trials(),
-          [&](std::uint64_t first, std::uint64_t last) {
-            for_each_trial(yet_table, first, last,
-                           [&](std::uint64_t trial, std::span<const yet::EventId> events) {
-                             losses[trial] = run_trial_generic(layer, events);
-                           });
-          },
-          for_options);
-    }
-  }
+  YearLossTable ylt = make_year_loss_table(portfolio, yet_table);
+  KernelLaunch launch;
+  launch.schedule = KernelLaunch::Schedule::kPool;
+  launch.pool = &pool;
+  launch.partition = options.partition;
+  launch.chunk = options.chunk;
+  run_trial_kernel(portfolio, yet_table, {}, launch, &ylt, nullptr);
   return ylt;
 }
 
@@ -165,171 +43,26 @@ YearLossTable run_parallel(const Portfolio& portfolio, const yet::YearEventTable
   return run_parallel(portfolio, yet_table, pool, options);
 }
 
-namespace {
-
-/// Chunked processing of one trial: the paper's optimised kernel shape.
-/// Scratch buffers play the role of per-SM shared memory; the aggregate
-/// recurrence is carried across chunks by the accumulator.
-class ChunkedTrialRunner {
- public:
-  ChunkedTrialRunner(const Layer& layer, std::size_t chunk_size)
-      : layer_(layer),
-        chunk_size_(chunk_size),
-        event_buffer_(chunk_size),
-        combined_buffer_(chunk_size) {
-    if (layer.all_direct_access()) direct_ = direct_view(layer);
-  }
-
-  double run(std::span<const yet::EventId> events) noexcept {
-    financial::TrialAccumulator accumulator(layer_.terms);
-    for (std::size_t base = 0; base < events.size(); base += chunk_size_) {
-      const std::size_t count = std::min(chunk_size_, events.size() - base);
-
-      // Phase 1: stage the chunk's event ids into the scratch buffer
-      // (models the coalesced global->shared copy).
-      for (std::size_t i = 0; i < count; ++i) event_buffer_[i] = events[base + i];
-
-      // Phase 2: ELT lookup + financial terms, combined across ELTs.
-      for (std::size_t i = 0; i < count; ++i) combined_buffer_[i] = 0.0;
-      if (!direct_.empty()) {
-        for (std::size_t i = 0; i < count; ++i) {
-          const yet::EventId event = event_buffer_[i];
-          double combined = 0.0;
-          for (const DirectElt& direct : direct_) {
-            const double loss = event < direct.universe ? direct.data[event] : 0.0;
-            combined += direct.terms.apply(loss);
-          }
-          combined_buffer_[i] = combined;
-        }
-      } else {
-        for (std::size_t i = 0; i < count; ++i) {
-          const yet::EventId event = event_buffer_[i];
-          double combined = 0.0;
-          for (const LayerElt& layer_elt : layer_.elts) {
-            combined += layer_elt.terms.apply(layer_elt.lookup->lookup(event));
-          }
-          combined_buffer_[i] = combined;
-        }
-      }
-
-      // Phase 3: occurrence terms on the chunk.
-      for (std::size_t i = 0; i < count; ++i) {
-        combined_buffer_[i] = layer_.terms.apply_occurrence(combined_buffer_[i]);
-      }
-
-      // Phase 4: aggregate terms — path-dependent, carried across chunks.
-      for (std::size_t i = 0; i < count; ++i) {
-        accumulator.add_occurrence(combined_buffer_[i]);
-      }
-    }
-    return accumulator.trial_loss();
-  }
-
- private:
-  const Layer& layer_;
-  std::size_t chunk_size_;
-  std::vector<yet::EventId> event_buffer_;
-  std::vector<double> combined_buffer_;
-  std::vector<DirectElt> direct_;
-};
-
-}  // namespace
-
 YearLossTable run_chunked(const Portfolio& portfolio, const yet::YearEventTable& yet_table,
                           const ChunkedOptions& options) {
-  portfolio.validate();
   if (options.chunk_size == 0) throw std::invalid_argument("chunk size must be > 0");
-  std::vector<std::uint32_t> ids;
-  for (const Layer& layer : portfolio.layers) ids.push_back(layer.id);
-  YearLossTable ylt(std::move(ids), yet_table.num_trials());
-
-  parallel::ThreadPool pool(options.num_threads);
-
-  for (std::size_t layer_index = 0; layer_index < portfolio.layers.size(); ++layer_index) {
-    const Layer& layer = portfolio.layers[layer_index];
-    auto losses = ylt.layer_losses(layer_index);
-    // One runner per worker, reused across every task that worker claims —
-    // the scratch buffers (and the direct view) are built once, not per
-    // submitted trial range.
-    parallel::TaskScratch<ChunkedTrialRunner> runners(pool);
-    parallel::parallel_for(pool, 0, yet_table.num_trials(),
-                           [&](std::uint64_t first, std::uint64_t last) {
-                             ChunkedTrialRunner& runner = runners.local(
-                                 [&] { return ChunkedTrialRunner(layer, options.chunk_size); });
-                             for (std::uint64_t trial = first; trial < last; ++trial) {
-                               losses[trial] = runner.run(yet_table.trial_events(trial));
-                             }
-                           });
-  }
+  YearLossTable ylt = make_year_loss_table(portfolio, yet_table);
+  TrialKernelConfig config;
+  config.event_chunk = options.chunk_size;
+  KernelLaunch launch;
+  launch.schedule = KernelLaunch::Schedule::kPool;
+  launch.num_threads = options.num_threads;
+  run_trial_kernel(portfolio, yet_table, config, launch, &ylt, nullptr);
   return ylt;
 }
 
 InstrumentedResult run_instrumented(const Portfolio& portfolio,
                                     const yet::YearEventTable& yet_table) {
-  portfolio.validate();
-  std::vector<std::uint32_t> ids;
-  for (const Layer& layer : portfolio.layers) ids.push_back(layer.id);
-  InstrumentedResult result{YearLossTable(std::move(ids), yet_table.num_trials()), {}, {}};
-
-  // Phase-at-a-time structure over per-trial buffers, matching the paper's
-  // line-by-line algorithm so the attribution corresponds to Fig 6b.
-  std::vector<yet::EventId> event_buffer;
-  std::vector<double> raw_losses;       // [elt][event] for the current trial
-  std::vector<double> combined_buffer;  // per-event loss net of financial terms
-
-  for (std::size_t layer_index = 0; layer_index < portfolio.layers.size(); ++layer_index) {
-    const Layer& layer = portfolio.layers[layer_index];
-    auto losses = result.ylt.layer_losses(layer_index);
-    const std::size_t num_elts = layer.elts.size();
-
-    for (std::uint64_t trial = 0; trial < yet_table.num_trials(); ++trial) {
-      const auto events = yet_table.trial_events(trial);
-      const std::size_t n = events.size();
-
-      // Phase: fetch events from the YET (lines 4 / "for all d in Et").
-      auto t0 = Clock::now();
-      event_buffer.assign(events.begin(), events.end());
-      result.accesses.events_fetched += n;
-
-      // Phase: ELT lookups in the lookup tables (line 5).
-      auto t1 = Clock::now();
-      raw_losses.resize(num_elts * n);
-      for (std::size_t e = 0; e < num_elts; ++e) {
-        const elt::ILossLookup& lookup = *layer.elts[e].lookup;
-        double* out = raw_losses.data() + e * n;
-        for (std::size_t i = 0; i < n; ++i) out[i] = lookup.lookup(event_buffer[i]);
-      }
-      result.accesses.elt_lookups += num_elts * n;
-
-      // Phase: financial terms + combination across ELTs (lines 6-9).
-      auto t2 = Clock::now();
-      combined_buffer.assign(n, 0.0);
-      for (std::size_t e = 0; e < num_elts; ++e) {
-        const financial::FinancialTerms& terms = layer.elts[e].terms;
-        const double* in = raw_losses.data() + e * n;
-        for (std::size_t i = 0; i < n; ++i) combined_buffer[i] += terms.apply(in[i]);
-      }
-      result.accesses.financial_applications += num_elts * n;
-
-      // Phase: layer terms — occurrence then aggregate (lines 10-19).
-      auto t3 = Clock::now();
-      financial::TrialAccumulator accumulator(layer.terms);
-      for (std::size_t i = 0; i < n; ++i) {
-        accumulator.add_occurrence(layer.terms.apply_occurrence(combined_buffer[i]));
-      }
-      losses[trial] = accumulator.trial_loss();
-      result.accesses.layer_term_applications += 2 * n;  // occurrence + aggregate
-      auto t4 = Clock::now();
-
-      const auto seconds = [](Clock::time_point a, Clock::time_point b) {
-        return std::chrono::duration<double>(b - a).count();
-      };
-      result.phases.fetch_seconds += seconds(t0, t1);
-      result.phases.lookup_seconds += seconds(t1, t2);
-      result.phases.financial_seconds += seconds(t2, t3);
-      result.phases.layer_seconds += seconds(t3, t4);
-    }
-  }
+  InstrumentedResult result{make_year_loss_table(portfolio, yet_table), {}, {}};
+  TrialKernelConfig config;
+  config.instrument = true;
+  run_trial_kernel(portfolio, yet_table, config, {}, &result.ylt, nullptr, &result.phases,
+                   &result.accesses);
   return result;
 }
 

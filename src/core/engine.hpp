@@ -11,21 +11,31 @@
 
 namespace are::core {
 
-/// Aggregate analysis, sequential reference implementation — a faithful
-/// transcription of the paper's "Basic Algorithm for Aggregate Risk
-/// Analysis": for every layer, for every trial, (1) look up each event's
-/// loss in each covered ELT, (2) apply the ELT financial terms and combine
-/// across ELTs, (3) apply occurrence terms, (4) accumulate and apply
-/// aggregate terms; the net trial loss lands in the YLT.
+/// Builds the (layer ids x trials) output table every driver fills —
+/// shared by the engine entry points and the registry adapters.
+inline YearLossTable make_year_loss_table(const Portfolio& portfolio,
+                                          const yet::YearEventTable& yet_table) {
+  std::vector<std::uint32_t> ids;
+  ids.reserve(portfolio.layers.size());
+  for (const Layer& layer : portfolio.layers) ids.push_back(layer.id);
+  return YearLossTable(std::move(ids), yet_table.num_trials());
+}
+
+/// Aggregate analysis, sequential reference engine — the bit-identity
+/// anchor. The paper's "Basic Algorithm for Aggregate Risk Analysis" —
+/// (1) look up each event's loss in each covered ELT, (2) apply the ELT
+/// financial terms and combine across ELTs, (3) apply occurrence terms,
+/// (4) accumulate and apply aggregate terms — executes in the shared
+/// trial-block kernel (core/trial_kernel.hpp); this driver runs it on one
+/// thread over the whole trial range.
 YearLossTable run_sequential(const Portfolio& portfolio, const yet::YearEventTable& yet_table);
 
-/// Sequential engine emitting into a YltSink: trials are processed in
-/// blocks that never cross sink.block_trials() (default 4096 when the sink
-/// has no alignment), each block's layer rows staged in one block-sized
-/// scratch buffer and emitted — so with a sharded sink the monolithic
-/// trials x layers table never exists. The per-trial arithmetic is exactly
-/// run_sequential's, so a MaterializedYltSink reproduces its YLT
-/// byte-for-byte.
+/// Sequential engine emitting into a YltSink: the kernel processes trials
+/// in blocks that never cross sink.block_trials(), each block's layer rows
+/// staged in one block-sized scratch buffer and emitted — so with a
+/// sharded sink the monolithic trials x layers table never exists. The
+/// per-trial arithmetic is exactly run_sequential's, so a
+/// MaterializedYltSink reproduces its YLT byte-for-byte.
 void run_sequential_to_sink(const Portfolio& portfolio, const yet::YearEventTable& yet_table,
                             YltSink& sink);
 
@@ -58,10 +68,10 @@ struct ChunkedOptions {
 };
 
 /// Chunked engine: the CPU analogue of the paper's optimised GPU kernel.
-/// Each of the algorithm's phases runs over a fixed-size block of events
-/// held in small scratch buffers (the stand-in for per-SM shared memory),
-/// with the path-dependent aggregate state carried across chunks by
-/// TrialAccumulator. Bit-identical output to run_sequential.
+/// The kernel's combine/occurrence phases stage at most chunk_size events
+/// at a time in the scratch buffers (the stand-in for per-SM shared
+/// memory), with the path-dependent aggregate state carried across chunks
+/// by TrialAccumulator. Bit-identical output to run_sequential.
 YearLossTable run_chunked(const Portfolio& portfolio, const yet::YearEventTable& yet_table,
                           const ChunkedOptions& options = {});
 
@@ -105,10 +115,11 @@ struct InstrumentedResult {
   AccessCounts accesses;
 };
 
-/// Runs the analysis with per-phase timers and access counters. The phase
-/// structure matches the paper's line-by-line algorithm (each phase sweeps
-/// the trial's event buffer), so attribution is directly comparable to
-/// Fig 6b. Output YLT is bit-identical to run_sequential.
+/// Runs the analysis with per-phase timers and access counters (the
+/// kernel's instrumented block path: each phase sweeps the block's staged
+/// event buffer), so attribution is directly comparable to Fig 6b. Access
+/// counts follow the paper's line-by-line algorithm and match
+/// predict_access_counts. Output YLT is bit-identical to run_sequential.
 InstrumentedResult run_instrumented(const Portfolio& portfolio,
                                     const yet::YearEventTable& yet_table);
 

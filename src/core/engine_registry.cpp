@@ -5,132 +5,108 @@
 
 #include "core/fused_engine.hpp"
 #include "core/openmp_engine.hpp"
+#include "core/trial_kernel.hpp"
 
 namespace are::core {
 
 namespace {
 
-InstrumentationSink* sink_of(const AnalysisRequest& request) {
-  return request.config.instrumentation;
-}
+// --- Adapters: AnalysisRequest -> trial-kernel driver -----------------------
+//
+// Every builtin engine is a parameterization of the shared trial-block
+// kernel: the adapter translates the AnalysisConfig into the kernel config
+// (lane width, window, event chunk, instrumentation) and the launch
+// (schedule, threads, partitioning) that *define* the engine. Because all
+// of them run the same kernel body, the capability matrix is uniform:
+// every builtin applies windows, fills the Fig-6b breakdown, and emits into
+// a YltSink.
 
-void note_engine(const AnalysisRequest& request, EngineKind kind) {
-  if (InstrumentationSink* sink = sink_of(request)) sink->engine_used = kind;
-}
+/// The two halves of an engine definition, resolved from the request.
+struct ResolvedExecution {
+  TrialKernelConfig config;
+  KernelLaunch launch;
+};
 
-// --- Adapters: AnalysisRequest -> legacy engine entry points ----------------
-
-YearLossTable adapt_sequential(const AnalysisRequest& request) {
-  note_engine(request, EngineKind::kSequential);
-  return run_sequential(request.portfolio, request.yet_table);
-}
-
-void adapt_sequential_to_sink(const AnalysisRequest& request, YltSink& sink) {
-  note_engine(request, EngineKind::kSequential);
-  run_sequential_to_sink(request.portfolio, request.yet_table, sink);
-}
-
-YearLossTable adapt_parallel(const AnalysisRequest& request) {
-  note_engine(request, EngineKind::kParallel);
+ResolvedExecution resolve_execution(const AnalysisRequest& request, EngineKind kind) {
   const AnalysisConfig& config = request.config;
-  const ParallelOptions options{config.num_threads, config.partition, config.partition_chunk};
-  if (config.pool != nullptr) {
-    return run_parallel(request.portfolio, request.yet_table, *config.pool, options);
+  ResolvedExecution resolved;
+  resolved.config.window = config.window;
+  resolved.config.instrument = config.collect_phases || kind == EngineKind::kInstrumented;
+  resolved.launch.num_threads = config.num_threads;
+  resolved.launch.pool = config.pool;  // non-null only past the capability check
+
+  switch (kind) {
+    case EngineKind::kSequential:
+    case EngineKind::kWindowed:
+    case EngineKind::kInstrumented:
+      resolved.launch.schedule = KernelLaunch::Schedule::kSerial;
+      break;
+    case EngineKind::kParallel:
+      resolved.launch.schedule = KernelLaunch::Schedule::kPool;
+      resolved.launch.partition = config.partition;
+      resolved.launch.chunk = config.partition_chunk;
+      break;
+    case EngineKind::kChunked:
+      resolved.launch.schedule = KernelLaunch::Schedule::kPool;
+      resolved.config.event_chunk = config.chunk_size;
+      break;
+    case EngineKind::kOpenMp:
+      resolved.launch.schedule = KernelLaunch::Schedule::kOpenMp;
+      break;
+    case EngineKind::kSimd:
+      resolved.launch.schedule = KernelLaunch::Schedule::kPool;
+      resolved.config.extension =
+          resolve_simd_extension(request.portfolio, {config.num_threads, config.simd_extension});
+      break;
+    case EngineKind::kFused:
+      resolved.launch.schedule = KernelLaunch::Schedule::kCosted;
+      resolved.launch.partition = config.partition;
+      resolved.config.extension = best_simd_extension();
+      resolved.config.block_trials = config.tile_trials;
+      break;
   }
-  return run_parallel(request.portfolio, request.yet_table, options);
+  return resolved;
 }
 
-YearLossTable adapt_chunked(const AnalysisRequest& request) {
-  note_engine(request, EngineKind::kChunked);
-  const ChunkedOptions options{request.config.chunk_size, request.config.num_threads};
-  return run_chunked(request.portfolio, request.yet_table, options);
-}
-
-YearLossTable adapt_openmp(const AnalysisRequest& request) {
-  if (InstrumentationSink* sink = sink_of(request)) {
-    sink->engine_used = EngineKind::kOpenMp;
-    // run_openmp uses OpenMP directives whenever the build has them and
-    // otherwise falls back to the thread pool; surface which one ran
-    // instead of making callers probe openmp_available() themselves.
-    sink->openmp_used = openmp_available();
+/// Shared execution path of every adapter: records the per-run facts,
+/// resolves the kernel config + launch, runs, and delivers the breakdown.
+void execute(const AnalysisRequest& request, EngineKind kind, YearLossTable* ylt,
+             YltSink* sink) {
+  InstrumentationSink* facts = request.config.instrumentation;
+  if (facts != nullptr) {
+    facts->engine_used = kind;
+    if (kind == EngineKind::kOpenMp) {
+      // The kernel's kOpenMp schedule uses OpenMP directives whenever the
+      // build has them and otherwise falls back to the thread pool; surface
+      // which one ran instead of making callers probe openmp_available().
+      facts->openmp_used = openmp_available();
+    }
   }
-  return run_openmp(request.portfolio, request.yet_table,
-                    static_cast<int>(request.config.num_threads));
-}
-
-YearLossTable adapt_simd(const AnalysisRequest& request) {
-  const AnalysisConfig& config = request.config;
-  const SimdOptions options{config.num_threads, config.simd_extension};
-  if (InstrumentationSink* sink = sink_of(request)) {
-    sink->engine_used = EngineKind::kSimd;
-    sink->simd_extension_used = resolve_simd_extension(request.portfolio, options);
+  const ResolvedExecution resolved = resolve_execution(request, kind);
+  if (facts != nullptr && kind == EngineKind::kSimd) {
+    facts->simd_extension_used = resolved.config.extension;
   }
-  if (config.pool != nullptr) {
-    return run_simd(request.portfolio, request.yet_table, *config.pool, options);
-  }
-  return run_simd(request.portfolio, request.yet_table, options);
-}
-
-YearLossTable adapt_windowed(const AnalysisRequest& request) {
-  note_engine(request, EngineKind::kWindowed);
-  // Absent window = full contractual year, which is bit-identical to seq;
-  // the descriptor still reports bit_identical false because a real window
-  // changes the YLT by design.
-  const CoverageWindow window = request.config.window.value_or(CoverageWindow{});
-  return run_windowed(request.portfolio, request.yet_table, window);
-}
-
-/// Shared scaffolding of the two fused adapters: builds the FusedOptions
-/// (wiring the phase sink only when collect_phases asked for the
-/// timer-instrumented tile path — the default hot path stays untimed),
-/// invokes the engine, and delivers the breakdown afterwards.
-template <typename Invoke>
-void with_fused_options(const AnalysisRequest& request, const Invoke& invoke) {
-  note_engine(request, EngineKind::kFused);
-  const AnalysisConfig& config = request.config;
-  InstrumentationSink* sink = sink_of(request);
+  const bool deliver = resolved.config.instrument && facts != nullptr;
   PhaseBreakdown phases;
-  const bool instrument = config.collect_phases && sink != nullptr;
-
-  FusedOptions options;
-  options.tile_trials = config.tile_trials;
-  options.num_threads = config.num_threads;
-  options.partition = config.partition;
-  options.window = config.window;
-  options.phases = instrument ? &phases : nullptr;
-  invoke(options);
-  if (instrument) sink->phases = phases;
+  AccessCounts accesses;
+  run_trial_kernel(request.portfolio, request.yet_table, resolved.config, resolved.launch, ylt,
+                   sink, deliver ? &phases : nullptr, deliver ? &accesses : nullptr);
+  if (deliver) {
+    facts->phases = phases;
+    facts->accesses = accesses;
+  }
 }
 
-YearLossTable adapt_fused(const AnalysisRequest& request) {
-  YearLossTable ylt;
-  with_fused_options(request, [&](const FusedOptions& options) {
-    ylt = request.config.pool != nullptr
-              ? run_fused(request.portfolio, request.yet_table, *request.config.pool, options)
-              : run_fused(request.portfolio, request.yet_table, options);
-  });
+template <EngineKind K>
+YearLossTable adapt_run(const AnalysisRequest& request) {
+  YearLossTable ylt = make_year_loss_table(request.portfolio, request.yet_table);
+  execute(request, K, &ylt, nullptr);
   return ylt;
 }
 
-void adapt_fused_to_sink(const AnalysisRequest& request, YltSink& ylt_sink) {
-  with_fused_options(request, [&](const FusedOptions& options) {
-    if (request.config.pool != nullptr) {
-      run_fused_to_sink(request.portfolio, request.yet_table, *request.config.pool, options,
-                        ylt_sink);
-    } else {
-      run_fused_to_sink(request.portfolio, request.yet_table, options, ylt_sink);
-    }
-  });
-}
-
-YearLossTable adapt_instrumented(const AnalysisRequest& request) {
-  InstrumentedResult result = run_instrumented(request.portfolio, request.yet_table);
-  if (InstrumentationSink* sink = sink_of(request)) {
-    sink->engine_used = EngineKind::kInstrumented;
-    sink->phases = result.phases;
-    sink->accesses = result.accesses;
-  }
-  return std::move(result.ylt);
+template <EngineKind K>
+void adapt_run_to_sink(const AnalysisRequest& request, YltSink& sink) {
+  execute(request, K, nullptr, &sink);
 }
 
 std::string compiled_simd_extensions() {
@@ -202,69 +178,88 @@ std::string EngineRegistry::known_names() const {
 EngineRegistry make_builtin_registry() {
   EngineRegistry registry;
 
+  // Every builtin drives the shared trial-block kernel, so the cross-
+  // cutting capabilities are uniform: windowing, the Fig-6b breakdown
+  // (collect_phases), and sharded/out-of-core output via run_to_sink hold
+  // for all of them. What distinguishes the engines is scheduling and lane
+  // width — see resolve_execution above.
+
   registry.register_engine({
       .kind = EngineKind::kSequential,
       .name = "seq",
       .summary = "sequential reference engine (the bit-identity anchor)",
+      .supports_windowing = true,
+      .supports_instrumentation = true,
       .bit_identical_to_sequential = true,
-      .run = &adapt_sequential,
-      .run_to_sink = &adapt_sequential_to_sink,
+      .run = &adapt_run<EngineKind::kSequential>,
+      .run_to_sink = &adapt_run_to_sink<EngineKind::kSequential>,
   });
   registry.register_engine({
       .kind = EngineKind::kParallel,
       .name = "parallel",
       .summary = "thread-pool trial parallelism (static/dynamic/guided partition)",
+      .supports_windowing = true,
+      .supports_instrumentation = true,
       .supports_pool_reuse = true,
       .bit_identical_to_sequential = true,
-      .run = &adapt_parallel,
+      .run = &adapt_run<EngineKind::kParallel>,
+      .run_to_sink = &adapt_run_to_sink<EngineKind::kParallel>,
   });
   registry.register_engine({
       .kind = EngineKind::kChunked,
       .name = "chunked",
-      .summary = "event-chunked kernel, the CPU analogue of the paper's GPU kernel",
+      .summary = "event-chunked kernel staging, the CPU analogue of the paper's GPU kernel",
+      .supports_windowing = true,
+      .supports_instrumentation = true,
       .bit_identical_to_sequential = true,
-      .run = &adapt_chunked,
+      .run = &adapt_run<EngineKind::kChunked>,
+      .run_to_sink = &adapt_run_to_sink<EngineKind::kChunked>,
   });
   registry.register_engine({
       .kind = EngineKind::kOpenMp,
       .name = "openmp",
       .summary = "OpenMP trial parallelism (paper's multi-core implementation)",
+      .supports_windowing = true,
+      .supports_instrumentation = true,
       .bit_identical_to_sequential = true,
       .availability_note = openmp_available()
                                ? "OpenMP compiled in; directives run"
                                : "OpenMP not compiled in; bit-identical thread-pool "
                                  "fallback runs (see InstrumentationSink::openmp_used)",
-      .run = &adapt_openmp,
+      .run = &adapt_run<EngineKind::kOpenMp>,
+      .run_to_sink = &adapt_run_to_sink<EngineKind::kOpenMp>,
   });
   registry.register_engine({
       .kind = EngineKind::kSimd,
       .name = "simd",
-      .summary = "lane-parallel batch engine, one trial per vector lane",
+      .summary = "lane-parallel batch engine: the kernel at the resolved vector width",
+      .supports_windowing = true,
+      .supports_instrumentation = true,
       .supports_pool_reuse = true,
       .bit_identical_to_sequential = true,
       .availability_note = "compiled extensions: " + compiled_simd_extensions() +
                            "; auto resolves to " + std::string(to_string(best_simd_extension())),
-      .run = &adapt_simd,
+      .run = &adapt_run<EngineKind::kSimd>,
+      .run_to_sink = &adapt_run_to_sink<EngineKind::kSimd>,
   });
   registry.register_engine({
       .kind = EngineKind::kWindowed,
       .name = "windowed",
       .summary = "sequential engine with a mid-year coverage window",
       .supports_windowing = true,
+      .supports_instrumentation = true,
       // A real window changes the YLT by design; only the full-year default
       // matches seq, so the flag must stay false for the CI CSV diff.
       .bit_identical_to_sequential = false,
-      .run = &adapt_windowed,
+      .run = &adapt_run<EngineKind::kWindowed>,
+      .run_to_sink = &adapt_run_to_sink<EngineKind::kWindowed>,
   });
   registry.register_engine({
       .kind = EngineKind::kFused,
       .name = "fused",
-      .summary = "trial-tiled single-pass engine: all layers per tile, batch ELT "
-                 "lookups, zero-allocation scratch",
+      .summary = "trial-tiled single-pass engine: all layers per tile, cost-aware "
+                 "scheduling, widest lanes",
       .supports_windowing = true,
-      // Fills the Fig-6b breakdown from timers around the batched tile
-      // phases, but only when AnalysisConfig::collect_phases asks for it
-      // (the instrumented tile path is slower; the default stays untimed).
       .supports_instrumentation = true,
       .supports_pool_reuse = true,
       // Bit-identical for the default full-year coverage (what CI diffs); a
@@ -273,16 +268,18 @@ EngineRegistry make_builtin_registry() {
       .bit_identical_to_sequential = true,
       .availability_note = "a non-full-year --window changes the YLT by design "
                            "(same semantics as the windowed engine)",
-      .run = &adapt_fused,
-      .run_to_sink = &adapt_fused_to_sink,
+      .run = &adapt_run<EngineKind::kFused>,
+      .run_to_sink = &adapt_run_to_sink<EngineKind::kFused>,
   });
   registry.register_engine({
       .kind = EngineKind::kInstrumented,
       .name = "instrumented",
       .summary = "sequential engine with Fig-6b phase timers and access counters",
+      .supports_windowing = true,
       .supports_instrumentation = true,
       .bit_identical_to_sequential = true,
-      .run = &adapt_instrumented,
+      .run = &adapt_run<EngineKind::kInstrumented>,
+      .run_to_sink = &adapt_run_to_sink<EngineKind::kInstrumented>,
   });
 
   return registry;

@@ -1,392 +1,37 @@
 #include "core/fused_engine.hpp"
 
-#include <algorithm>
-#include <chrono>
-#include <span>
-#include <stdexcept>
-#include <vector>
-
-#include "core/direct_elt_view.hpp"
-#include "core/simd_terms.hpp"
-#include "financial/trial_accumulator.hpp"
-#include "parallel/task_scratch.hpp"
-#include "simd/prefetch.hpp"
-#include "simd/vec.hpp"
-
 namespace are::core {
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
-
-using detail::DirectElt;
-using detail::direct_view;
-
-// Element-wise vertical math over contiguous buffers: the widest compiled
-// lane type always pays here (unlike the trial-per-lane engine, there is no
-// gather-width trade-off to narrow for).
-using V = simd::VecD<simd::best_ext>;
-constexpr std::size_t kW = V::kLanes;
-
-/// Per-worker scratch, owned by a parallel::TaskScratch arena: buffers grow
-/// to the tile high-water mark during the first tasks and are then reused,
-/// so the steady-state hot path allocates nothing.
-struct FusedScratch {
-  std::vector<double> raw;       // one ELT's batch lookups for the tile
-  std::vector<double> combined;  // per-event combined loss, then net of occurrence terms
-  std::vector<double> tile_losses;          // sink mode: layers x tile trials, emitted per tile
-  std::vector<yet::EventId> staged_events;  // instrumented mode: the tile's staged YET slice
-  std::vector<float> staged_times;
-  PhaseBreakdown phases;  // instrumented mode: this worker's share, merged after the run
-};
-
-/// Immutable per-layer execution state hoisted out of the parallel region:
-/// the direct-table view (when eligible), the ELT/layer terms broadcast
-/// into registers once, and the layer's YLT row (empty in sink mode, where
-/// tile rows are emitted instead).
-struct LayerPlan {
-  const Layer* layer;
-  std::vector<DirectElt> direct;  // empty unless Layer::all_direct_access()
-  std::vector<detail::EltTermsV<V>> elt_terms;
-  detail::LayerTermsV<V> terms;
-  std::span<double> losses;
-};
-
-/// Everything one tile pass needs, fixed for the whole run.
-struct TilePass {
-  const std::vector<LayerPlan>* plans = nullptr;
-  const yet::YearEventTable* yet = nullptr;
-  const CoverageWindow* window = nullptr;
-  std::size_t tile_trials = 0;
-  std::uint64_t block_trials = 0;  // sink alignment; 0 = unconstrained
-  YltSink* sink = nullptr;         // null = write LayerPlan::losses in place
-  bool instrument = false;         // time the phases into FusedScratch::phases
-};
-
-/// Combined ELT loss per event over the tile, direct-table fast path:
-/// guarded gathers straight out of the (untransposed) YET event slice. The
-/// first ELT writes, later ELTs accumulate — same per-event summation order
-/// as run_sequential (0.0 + x == x exactly for the engine's domain).
-void combine_elts_direct(const LayerPlan& plan, const yet::EventId* events, std::size_t count,
-                         double* combined) noexcept {
-  for (std::size_t e = 0; e < plan.direct.size(); ++e) {
-    const DirectElt& direct = plan.direct[e];
-    const detail::EltTermsV<V>& terms_v = plan.elt_terms[e];
-    const financial::FinancialTerms& terms = direct.terms;
-    std::size_t i = 0;
-    if (e == 0) {
-      for (; i + kW <= count; i += kW) {
-        const typename V::ivec idx = V::load_index(events + i);
-        const typename V::reg loss = V::gather_guarded(direct.data, idx, direct.universe);
-        V::store(combined + i, detail::apply_financial_v<V>(loss, terms_v));
-      }
-      for (; i < count; ++i) {
-        const yet::EventId event = events[i];
-        combined[i] = terms.apply(event < direct.universe ? direct.data[event] : 0.0);
-      }
-    } else {
-      for (; i + kW <= count; i += kW) {
-        const typename V::ivec idx = V::load_index(events + i);
-        const typename V::reg loss = V::gather_guarded(direct.data, idx, direct.universe);
-        V::store(combined + i,
-                 V::add(V::load(combined + i), detail::apply_financial_v<V>(loss, terms_v)));
-      }
-      for (; i < count; ++i) {
-        const yet::EventId event = events[i];
-        combined[i] += terms.apply(event < direct.universe ? direct.data[event] : 0.0);
-      }
-    }
-  }
-}
-
-/// One ELT's staged raw losses folded into the combined buffer with the
-/// vectorized financial terms; shared by the generic and the instrumented
-/// paths (identical arithmetic, hence identical bytes).
-void fold_raw_losses(const LayerPlan& plan, std::size_t e, const double* raw, std::size_t count,
-                     double* combined) noexcept {
-  const detail::EltTermsV<V>& terms_v = plan.elt_terms[e];
-  const financial::FinancialTerms& terms = plan.layer->elts[e].terms;
-  std::size_t i = 0;
-  if (e == 0) {
-    for (; i + kW <= count; i += kW) {
-      V::store(combined + i, detail::apply_financial_v<V>(V::load(raw + i), terms_v));
-    }
-    for (; i < count; ++i) combined[i] = terms.apply(raw[i]);
-  } else {
-    for (; i + kW <= count; i += kW) {
-      V::store(combined + i, V::add(V::load(combined + i),
-                                    detail::apply_financial_v<V>(V::load(raw + i), terms_v)));
-    }
-    for (; i < count; ++i) combined[i] += terms.apply(raw[i]);
-  }
-}
-
-/// Generic path: one lookup_many batch call per ELT (the prefetching
-/// overrides in src/elt/), then the vectorized financial terms over the
-/// staged raw losses.
-void combine_elts_generic(const LayerPlan& plan, const yet::EventId* events, std::size_t count,
-                          double* combined, std::vector<double>& raw) {
-  raw.resize(count);
-  const std::vector<LayerElt>& elts = plan.layer->elts;
-  for (std::size_t e = 0; e < elts.size(); ++e) {
-    elts[e].lookup->lookup_many(events, count, raw.data());
-    fold_raw_losses(plan, e, raw.data(), count, combined);
-  }
-}
-
-/// Phase 3: occurrence terms, vectorized in place.
-void apply_occurrence_terms(const LayerPlan& plan, double* combined, std::size_t count) noexcept {
-  std::size_t i = 0;
-  for (; i + kW <= count; i += kW) {
-    V::store(combined + i, detail::excess_v<V>(V::load(combined + i), plan.terms.occ_retention,
-                                               plan.terms.occ_limit));
-  }
-  for (; i < count; ++i) combined[i] = plan.layer->terms.apply_occurrence(combined[i]);
-}
-
-/// Phase 4: the path-dependent aggregate recurrence, per trial, writing
-/// row[trial - t0].
-void aggregate_trials(const LayerPlan& plan, const double* combined, const float* times,
-                      const CoverageWindow* window, std::span<const std::uint64_t> offsets,
-                      std::uint64_t t0, std::uint64_t t1, std::uint64_t ev0,
-                      double* row) noexcept {
-  for (std::uint64_t trial = t0; trial < t1; ++trial) {
-    financial::TrialAccumulator accumulator(plan.layer->terms);
-    const std::size_t begin = static_cast<std::size_t>(offsets[trial] - ev0);
-    const std::size_t end = static_cast<std::size_t>(offsets[trial + 1] - ev0);
-    if (window == nullptr) {
-      for (std::size_t k = begin; k < end; ++k) accumulator.add_occurrence(combined[k]);
-    } else {
-      // Windowed semantics: out-of-window occurrences are skipped
-      // entirely, so they do not advance the recurrence.
-      for (std::size_t k = begin; k < end; ++k) {
-        if (window->covers(times[k])) accumulator.add_occurrence(combined[k]);
-      }
-    }
-    row[trial - t0] = accumulator.trial_loss();
-  }
-}
-
-double seconds_between(Clock::time_point a, Clock::time_point b) noexcept {
-  return std::chrono::duration<double>(b - a).count();
-}
-
-/// Instrumented tile: the same arithmetic as the fast path (the YLT bytes
-/// do not change — direct layers route through their lookup_many overrides,
-/// which read the same table cells the gathers do) with the tile's YET
-/// slice explicitly staged once (timed as the fetch phase) and per-phase
-/// timers around the batched lookup / financial / layer sweeps.
-void run_tile_instrumented(const TilePass& pass, std::uint64_t t0, std::uint64_t t1,
-                           std::uint64_t ev0, std::size_t count, const yet::EventId* events,
-                           const float* times, std::span<const std::uint64_t> offsets,
-                           FusedScratch& scratch) {
-  PhaseBreakdown& phases = scratch.phases;
-
-  auto stamp = Clock::now();
-  scratch.staged_events.assign(events, events + count);
-  scratch.staged_times.assign(times, times + count);
-  auto now = Clock::now();
-  phases.fetch_seconds += seconds_between(stamp, now);
-  stamp = now;
-
-  const std::vector<LayerPlan>& plans = *pass.plans;
-  double* combined = scratch.combined.data();
-  scratch.raw.resize(count);
-  const std::size_t num_tile_trials = static_cast<std::size_t>(t1 - t0);
-
-  for (std::size_t layer_index = 0; layer_index < plans.size(); ++layer_index) {
-    const LayerPlan& plan = plans[layer_index];
-    const std::vector<LayerElt>& elts = plan.layer->elts;
-    for (std::size_t e = 0; e < elts.size(); ++e) {
-      stamp = Clock::now();
-      elts[e].lookup->lookup_many(scratch.staged_events.data(), count, scratch.raw.data());
-      now = Clock::now();
-      phases.lookup_seconds += seconds_between(stamp, now);
-      fold_raw_losses(plan, e, scratch.raw.data(), count, combined);
-      phases.financial_seconds += seconds_between(now, Clock::now());
-    }
-
-    stamp = Clock::now();
-    apply_occurrence_terms(plan, combined, count);
-    double* row = pass.sink != nullptr
-                      ? scratch.tile_losses.data() + layer_index * num_tile_trials
-                      : plan.losses.data() + t0;
-    aggregate_trials(plan, combined, scratch.staged_times.data(), pass.window, offsets, t0, t1,
-                     ev0, row);
-    phases.layer_seconds += seconds_between(stamp, Clock::now());
-  }
-}
-
-/// Tiles of [first, last) — one task's share of the trial range. Per tile,
-/// every layer is processed while the tile's YET slice (and the staged
-/// per-event buffers) are hot: this is the fusion that streams the YET once
-/// per analysis instead of once per layer. When a sink is attached, the
-/// finished tile is emitted as one block per layer (tiles never cross a
-/// sink block boundary, so each block lands in exactly one shard).
-void run_tiles(const TilePass& pass, std::uint64_t first, std::uint64_t last,
-               FusedScratch& scratch) {
-  const std::vector<LayerPlan>& plans = *pass.plans;
-  const std::span<const std::uint64_t> offsets = pass.yet->offsets();
-  const yet::EventId* all_events = pass.yet->events().data();
-  const float* all_times = pass.yet->times().data();
-
-  for (std::uint64_t t0 = first, t1 = first; t0 < last; t0 = t1) {
-    t1 = std::min<std::uint64_t>(t0 + pass.tile_trials, last);
-    if (pass.block_trials != 0) {
-      // Clamp the tile at the next sink block (= shard) boundary.
-      const std::uint64_t boundary = (t0 / pass.block_trials + 1) * pass.block_trials;
-      t1 = std::min<std::uint64_t>(t1, boundary);
-    }
-
-    // Stream the head of the NEXT tile's event ids toward the cache while
-    // this tile computes (16 u32 ids per 64-byte line). The burst is capped:
-    // past ~4 KB the lines would be evicted again before the multi-layer
-    // compute reaches them, and an unbounded burst for large tiles would
-    // pollute the very working set the tiling protects.
-    constexpr std::uint64_t kPrefetchIds = 1024;  // 64 cache lines
-    const std::uint64_t n1 = std::min<std::uint64_t>(t1 + pass.tile_trials, last);
-    const std::uint64_t next_end =
-        std::min<std::uint64_t>(offsets[n1], offsets[t1] + kPrefetchIds);
-    for (std::uint64_t p = offsets[t1]; p < next_end; p += 16) {
-      simd::prefetch_read(all_events + p);
-    }
-
-    const std::uint64_t ev0 = offsets[t0];
-    const std::size_t count = static_cast<std::size_t>(offsets[t1] - ev0);
-    const yet::EventId* events = all_events + ev0;
-    const float* times = all_times + ev0;
-    const std::size_t num_tile_trials = static_cast<std::size_t>(t1 - t0);
-    scratch.combined.resize(count);
-    double* combined = scratch.combined.data();
-    if (pass.sink != nullptr) scratch.tile_losses.resize(plans.size() * num_tile_trials);
-
-    if (pass.instrument) {
-      run_tile_instrumented(pass, t0, t1, ev0, count, events, times, offsets, scratch);
-    } else {
-      for (std::size_t layer_index = 0; layer_index < plans.size(); ++layer_index) {
-        const LayerPlan& plan = plans[layer_index];
-        // Phase 1+2: batch ELT lookups + financial terms across ELTs.
-        if (!plan.direct.empty()) {
-          combine_elts_direct(plan, events, count, combined);
-        } else {
-          combine_elts_generic(plan, events, count, combined, scratch.raw);
-        }
-
-        apply_occurrence_terms(plan, combined, count);
-
-        double* row = pass.sink != nullptr
-                          ? scratch.tile_losses.data() + layer_index * num_tile_trials
-                          : plan.losses.data() + t0;
-        aggregate_trials(plan, combined, times, pass.window, offsets, t0, t1, ev0, row);
-      }
-    }
-
-    if (pass.sink != nullptr) {
-      for (std::size_t layer_index = 0; layer_index < plans.size(); ++layer_index) {
-        pass.sink->emit(layer_index, t0,
-                        {scratch.tile_losses.data() + layer_index * num_tile_trials,
-                         num_tile_trials});
-      }
-    }
-  }
-}
-
-/// Shared driver behind the materialized and sink entry points.
+/// The fused driver: widest compiled lanes, tile-sized kernel blocks, and
+/// cost-aware scheduling over the YET offsets. Everything else — the
+/// per-tile multi-layer term/emit body, window handling, the instrumented
+/// tile path, sink block clamping — is the shared trial kernel.
 void run_fused_impl(const Portfolio& portfolio, const yet::YearEventTable& yet_table,
                     parallel::ThreadPool& pool, const FusedOptions& options, YearLossTable* ylt,
                     YltSink* sink) {
-  portfolio.validate();
-  if (options.window) options.window->validate();
-  const CoverageWindow* window =
-      (options.window && !options.window->full_year()) ? &*options.window : nullptr;
-  const std::size_t tile_trials = options.tile_trials != 0
-                                      ? options.tile_trials
-                                      : default_tile_trials(portfolio, yet_table);
+  TrialKernelConfig config;
+  // Element-wise vertical math over contiguous buffers: the widest compiled
+  // lane type always pays here (no trial-per-lane gather-width trade-off to
+  // narrow for).
+  config.extension = best_simd_extension();
+  config.window = options.window;
+  config.block_trials = options.tile_trials;
+  config.instrument = options.phases != nullptr;
 
-  std::vector<LayerPlan> plans;
-  plans.reserve(portfolio.layers.size());
-  for (std::size_t layer_index = 0; layer_index < portfolio.layers.size(); ++layer_index) {
-    const Layer& layer = portfolio.layers[layer_index];
-    LayerPlan plan;
-    plan.layer = &layer;
-    if (layer.all_direct_access()) plan.direct = direct_view(layer);
-    plan.elt_terms.reserve(layer.elts.size());
-    for (const LayerElt& layer_elt : layer.elts) {
-      plan.elt_terms.push_back(detail::EltTermsV<V>::from(layer_elt.terms));
-    }
-    plan.terms = detail::LayerTermsV<V>::from(layer.terms);
-    if (ylt != nullptr) plan.losses = ylt->layer_losses(layer_index);
-    plans.push_back(std::move(plan));
-  }
-
-  const std::uint64_t num_trials = yet_table.num_trials();
-  if (num_trials == 0) return;
-
-  TilePass pass;
-  pass.plans = &plans;
-  pass.yet = &yet_table;
-  pass.window = window;
-  pass.tile_trials = tile_trials;
-  pass.block_trials = sink != nullptr ? sink->block_trials() : 0;
-  pass.sink = sink;
-  pass.instrument = options.phases != nullptr;
-
-  // Schedule by event count (the YET offsets are the cost prefix), claiming
-  // ~one tile's worth of events per chunk, so skewed trial lengths spread
-  // across workers instead of serialising on the longest static block.
-  const double mean_events = std::max(1.0, yet_table.mean_events_per_trial());
-  const std::uint64_t chunk_cost = std::max<std::uint64_t>(
-      1, static_cast<std::uint64_t>(static_cast<double>(tile_trials) * mean_events));
-  parallel::TaskScratch<FusedScratch> scratch(pool);
-  parallel::parallel_for_costed(
-      pool, 0, num_trials, yet_table.offsets(), chunk_cost,
-      [&](std::uint64_t first, std::uint64_t last) { run_tiles(pass, first, last, scratch.local()); },
-      options.partition);
-
-  if (options.phases != nullptr) {
-    PhaseBreakdown total;
-    scratch.for_each([&](const FusedScratch& worker) {
-      total.fetch_seconds += worker.phases.fetch_seconds;
-      total.lookup_seconds += worker.phases.lookup_seconds;
-      total.financial_seconds += worker.phases.financial_seconds;
-      total.layer_seconds += worker.phases.layer_seconds;
-    });
-    *options.phases = total;
-  }
+  KernelLaunch launch;
+  launch.schedule = KernelLaunch::Schedule::kCosted;
+  launch.pool = &pool;
+  launch.partition = options.partition;
+  run_trial_kernel(portfolio, yet_table, config, launch, ylt, sink, options.phases, nullptr);
 }
 
 }  // namespace
 
-std::size_t default_tile_trials(const Portfolio& portfolio,
-                                const yet::YearEventTable& yet_table) noexcept {
-  // Per staged event a tile touches ~20 bytes across the batched phases:
-  // the event id (4 B) + timestamp (4 B) + combined-loss entry (8 B), plus
-  // amortised shares of the raw-lookup buffer on the generic path.
-  constexpr double kBytesPerEvent = 20.0;
-  constexpr std::size_t kCacheResident = std::size_t{2} << 20;
-
-  std::size_t footprint = 0;
-  for (const Layer& layer : portfolio.layers) {
-    for (const LayerElt& layer_elt : layer.elts) {
-      if (layer_elt.lookup) footprint += layer_elt.lookup->memory_bytes();
-    }
-  }
-  // Cache-resident tables leave the whole budget to the tile (the regime
-  // where bench_fused_tiling measured ~256-trial optima at sub-scale); once
-  // the tables far exceed the cache, lookups miss regardless and a smaller
-  // tile keeps the staged buffers from thrashing as well.
-  const std::size_t tile_budget =
-      footprint <= kCacheResident ? (std::size_t{1} << 20) : (std::size_t{1} << 18);
-  const double events = std::max(1.0, yet_table.mean_events_per_trial());
-  const double tile = static_cast<double>(tile_budget) / (kBytesPerEvent * events);
-  return std::clamp(static_cast<std::size_t>(tile), std::size_t{16}, std::size_t{4096});
-}
-
 YearLossTable run_fused(const Portfolio& portfolio, const yet::YearEventTable& yet_table,
                         parallel::ThreadPool& pool, const FusedOptions& options) {
-  std::vector<std::uint32_t> ids;
-  for (const Layer& layer : portfolio.layers) ids.push_back(layer.id);
-  YearLossTable ylt(std::move(ids), yet_table.num_trials());
+  YearLossTable ylt = make_year_loss_table(portfolio, yet_table);
   run_fused_impl(portfolio, yet_table, pool, options, &ylt, nullptr);
   return ylt;
 }

@@ -4,18 +4,19 @@
 #include <optional>
 
 #include "core/engine.hpp"
+#include "core/trial_kernel.hpp"
 #include "core/windowed_engine.hpp"
 #include "core/ylt_sink.hpp"
 
 namespace are::core {
 
 struct FusedOptions {
-  /// Trials per tile. Small tiles keep a tile's events (and the staged
-  /// per-event loss buffers) cache-resident across all layers; large tiles
-  /// amortise per-tile overhead. 0 (the default) derives the tile from the
-  /// portfolio's ELT footprint and the YET's events/trial — see
-  /// default_tile_trials(); bench_fused_tiling sweeps this knob and any
-  /// explicit value overrides the heuristic.
+  /// Trials per tile (= kernel block). Small tiles keep a tile's events
+  /// (and the staged per-event loss buffers) cache-resident across all
+  /// layers; large tiles amortise per-tile overhead. 0 (the default)
+  /// derives the tile from the portfolio's ELT footprint and the YET's
+  /// events/trial — see default_tile_trials(); bench_fused_tiling sweeps
+  /// this knob and any explicit value overrides the heuristic.
   std::size_t tile_trials = 0;
   /// Worker threads; 0 = hardware concurrency, 1 = single-threaded.
   std::size_t num_threads = 0;
@@ -31,45 +32,34 @@ struct FusedOptions {
   /// run_sequential; a real mid-year window changes the YLT by design and
   /// is bit-identical to run_windowed instead.
   std::optional<CoverageWindow> window;
-  /// When non-null, the engine runs a timer-instrumented tile path (still
-  /// bit-identical — it stages each tile's events once and routes every
-  /// layer through the batched generic lookups) and accumulates the Fig-6b
-  /// phase attribution here: fetch = the per-tile YET staging (paid once
-  /// per tile instead of once per layer x trial — the fusion's predicted
-  /// event-fetch saving, now directly measurable), lookup = the
-  /// lookup_many batches, financial = the vectorized terms + cross-ELT
-  /// combine, layer = occurrence terms + the aggregate recurrence.
+  /// When non-null, the engine runs the kernel's timer-instrumented block
+  /// path (still bit-identical) and accumulates the Fig-6b phase
+  /// attribution here: fetch = the per-tile YET staging (paid once per tile
+  /// instead of once per layer x trial — the fusion's predicted event-fetch
+  /// saving, now directly measurable), lookup = the lookup_many batches,
+  /// financial = the vectorized terms + cross-ELT combine, layer =
+  /// occurrence terms + the aggregate recurrence.
   PhaseBreakdown* phases = nullptr;
 };
 
-/// The tile-size heuristic behind FusedOptions::tile_trials == 0: sizes the
-/// tile so its staged per-event working set (~20 B per event across ids,
-/// timestamps, and the combined-loss buffer) fits the cache share the tile
-/// can realistically claim. Cache-regime aware: when the portfolio's
-/// lookup tables themselves fit in cache the whole budget goes to the tile
-/// (the regime where bench_fused_tiling measured ~256-trial optima); once
-/// the tables far exceed it, lookups miss regardless and a smaller tile
-/// keeps the staged buffers from thrashing too. Clamped to [16, 4096].
-std::size_t default_tile_trials(const Portfolio& portfolio,
-                                const yet::YearEventTable& yet_table) noexcept;
-
-/// Fused trial-tiled engine: the loop nest of every other engine
-/// (`for layer: for trial:`) is inverted and tiled — one pass over trial
-/// tiles, and for each tile *all layers* are processed while the tile's
-/// slice of the year-event table is hot, so the YET is streamed once per
-/// analysis instead of once per layer. Within a tile the paper's phases run
-/// batched over the tile's events: ELT lookups go through
-/// ILossLookup::lookup_many (prefetching batch overrides; hardware gathers
-/// on direct tables), financial and occurrence terms run on simd::VecD
-/// lanes, and only the path-dependent aggregate recurrence sweeps each
-/// trial scalar. Scratch lives in per-worker arenas (parallel::TaskScratch)
-/// so the hot path performs no allocation, and the next tile's event ids
-/// are software-prefetched while the current tile computes.
+/// Fused trial-tiled engine: the cost-aware driver of the shared trial
+/// kernel. One pass over trial tiles, and for each tile *all layers* are
+/// processed while the tile's slice of the year-event table is hot, so the
+/// YET is streamed once per analysis instead of once per layer. Within a
+/// tile the paper's phases run batched over the tile's events: ELT lookups
+/// go through ILossLookup::lookup_many (prefetching batch overrides;
+/// hardware gathers on direct tables), financial and occurrence terms run
+/// on the widest compiled simd::VecD lanes, and only the path-dependent
+/// aggregate recurrence sweeps each trial scalar. Scratch lives in
+/// per-worker arenas (parallel::TaskScratch) so the hot path performs no
+/// allocation, and the next tile's event ids are software-prefetched while
+/// the current tile computes. Tiles are scheduled by *event count*
+/// (parallel_for_costed over the YET offsets) so skewed trial lengths
+/// spread across workers.
 ///
 /// Bit-identical to run_sequential for every tile size, thread count, and
-/// scheduling policy (each lane/batch element performs the reference
-/// engine's operations in the reference order; tiling only decides which
-/// events share a register, never how a trial's arithmetic associates).
+/// scheduling policy (tiling only decides which events share a register,
+/// never how a trial's arithmetic associates).
 YearLossTable run_fused(const Portfolio& portfolio, const yet::YearEventTable& yet_table,
                         const FusedOptions& options = {});
 

@@ -1,11 +1,6 @@
 #include "core/openmp_engine.hpp"
 
-#include "elt/direct_access_table.hpp"
-#include "financial/trial_accumulator.hpp"
-
-#ifdef _OPENMP
-#include <omp.h>
-#endif
+#include "core/trial_kernel.hpp"
 
 namespace are::core {
 
@@ -17,57 +12,18 @@ bool openmp_available() noexcept {
 #endif
 }
 
-#ifdef _OPENMP
-
-namespace {
-
-/// Same arithmetic, same order as the sequential engine's trial kernel —
-/// required for bit-identical YLTs across engines.
-double openmp_trial(const Layer& layer, std::span<const yet::EventId> events) noexcept {
-  financial::TrialAccumulator accumulator(layer.terms);
-  for (const yet::EventId event : events) {
-    double combined = 0.0;
-    for (const LayerElt& layer_elt : layer.elts) {
-      combined += layer_elt.terms.apply(layer_elt.lookup->lookup(event));
-    }
-    accumulator.add_occurrence(layer.terms.apply_occurrence(combined));
-  }
-  return accumulator.trial_loss();
-}
-
-}  // namespace
-
 YearLossTable run_openmp(const Portfolio& portfolio, const yet::YearEventTable& yet_table,
                          int num_threads) {
-  portfolio.validate();
-  std::vector<std::uint32_t> ids;
-  for (const Layer& layer : portfolio.layers) ids.push_back(layer.id);
-  YearLossTable ylt(std::move(ids), yet_table.num_trials());
+  YearLossTable ylt = make_year_loss_table(portfolio, yet_table);
 
-  if (num_threads <= 0) num_threads = omp_get_max_threads();
-  const auto trials = static_cast<std::int64_t>(yet_table.num_trials());
-
-  for (std::size_t layer_index = 0; layer_index < portfolio.layers.size(); ++layer_index) {
-    const Layer& layer = portfolio.layers[layer_index];
-    auto losses = ylt.layer_losses(layer_index);
-#pragma omp parallel for schedule(static) num_threads(num_threads)
-    for (std::int64_t trial = 0; trial < trials; ++trial) {
-      losses[static_cast<std::size_t>(trial)] =
-          openmp_trial(layer, yet_table.trial_events(static_cast<std::size_t>(trial)));
-    }
-  }
+  KernelLaunch launch;
+  // kOpenMp schedules kernel blocks with an OpenMP static `parallel for`;
+  // in builds without OpenMP the kernel driver transparently falls back to
+  // the (bit-identical) thread-pool schedule, so callers need no #ifdefs.
+  launch.schedule = KernelLaunch::Schedule::kOpenMp;
+  launch.num_threads = num_threads <= 0 ? 0 : static_cast<std::size_t>(num_threads);
+  run_trial_kernel(portfolio, yet_table, {}, launch, &ylt, nullptr);
   return ylt;
 }
-
-#else  // !_OPENMP
-
-YearLossTable run_openmp(const Portfolio& portfolio, const yet::YearEventTable& yet_table,
-                         int num_threads) {
-  ParallelOptions options;
-  options.num_threads = num_threads <= 0 ? 0 : static_cast<std::size_t>(num_threads);
-  return run_parallel(portfolio, yet_table, options);
-}
-
-#endif  // _OPENMP
 
 }  // namespace are::core

@@ -1,130 +1,18 @@
 #include "core/simd_engine.hpp"
 
 #include <algorithm>
-#include <span>
 #include <stdexcept>
 #include <string>
 #include <type_traits>
 #include <vector>
 
-#include "core/direct_elt_view.hpp"
-#include "core/simd_terms.hpp"
-#include "simd/trial_batch.hpp"
+#include "core/trial_kernel.hpp"
+#include "elt/direct_access_table.hpp"
 #include "simd/vec.hpp"
 
 namespace are::core {
 
 namespace {
-
-using detail::apply_financial_v;
-using detail::DirectElt;
-using detail::direct_view;
-using detail::EltTermsV;
-using detail::excess_v;
-using detail::LayerTermsV;
-
-/// Combined ELT loss for one event row: gather + financial terms, summed
-/// across ELTs in layer order (the summation order run_sequential uses, so
-/// it must not be reassociated).
-template <typename V>
-typename V::reg combine_row(const std::vector<DirectElt>& direct,
-                            const std::vector<EltTermsV<V>>& elt_terms,
-                            typename V::ivec indices) noexcept {
-  typename V::reg combined = V::zero();
-  for (std::size_t e = 0; e < direct.size(); ++e) {
-    const typename V::reg loss = V::gather_guarded(direct[e].data, indices, direct[e].universe);
-    combined = V::add(combined, apply_financial_v<V>(loss, elt_terms[e]));
-  }
-  return combined;
-}
-
-/// One block of trials [first, last) against one layer, W lanes at a time.
-/// Per batch the work is phase-split exactly like the paper's algorithm:
-/// (A) ELT lookup + financial terms into a per-row combined-loss buffer —
-/// every row/ELT gather is independent, so this phase streams at maximum
-/// memory-level parallelism; (B) occurrence + aggregate layer terms, the
-/// path-dependent recurrence, swept over the buffer in lockstep across
-/// lanes. Every lane's arithmetic matches the scalar trial kernel
-/// operation for operation.
-template <typename V>
-void run_block(const Layer& layer, const std::vector<DirectElt>& direct,
-               const yet::YearEventTable& yet_table, std::span<double> losses,
-               std::uint64_t first, std::uint64_t last) {
-  constexpr std::size_t kW = V::kLanes;
-  using reg = typename V::reg;
-
-  std::vector<EltTermsV<V>> elt_terms;
-  elt_terms.reserve(layer.elts.size());
-  for (const LayerElt& layer_elt : layer.elts) {
-    elt_terms.push_back(EltTermsV<V>::from(layer_elt.terms));
-  }
-  const LayerTermsV<V> terms = LayerTermsV<V>::from(layer.terms);
-
-  simd::TrialBatch batch(kW);
-  std::vector<double> combined_rows;  // [depth x W] lane-major, phase A -> B
-  alignas(64) double raw[kW];
-  alignas(64) double out[kW];
-
-  for (std::uint64_t trial = first; trial < last; trial += kW) {
-    const std::size_t count = static_cast<std::size_t>(std::min<std::uint64_t>(kW, last - trial));
-    batch.load(yet_table, trial, count);
-    const std::size_t depth = batch.depth();
-    combined_rows.resize(depth * kW);
-
-    // Phase A: ELT lookups (gather on direct tables) + financial terms,
-    // combined across ELTs, one buffered row per event position. Rows are
-    // independent, so the direct path runs two in flight: each row's
-    // 15-odd `combined +=` chain is serial (its order is part of the
-    // bit-identity contract), but pairing rows overlaps one chain's
-    // gather+add latency with the other's.
-    if (!direct.empty()) {
-      std::size_t position = 0;
-      for (; position + 1 < depth; position += 2) {
-        const typename V::ivec indices0 = V::load_index(batch.row(position));
-        const typename V::ivec indices1 = V::load_index(batch.row(position + 1));
-        const reg combined0 = combine_row<V>(direct, elt_terms, indices0);
-        const reg combined1 = combine_row<V>(direct, elt_terms, indices1);
-        V::store(combined_rows.data() + position * kW, combined0);
-        V::store(combined_rows.data() + (position + 1) * kW, combined1);
-      }
-      if (position < depth) {
-        const typename V::ivec indices = V::load_index(batch.row(position));
-        V::store(combined_rows.data() + position * kW, combine_row<V>(direct, elt_terms, indices));
-      }
-    } else {
-      for (std::size_t position = 0; position < depth; ++position) {
-        const yet::EventId* row = batch.row(position);
-        reg combined = V::zero();
-        for (std::size_t e = 0; e < layer.elts.size(); ++e) {
-          layer.elts[e].lookup->lookup_many(row, kW, raw);
-          combined = V::add(combined, apply_financial_v<V>(V::load(raw), elt_terms[e]));
-        }
-        V::store(combined_rows.data() + position * kW, combined);
-      }
-    }
-
-    // Phase B: occurrence terms, then the aggregate recurrence — per-lane
-    // TrialAccumulator state (cumulative, previous capped, ceded loss)
-    // advanced in lockstep across lanes (each lane is an independent
-    // trial, so the within-trial order is untouched).
-    reg cumulative = V::zero();
-    reg previous_capped = V::zero();
-    reg trial_loss = V::zero();
-    for (std::size_t position = 0; position < depth; ++position) {
-      const reg combined = V::load(combined_rows.data() + position * kW);
-      const reg occurrence = excess_v<V>(combined, terms.occ_retention, terms.occ_limit);
-      cumulative = V::add(cumulative, occurrence);
-      const reg capped = excess_v<V>(cumulative, terms.agg_retention, terms.agg_limit);
-      trial_loss = V::add(trial_loss, V::sub(capped, previous_capped));
-      previous_capped = capped;
-    }
-
-    V::store(out, trial_loss);
-    for (std::size_t lane = 0; lane < count; ++lane) {
-      losses[trial + lane] = out[lane];
-    }
-  }
-}
 
 /// Direct-table bytes a layer's lookups touch. Above this, gathers lose to
 /// the cache hierarchy (lookups miss whatever the lane width, and wide
@@ -145,27 +33,6 @@ std::size_t max_layer_direct_footprint(const Portfolio& portfolio) noexcept {
     max_bytes = std::max(max_bytes, bytes);
   }
   return max_bytes;
-}
-
-template <typename Ext>
-YearLossTable run_simd_impl(const Portfolio& portfolio, const yet::YearEventTable& yet_table,
-                            parallel::ThreadPool& pool) {
-  using V = simd::VecD<Ext>;
-  std::vector<std::uint32_t> ids;
-  for (const Layer& layer : portfolio.layers) ids.push_back(layer.id);
-  YearLossTable ylt(std::move(ids), yet_table.num_trials());
-
-  for (std::size_t layer_index = 0; layer_index < portfolio.layers.size(); ++layer_index) {
-    const Layer& layer = portfolio.layers[layer_index];
-    const std::vector<DirectElt> direct =
-        layer.all_direct_access() ? direct_view(layer) : std::vector<DirectElt>{};
-    auto losses = ylt.layer_losses(layer_index);
-    parallel::parallel_for(pool, 0, yet_table.num_trials(),
-                           [&](std::uint64_t first, std::uint64_t last) {
-                             run_block<V>(layer, direct, yet_table, losses, first, last);
-                           });
-  }
-  return ylt;
 }
 
 }  // namespace
@@ -261,28 +128,15 @@ SimdExtension resolve_simd_extension(const Portfolio& portfolio, const SimdOptio
 YearLossTable run_simd(const Portfolio& portfolio, const yet::YearEventTable& yet_table,
                        parallel::ThreadPool& pool, const SimdOptions& options) {
   portfolio.validate();
-  const SimdExtension extension = resolve_simd_extension(portfolio, options);
+  YearLossTable ylt = make_year_loss_table(portfolio, yet_table);
 
-  switch (extension) {
-    case SimdExtension::kScalar:
-      return run_simd_impl<simd::scalar_ext>(portfolio, yet_table, pool);
-#if ARE_SIMD_HAVE_SSE2
-    case SimdExtension::kSse2: return run_simd_impl<simd::sse2_ext>(portfolio, yet_table, pool);
-#endif
-#if ARE_SIMD_HAVE_AVX2
-    case SimdExtension::kAvx2: return run_simd_impl<simd::avx2_ext>(portfolio, yet_table, pool);
-#endif
-#if ARE_SIMD_HAVE_AVX512
-    case SimdExtension::kAvx512:
-      return run_simd_impl<simd::avx512_ext>(portfolio, yet_table, pool);
-#endif
-#if ARE_SIMD_HAVE_NEON
-    case SimdExtension::kNeon: return run_simd_impl<simd::neon_ext>(portfolio, yet_table, pool);
-#endif
-    default:
-      throw std::invalid_argument("simd extension '" + std::string(to_string(extension)) +
-                                  "' is not compiled into this build");
-  }
+  TrialKernelConfig config;
+  config.extension = resolve_simd_extension(portfolio, options);
+  KernelLaunch launch;
+  launch.schedule = KernelLaunch::Schedule::kPool;
+  launch.pool = &pool;
+  run_trial_kernel(portfolio, yet_table, config, launch, &ylt, nullptr);
+  return ylt;
 }
 
 YearLossTable run_simd(const Portfolio& portfolio, const yet::YearEventTable& yet_table,

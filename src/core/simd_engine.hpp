@@ -38,10 +38,11 @@ bool simd_extension_available(SimdExtension extension) noexcept;
 SimdExtension best_simd_extension() noexcept;
 
 /// Lane width (doubles per vector register) of the given extension as
-/// compiled; the batch engine processes this many trials at once. For
-/// kAuto this is the widest compiled width — the width a particular run
-/// actually uses can be narrower (kAuto is portfolio-dependent); resolve
-/// with resolve_simd_extension() first when reporting a real run.
+/// compiled; the kernel's vectorized term phases process this many events
+/// at once. For kAuto this is the widest compiled width — the width a
+/// particular run actually uses can be narrower (kAuto is
+/// portfolio-dependent); resolve with resolve_simd_extension() first when
+/// reporting a real run.
 std::size_t simd_lane_width(SimdExtension extension);
 
 struct SimdOptions {
@@ -60,20 +61,20 @@ struct SimdOptions {
 /// std::invalid_argument for extensions not compiled into this build.
 SimdExtension resolve_simd_extension(const Portfolio& portfolio, const SimdOptions& options);
 
-/// Lane-parallel batch engine: transposes groups of W adjacent trials into
-/// a structure-of-arrays TrialBatch (W = vector lane width) and runs the
-/// three hot phases of the paper's algorithm — ELT lookup (hardware gather
-/// on direct-access tables), financial terms, and occurrence/aggregate
-/// layer terms — on vector registers, one trial per lane. The
-/// path-dependent aggregate state (TrialAccumulator's recurrence) stays
-/// per-lane: lanes are distinct trials, so the recurrence vectorizes
-/// across lanes without reordering any within-trial arithmetic.
+/// Lane-parallel batch engine: the shared trial-block kernel
+/// (core/trial_kernel.hpp) driven at the resolved vector width. The hot
+/// phases of the paper's algorithm — ELT lookup (hardware gather on
+/// direct-access tables, prefetching lookup_many batches otherwise),
+/// financial terms, and occurrence terms — run on vector registers over a
+/// block's events; only the path-dependent aggregate recurrence
+/// (TrialAccumulator) sweeps each trial scalar.
 ///
 /// Bit-identical output to run_sequential for every lane width and thread
-/// count: each lane performs the same double-precision operations in the
-/// same order as the scalar trial kernel (see simd/vec.hpp for the min/max
-/// rounding contract), and trial grouping only decides which trials share
-/// a register, never how a trial's own arithmetic associates.
+/// count: the vectorized phases perform the same double-precision
+/// operations in the same order as the scalar expressions (see
+/// simd/vec.hpp for the min/max rounding contract), and lane width only
+/// decides which events share a register, never how a trial's own
+/// arithmetic associates.
 YearLossTable run_simd(const Portfolio& portfolio, const yet::YearEventTable& yet_table,
                        const SimdOptions& options = {});
 

@@ -1,0 +1,523 @@
+#include "core/trial_kernel.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "core/direct_elt_view.hpp"
+#include "core/simd_terms.hpp"
+#include "financial/trial_accumulator.hpp"
+#include "parallel/task_scratch.hpp"
+#include "simd/prefetch.hpp"
+#include "simd/vec.hpp"
+
+namespace are::core {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+using detail::DirectElt;
+using detail::direct_view;
+
+double seconds_between(Clock::time_point a, Clock::time_point b) noexcept {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+/// Immutable per-layer execution state hoisted out of the block loop: the
+/// direct-table view (when eligible), the ELT/layer terms broadcast into
+/// registers once, and the layer's YLT row (empty in sink mode, where block
+/// rows are staged and emitted instead).
+template <typename V>
+struct LayerPlan {
+  const Layer* layer;
+  std::vector<DirectElt> direct;  // empty unless Layer::all_direct_access()
+  std::vector<detail::EltTermsV<V>> elt_terms;
+  detail::LayerTermsV<V> terms;
+  std::span<double> losses;
+};
+
+/// Combined ELT loss per event over the staged span, direct-table fast
+/// path: guarded gathers straight out of the (untransposed) YET event
+/// slice. The first ELT writes, later ELTs accumulate — same per-event
+/// summation order as the scalar reference (0.0 + x == x exactly for the
+/// engine's domain).
+template <typename V>
+void combine_elts_direct(const LayerPlan<V>& plan, const yet::EventId* events, std::size_t count,
+                         double* combined) noexcept {
+  constexpr std::size_t kW = V::kLanes;
+  for (std::size_t e = 0; e < plan.direct.size(); ++e) {
+    const DirectElt& direct = plan.direct[e];
+    const detail::EltTermsV<V>& terms_v = plan.elt_terms[e];
+    const financial::FinancialTerms& terms = direct.terms;
+    std::size_t i = 0;
+    if (e == 0) {
+      for (; i + kW <= count; i += kW) {
+        const typename V::ivec idx = V::load_index(events + i);
+        const typename V::reg loss = V::gather_guarded(direct.data, idx, direct.universe);
+        V::store(combined + i, detail::apply_financial_v<V>(loss, terms_v));
+      }
+      for (; i < count; ++i) {
+        const yet::EventId event = events[i];
+        combined[i] = terms.apply(event < direct.universe ? direct.data[event] : 0.0);
+      }
+    } else {
+      for (; i + kW <= count; i += kW) {
+        const typename V::ivec idx = V::load_index(events + i);
+        const typename V::reg loss = V::gather_guarded(direct.data, idx, direct.universe);
+        V::store(combined + i,
+                 V::add(V::load(combined + i), detail::apply_financial_v<V>(loss, terms_v)));
+      }
+      for (; i < count; ++i) {
+        const yet::EventId event = events[i];
+        combined[i] += terms.apply(event < direct.universe ? direct.data[event] : 0.0);
+      }
+    }
+  }
+}
+
+/// One ELT's staged raw losses folded into the combined buffer with the
+/// vectorized financial terms; shared by the generic and the instrumented
+/// paths (identical arithmetic, hence identical bytes).
+template <typename V>
+void fold_raw_losses(const LayerPlan<V>& plan, std::size_t e, const double* raw,
+                     std::size_t count, double* combined) noexcept {
+  constexpr std::size_t kW = V::kLanes;
+  const detail::EltTermsV<V>& terms_v = plan.elt_terms[e];
+  const financial::FinancialTerms& terms = plan.layer->elts[e].terms;
+  std::size_t i = 0;
+  if (e == 0) {
+    for (; i + kW <= count; i += kW) {
+      V::store(combined + i, detail::apply_financial_v<V>(V::load(raw + i), terms_v));
+    }
+    for (; i < count; ++i) combined[i] = terms.apply(raw[i]);
+  } else {
+    for (; i + kW <= count; i += kW) {
+      V::store(combined + i, V::add(V::load(combined + i),
+                                    detail::apply_financial_v<V>(V::load(raw + i), terms_v)));
+    }
+    for (; i < count; ++i) combined[i] += terms.apply(raw[i]);
+  }
+}
+
+/// Generic path: one lookup_many batch call per ELT (the prefetching
+/// overrides in src/elt/), then the vectorized financial terms over the
+/// staged raw losses.
+template <typename V>
+void combine_elts_generic(const LayerPlan<V>& plan, const yet::EventId* events,
+                          std::size_t count, double* combined, std::vector<double>& raw) {
+  raw.resize(count);
+  const std::vector<LayerElt>& elts = plan.layer->elts;
+  for (std::size_t e = 0; e < elts.size(); ++e) {
+    elts[e].lookup->lookup_many(events, count, raw.data());
+    fold_raw_losses(plan, e, raw.data(), count, combined);
+  }
+}
+
+/// Occurrence terms, vectorized in place.
+template <typename V>
+void apply_occurrence_terms(const LayerPlan<V>& plan, double* combined,
+                            std::size_t count) noexcept {
+  constexpr std::size_t kW = V::kLanes;
+  std::size_t i = 0;
+  for (; i + kW <= count; i += kW) {
+    V::store(combined + i, detail::excess_v<V>(V::load(combined + i), plan.terms.occ_retention,
+                                               plan.terms.occ_limit));
+  }
+  for (; i < count; ++i) combined[i] = plan.layer->terms.apply_occurrence(combined[i]);
+}
+
+/// The path-dependent aggregate recurrence, per trial, writing
+/// row[trial - t0]. Windowed semantics: out-of-window occurrences are
+/// skipped entirely, so they do not advance the recurrence.
+void aggregate_trials(const financial::LayerTerms& terms, const double* combined,
+                      const float* times, const CoverageWindow* window,
+                      std::span<const std::uint64_t> offsets, std::uint64_t t0, std::uint64_t t1,
+                      std::uint64_t ev0, double* row) noexcept {
+  for (std::uint64_t trial = t0; trial < t1; ++trial) {
+    financial::TrialAccumulator accumulator(terms);
+    const std::size_t begin = static_cast<std::size_t>(offsets[trial] - ev0);
+    const std::size_t end = static_cast<std::size_t>(offsets[trial + 1] - ev0);
+    if (window == nullptr) {
+      for (std::size_t k = begin; k < end; ++k) accumulator.add_occurrence(combined[k]);
+    } else {
+      for (std::size_t k = begin; k < end; ++k) {
+        if (window->covers(times[k])) accumulator.add_occurrence(combined[k]);
+      }
+    }
+    row[trial - t0] = accumulator.trial_loss();
+  }
+}
+
+}  // namespace
+
+// --- Kernel impl -------------------------------------------------------------
+
+/// Lane-width erasure: the templated body behind a tiny virtual interface,
+/// instantiated once per compiled extension and selected at construction.
+struct TrialBlockKernel::Impl {
+  virtual ~Impl() = default;
+  virtual void run_range(std::uint64_t first, std::uint64_t last,
+                         TrialKernelScratch& scratch) const = 0;
+  std::size_t block_trials = 0;
+};
+
+namespace {
+
+template <typename Ext>
+class KernelImpl final : public TrialBlockKernel::Impl {
+  using V = simd::VecD<Ext>;
+
+ public:
+  KernelImpl(const Portfolio& portfolio, const yet::YearEventTable& yet_table,
+             const TrialKernelConfig& config, YearLossTable* ylt, YltSink* sink)
+      : yet_(&yet_table),
+        event_chunk_(config.event_chunk),
+        instrument_(config.instrument),
+        sink_(sink),
+        sink_block_(sink != nullptr ? sink->block_trials() : 0) {
+    if (config.window && !config.window->full_year()) {
+      window_storage_ = *config.window;
+      window_ = &window_storage_;
+    }
+    plans_.reserve(portfolio.layers.size());
+    for (std::size_t layer_index = 0; layer_index < portfolio.layers.size(); ++layer_index) {
+      const Layer& layer = portfolio.layers[layer_index];
+      LayerPlan<V> plan;
+      plan.layer = &layer;
+      if (layer.all_direct_access()) plan.direct = direct_view(layer);
+      plan.elt_terms.reserve(layer.elts.size());
+      for (const LayerElt& layer_elt : layer.elts) {
+        plan.elt_terms.push_back(detail::EltTermsV<V>::from(layer_elt.terms));
+      }
+      plan.terms = detail::LayerTermsV<V>::from(layer.terms);
+      if (ylt != nullptr) plan.losses = ylt->layer_losses(layer_index);
+      plans_.push_back(std::move(plan));
+    }
+  }
+
+  void run_range(std::uint64_t first, std::uint64_t last,
+                 TrialKernelScratch& scratch) const override {
+    const std::span<const std::uint64_t> offsets = yet_->offsets();
+    const yet::EventId* all_events = yet_->events().data();
+
+    for (std::uint64_t t0 = first, t1 = first; t0 < last; t0 = t1) {
+      t1 = std::min<std::uint64_t>(t0 + block_trials, last);
+      if (sink_block_ != 0) {
+        // Clamp the block at the next sink block (= shard) boundary.
+        const std::uint64_t boundary = (t0 / sink_block_ + 1) * sink_block_;
+        t1 = std::min<std::uint64_t>(t1, boundary);
+      }
+
+      // Stream the head of the NEXT block's event ids toward the cache while
+      // this block computes (16 u32 ids per 64-byte line). The burst is
+      // capped: past ~4 KB the lines would be evicted again before the
+      // multi-layer compute reaches them.
+      constexpr std::uint64_t kPrefetchIds = 1024;  // 64 cache lines
+      const std::uint64_t n1 = std::min<std::uint64_t>(t1 + block_trials, last);
+      const std::uint64_t next_end =
+          std::min<std::uint64_t>(offsets[n1], offsets[t1] + kPrefetchIds);
+      for (std::uint64_t p = offsets[t1]; p < next_end; p += 16) {
+        simd::prefetch_read(all_events + p);
+      }
+
+      run_block(t0, t1, scratch);
+    }
+  }
+
+ private:
+  void run_block(std::uint64_t t0, std::uint64_t t1, TrialKernelScratch& scratch) const {
+    const std::span<const std::uint64_t> offsets = yet_->offsets();
+    const std::uint64_t ev0 = offsets[t0];
+    const std::size_t count = static_cast<std::size_t>(offsets[t1] - ev0);
+    const yet::EventId* events = yet_->events().data() + ev0;
+    const float* times = yet_->times().data() + ev0;
+    const std::size_t num_block_trials = static_cast<std::size_t>(t1 - t0);
+    scratch.combined.resize(count);
+    if (sink_ != nullptr) scratch.block_losses.resize(plans_.size() * num_block_trials);
+
+    if (instrument_) {
+      run_block_instrumented(t0, t1, ev0, count, events, times, offsets, scratch);
+    } else {
+      const std::size_t chunk = event_chunk_ != 0 ? event_chunk_ : count;
+      for (std::size_t layer_index = 0; layer_index < plans_.size(); ++layer_index) {
+        const LayerPlan<V>& plan = plans_[layer_index];
+        double* combined = scratch.combined.data();
+        // Phase 1+2: batch ELT lookups + financial terms across ELTs, then
+        // occurrence terms — staged in event_chunk-bounded spans (the whole
+        // block when unconstrained).
+        for (std::size_t c0 = 0; c0 < count; c0 += chunk) {
+          const std::size_t n = std::min(chunk, count - c0);
+          if (!plan.direct.empty()) {
+            combine_elts_direct<V>(plan, events + c0, n, combined + c0);
+          } else {
+            combine_elts_generic<V>(plan, events + c0, n, combined + c0, scratch.raw);
+          }
+          apply_occurrence_terms<V>(plan, combined + c0, n);
+        }
+        double* row = sink_ != nullptr
+                          ? scratch.block_losses.data() + layer_index * num_block_trials
+                          : plan.losses.data() + t0;
+        aggregate_trials(plan.layer->terms, combined, times, window_, offsets, t0, t1, ev0, row);
+      }
+    }
+
+    if (sink_ != nullptr) {
+      for (std::size_t layer_index = 0; layer_index < plans_.size(); ++layer_index) {
+        sink_->emit(layer_index, t0,
+                    {scratch.block_losses.data() + layer_index * num_block_trials,
+                     num_block_trials});
+      }
+    }
+  }
+
+  /// Instrumented block: the same arithmetic as the fast path (the YLT
+  /// bytes do not change — direct layers route through their lookup_many
+  /// overrides, which read the same table cells the gathers do) with the
+  /// block's YET slice explicitly staged once (timed as the fetch phase)
+  /// and per-phase timers around the batched lookup / financial / layer
+  /// sweeps. Access counters follow the paper's algorithmic counts (one
+  /// event fetch per layer per event, as the un-fused algorithm performs
+  /// them), matching predict_access_counts.
+  void run_block_instrumented(std::uint64_t t0, std::uint64_t t1, std::uint64_t ev0,
+                              std::size_t count, const yet::EventId* events, const float* times,
+                              std::span<const std::uint64_t> offsets,
+                              TrialKernelScratch& scratch) const {
+    PhaseBreakdown& phases = scratch.phases;
+
+    auto stamp = Clock::now();
+    scratch.staged_events.assign(events, events + count);
+    scratch.staged_times.assign(times, times + count);
+    auto now = Clock::now();
+    phases.fetch_seconds += seconds_between(stamp, now);
+    stamp = now;
+
+    double* combined = scratch.combined.data();
+    scratch.raw.resize(count);
+    const std::size_t num_block_trials = static_cast<std::size_t>(t1 - t0);
+
+    for (std::size_t layer_index = 0; layer_index < plans_.size(); ++layer_index) {
+      const LayerPlan<V>& plan = plans_[layer_index];
+      const std::vector<LayerElt>& elts = plan.layer->elts;
+      scratch.accesses.events_fetched += count;
+      for (std::size_t e = 0; e < elts.size(); ++e) {
+        stamp = Clock::now();
+        elts[e].lookup->lookup_many(scratch.staged_events.data(), count, scratch.raw.data());
+        now = Clock::now();
+        phases.lookup_seconds += seconds_between(stamp, now);
+        fold_raw_losses<V>(plan, e, scratch.raw.data(), count, combined);
+        phases.financial_seconds += seconds_between(now, Clock::now());
+      }
+      scratch.accesses.elt_lookups += elts.size() * count;
+      scratch.accesses.financial_applications += elts.size() * count;
+
+      stamp = Clock::now();
+      apply_occurrence_terms<V>(plan, combined, count);
+      double* row = sink_ != nullptr
+                        ? scratch.block_losses.data() + layer_index * num_block_trials
+                        : plan.losses.data() + t0;
+      aggregate_trials(plan.layer->terms, combined, scratch.staged_times.data(), window_,
+                       offsets, t0, t1, ev0, row);
+      phases.layer_seconds += seconds_between(stamp, Clock::now());
+      scratch.accesses.layer_term_applications += 2 * count;  // occurrence + aggregate
+    }
+  }
+
+  std::vector<LayerPlan<V>> plans_;
+  const yet::YearEventTable* yet_;
+  CoverageWindow window_storage_;
+  const CoverageWindow* window_ = nullptr;  // null = full year
+  std::size_t event_chunk_;
+  bool instrument_;
+  YltSink* sink_;
+  std::uint64_t sink_block_;
+};
+
+std::unique_ptr<TrialBlockKernel::Impl> make_impl(SimdExtension extension,
+                                                  const Portfolio& portfolio,
+                                                  const yet::YearEventTable& yet_table,
+                                                  const TrialKernelConfig& config,
+                                                  YearLossTable* ylt, YltSink* sink) {
+  switch (extension) {
+    case SimdExtension::kScalar:
+      return std::make_unique<KernelImpl<simd::scalar_ext>>(portfolio, yet_table, config, ylt,
+                                                            sink);
+#if ARE_SIMD_HAVE_SSE2
+    case SimdExtension::kSse2:
+      return std::make_unique<KernelImpl<simd::sse2_ext>>(portfolio, yet_table, config, ylt,
+                                                          sink);
+#endif
+#if ARE_SIMD_HAVE_AVX2
+    case SimdExtension::kAvx2:
+      return std::make_unique<KernelImpl<simd::avx2_ext>>(portfolio, yet_table, config, ylt,
+                                                          sink);
+#endif
+#if ARE_SIMD_HAVE_AVX512
+    case SimdExtension::kAvx512:
+      return std::make_unique<KernelImpl<simd::avx512_ext>>(portfolio, yet_table, config, ylt,
+                                                            sink);
+#endif
+#if ARE_SIMD_HAVE_NEON
+    case SimdExtension::kNeon:
+      return std::make_unique<KernelImpl<simd::neon_ext>>(portfolio, yet_table, config, ylt,
+                                                          sink);
+#endif
+    default:
+      throw std::invalid_argument("trial kernel: simd extension '" +
+                                  std::string(to_string(extension)) +
+                                  "' is not compiled into this build");
+  }
+}
+
+}  // namespace
+
+TrialBlockKernel::TrialBlockKernel(const Portfolio& portfolio,
+                                   const yet::YearEventTable& yet_table,
+                                   const TrialKernelConfig& config, YearLossTable* ylt,
+                                   YltSink* sink) {
+  portfolio.validate();
+  if (config.window) config.window->validate();
+  if ((ylt == nullptr) == (sink == nullptr)) {
+    throw std::invalid_argument("trial kernel: exactly one of YLT / sink must be given");
+  }
+  SimdExtension extension = config.extension;
+  if (extension == SimdExtension::kAuto) extension = best_simd_extension();
+  impl_ = make_impl(extension, portfolio, yet_table, config, ylt, sink);
+  impl_->block_trials = config.block_trials != 0 ? config.block_trials
+                                                 : default_tile_trials(portfolio, yet_table);
+}
+
+TrialBlockKernel::~TrialBlockKernel() = default;
+
+void TrialBlockKernel::run_range(std::uint64_t first, std::uint64_t last,
+                                 TrialKernelScratch& scratch) const {
+  if (first >= last) return;
+  impl_->run_range(first, last, scratch);
+}
+
+std::size_t TrialBlockKernel::block_trials() const noexcept { return impl_->block_trials; }
+
+void TrialBlockKernel::collect(const TrialKernelScratch& scratch, PhaseBreakdown* phases,
+                               AccessCounts* accesses) noexcept {
+  if (phases != nullptr) {
+    phases->fetch_seconds += scratch.phases.fetch_seconds;
+    phases->lookup_seconds += scratch.phases.lookup_seconds;
+    phases->financial_seconds += scratch.phases.financial_seconds;
+    phases->layer_seconds += scratch.phases.layer_seconds;
+  }
+  if (accesses != nullptr) {
+    accesses->events_fetched += scratch.accesses.events_fetched;
+    accesses->elt_lookups += scratch.accesses.elt_lookups;
+    accesses->financial_applications += scratch.accesses.financial_applications;
+    accesses->layer_term_applications += scratch.accesses.layer_term_applications;
+  }
+}
+
+// --- The driver entry point ---------------------------------------------------
+
+void run_trial_kernel(const Portfolio& portfolio, const yet::YearEventTable& yet_table,
+                      const TrialKernelConfig& config, const KernelLaunch& launch,
+                      YearLossTable* ylt, YltSink* sink, PhaseBreakdown* phases,
+                      AccessCounts* accesses) {
+  const TrialBlockKernel kernel(portfolio, yet_table, config, ylt, sink);
+  if (phases != nullptr) *phases = {};
+  if (accesses != nullptr) *accesses = {};
+  const std::uint64_t num_trials = yet_table.num_trials();
+  if (num_trials == 0) return;
+
+  KernelLaunch::Schedule schedule = launch.schedule;
+#ifndef _OPENMP
+  // No OpenMP in this build: the bit-identical thread-pool fallback runs
+  // (surfaced to callers via InstrumentationSink::openmp_used).
+  if (schedule == KernelLaunch::Schedule::kOpenMp) schedule = KernelLaunch::Schedule::kPool;
+#endif
+
+  switch (schedule) {
+    case KernelLaunch::Schedule::kSerial: {
+      TrialKernelScratch scratch;
+      kernel.run_range(0, num_trials, scratch);
+      TrialBlockKernel::collect(scratch, phases, accesses);
+      return;
+    }
+    case KernelLaunch::Schedule::kPool:
+    case KernelLaunch::Schedule::kCosted: {
+      std::optional<parallel::ThreadPool> owned;
+      parallel::ThreadPool& pool =
+          launch.pool != nullptr ? *launch.pool : owned.emplace(launch.num_threads);
+      parallel::TaskScratch<TrialKernelScratch> scratches(pool);
+      const auto body = [&](std::uint64_t first, std::uint64_t last) {
+        kernel.run_range(first, last, scratches.local());
+      };
+      if (schedule == KernelLaunch::Schedule::kPool) {
+        parallel::parallel_for(pool, 0, num_trials, body, {launch.partition, launch.chunk});
+      } else {
+        // Chunks carry ~one block's worth of events (the YET offsets are
+        // the cost prefix), so skewed trial lengths spread across workers.
+        const double mean_events = std::max(1.0, yet_table.mean_events_per_trial());
+        const std::uint64_t chunk_cost = std::max<std::uint64_t>(
+            1, static_cast<std::uint64_t>(static_cast<double>(kernel.block_trials()) *
+                                          mean_events));
+        parallel::parallel_for_costed(pool, 0, num_trials, yet_table.offsets(), chunk_cost,
+                                      body, launch.partition);
+      }
+      scratches.for_each([&](const TrialKernelScratch& scratch) {
+        TrialBlockKernel::collect(scratch, phases, accesses);
+      });
+      return;
+    }
+    case KernelLaunch::Schedule::kOpenMp: {
+#ifdef _OPENMP
+      int num_threads = static_cast<int>(launch.num_threads);
+      if (num_threads <= 0) num_threads = omp_get_max_threads();
+      const std::uint64_t block = kernel.block_trials();
+      const auto num_blocks = static_cast<std::int64_t>((num_trials + block - 1) / block);
+#pragma omp parallel num_threads(num_threads)
+      {
+        TrialKernelScratch scratch;
+#pragma omp for schedule(static)
+        for (std::int64_t b = 0; b < num_blocks; ++b) {
+          const std::uint64_t first = static_cast<std::uint64_t>(b) * block;
+          kernel.run_range(first, std::min<std::uint64_t>(first + block, num_trials), scratch);
+        }
+#pragma omp critical(are_trial_kernel_collect)
+        TrialBlockKernel::collect(scratch, phases, accesses);
+      }
+#endif
+      return;
+    }
+  }
+}
+
+std::size_t default_tile_trials(const Portfolio& portfolio,
+                                const yet::YearEventTable& yet_table) noexcept {
+  // Per staged event a block touches ~20 bytes across the batched phases:
+  // the event id (4 B) + timestamp (4 B) + combined-loss entry (8 B), plus
+  // amortised shares of the raw-lookup buffer on the generic path.
+  constexpr double kBytesPerEvent = 20.0;
+  constexpr std::size_t kCacheResident = std::size_t{2} << 20;
+
+  std::size_t footprint = 0;
+  for (const Layer& layer : portfolio.layers) {
+    for (const LayerElt& layer_elt : layer.elts) {
+      if (layer_elt.lookup) footprint += layer_elt.lookup->memory_bytes();
+    }
+  }
+  // Cache-resident tables leave the whole budget to the block (the regime
+  // where bench_fused_tiling measured ~256-trial optima at sub-scale); once
+  // the tables far exceed the cache, lookups miss regardless and a smaller
+  // block keeps the staged buffers from thrashing as well.
+  const std::size_t block_budget =
+      footprint <= kCacheResident ? (std::size_t{1} << 20) : (std::size_t{1} << 18);
+  const double events = std::max(1.0, yet_table.mean_events_per_trial());
+  const double block = static_cast<double>(block_budget) / (kBytesPerEvent * events);
+  return std::clamp(static_cast<std::size_t>(block), std::size_t{16}, std::size_t{4096});
+}
+
+}  // namespace are::core

@@ -1,0 +1,172 @@
+#pragma once
+
+// The unified trial-block kernel — the one loop nest behind every engine.
+//
+// The paper's aggregate analysis is a single computation: walk YET trials,
+// look up each event's loss in the layer's ELTs, apply financial/occurrence/
+// aggregate terms, land the net trial loss in the YLT. This layer implements
+// that computation exactly once, over one contiguous *block* of trials for
+// all layers, with every cross-cutting feature built in:
+//
+//   - scalar and simd::VecD term paths (one templated body; the lane type is
+//     a runtime choice, resolved once at kernel construction),
+//   - an optional CoverageWindow (the windowed engine's semantics),
+//   - optional per-phase timers + access counters (the Fig-6b breakdown),
+//   - optional event-chunked staging (the chunked engine's Fig-5a knob),
+//   - delivery either straight into a YearLossTable or into a YltSink
+//     (finished blocks never cross sink.block_trials() boundaries, so a
+//     sharded sink receives each block into exactly one shard).
+//
+// The engines are now *drivers*: each one only chooses block partitioning,
+// scheduling (serial / parallel_for / parallel_for_costed / OpenMP), and
+// lane width over this kernel — see KernelLaunch and run_trial_kernel().
+// Every (engine x threads x lane x sink) combination produces bytes
+// identical to the sequential reference, because every combination runs
+// this body: per (layer, trial) cell the arithmetic and its order never
+// change, only which cells share a register or a thread.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "core/coverage_window.hpp"
+#include "core/engine.hpp"
+#include "core/simd_engine.hpp"
+#include "core/ylt_sink.hpp"
+#include "parallel/parallel_for.hpp"
+
+namespace are::core {
+
+/// What the kernel computes per block — the cross-cutting knobs every
+/// driver shares. Scheduling lives in KernelLaunch, not here.
+struct TrialKernelConfig {
+  /// Resolved lane type for the vectorized term phases. kScalar runs the
+  /// same body one element at a time; kAuto resolves to the widest compiled
+  /// extension (drivers that want the memory-bound narrowing resolve with
+  /// resolve_simd_extension() first and pass the result).
+  SimdExtension extension = SimdExtension::kScalar;
+
+  /// Coverage window; absent or full-year = every occurrence counts.
+  std::optional<CoverageWindow> window;
+
+  /// Maximum trials per kernel block (the fused engine's tile size). The
+  /// staged per-event buffers are proportional to a block's event count, so
+  /// blocks bound scratch memory. 0 = derive from the ELT footprint and
+  /// events/trial (default_tile_trials).
+  std::size_t block_trials = 0;
+
+  /// When non-zero, the combine/occurrence phases stage at most this many
+  /// events at a time (the chunked engine's events-per-chunk knob, Fig 5a).
+  /// 0 = stage the whole block at once. Never changes the output bytes.
+  std::size_t event_chunk = 0;
+
+  /// Run the timer-instrumented block path: the same arithmetic (identical
+  /// bytes) with the block's YET slice explicitly staged (timed as the
+  /// fetch phase), per-phase timers around the lookup/financial/layer
+  /// sweeps, and the paper's access counts accumulated per scratch.
+  bool instrument = false;
+};
+
+/// Per-worker scratch, reused across every block a worker executes (via
+/// parallel::TaskScratch or a per-thread local): buffers grow to the block
+/// high-water mark during the first blocks, then the hot path allocates
+/// nothing.
+struct TrialKernelScratch {
+  std::vector<double> raw;       // one ELT's batch lookups for the block
+  std::vector<double> combined;  // per-event combined loss, then net of occurrence terms
+  std::vector<double> block_losses;         // sink mode: layers x block trials, emitted per block
+  std::vector<yet::EventId> staged_events;  // instrumented mode: the block's staged YET slice
+  std::vector<float> staged_times;
+  PhaseBreakdown phases;    // instrumented mode: this worker's share
+  AccessCounts accesses;    // instrumented mode: this worker's share
+};
+
+/// The kernel: immutable per-run execution state (per-layer direct views,
+/// broadcast terms, output rows) behind a lane-width-erased interface.
+/// run_range() may be called concurrently on disjoint trial ranges, each
+/// with its own scratch.
+class TrialBlockKernel {
+ public:
+  /// Validates the portfolio and window, resolves the lane type and block
+  /// size. Exactly one of `ylt` / `sink` must be non-null: with a YLT the
+  /// kernel writes layer rows in place; with a sink it stages each finished
+  /// block and emits it as one span per layer, blocks clamped so they never
+  /// cross sink.block_trials() boundaries.
+  TrialBlockKernel(const Portfolio& portfolio, const yet::YearEventTable& yet_table,
+                   const TrialKernelConfig& config, YearLossTable* ylt, YltSink* sink);
+  ~TrialBlockKernel();
+
+  TrialBlockKernel(const TrialBlockKernel&) = delete;
+  TrialBlockKernel& operator=(const TrialBlockKernel&) = delete;
+
+  /// Computes trials [first, last) for every layer: walks the range in
+  /// blocks of at most block_trials() (clamped to sink boundaries), software-
+  /// prefetching the head of the next block's event ids while the current
+  /// block computes.
+  void run_range(std::uint64_t first, std::uint64_t last, TrialKernelScratch& scratch) const;
+
+  /// The resolved block size (config.block_trials, or the footprint
+  /// heuristic when that was 0).
+  std::size_t block_trials() const noexcept;
+
+  /// Adds an instrumented scratch's phase timers and access counts into the
+  /// given accumulators (either may be null) — the post-run merge step for
+  /// parallel drivers.
+  static void collect(const TrialKernelScratch& scratch, PhaseBreakdown* phases,
+                      AccessCounts* accesses) noexcept;
+
+  /// Lane-width erasure (public so the .cpp's extension-templated bodies
+  /// can derive from it; opaque to callers).
+  struct Impl;
+
+ private:
+  std::unique_ptr<Impl> impl_;
+};
+
+/// How a driver schedules kernel blocks onto threads — together with
+/// TrialKernelConfig this is the *entire* definition of an engine.
+struct KernelLaunch {
+  enum class Schedule {
+    kSerial,  ///< one thread, one scratch (seq / windowed / instrumented)
+    kPool,    ///< parallel_for over trials on a thread pool (parallel / chunked / simd)
+    kCosted,  ///< parallel_for_costed over the YET offsets (fused): chunks
+              ///< carry ~one block's worth of *events*, so skewed trial
+              ///< lengths balance across workers
+    kOpenMp,  ///< OpenMP `parallel for` over block indices; falls back to
+              ///< kPool (bit-identical) when the build lacks OpenMP
+  };
+
+  Schedule schedule = Schedule::kSerial;
+  /// Worker threads when the driver owns them; 0 = hardware concurrency.
+  std::size_t num_threads = 0;
+  /// Borrowed pool (kPool/kCosted); nullptr = own a pool of num_threads.
+  parallel::ThreadPool* pool = nullptr;
+  /// Trial-range partitioning (kPool: index chunks of `chunk` trials;
+  /// kCosted: equal-cost chunks).
+  parallel::Partition partition = parallel::Partition::kStatic;
+  std::size_t chunk = 256;
+};
+
+/// The one driver entry point: builds the kernel, schedules it per
+/// `launch`, and (for instrumented configs) merges every worker's phase
+/// timers and access counts into `phases` / `accesses` (assigned, not
+/// accumulated; may be null). Exactly one of `ylt` / `sink` must be
+/// non-null.
+void run_trial_kernel(const Portfolio& portfolio, const yet::YearEventTable& yet_table,
+                      const TrialKernelConfig& config, const KernelLaunch& launch,
+                      YearLossTable* ylt, YltSink* sink, PhaseBreakdown* phases = nullptr,
+                      AccessCounts* accesses = nullptr);
+
+/// The block-size heuristic behind TrialKernelConfig::block_trials == 0
+/// (historically the fused engine's tile heuristic): sizes the block so its
+/// staged per-event working set (~20 B per event across ids, timestamps,
+/// and the combined-loss buffer) fits the cache share a block can
+/// realistically claim. Cache-regime aware: when the portfolio's lookup
+/// tables themselves fit in cache the whole budget goes to the block; once
+/// the tables far exceed it, lookups miss regardless and a smaller block
+/// keeps the staged buffers from thrashing too. Clamped to [16, 4096].
+std::size_t default_tile_trials(const Portfolio& portfolio,
+                                const yet::YearEventTable& yet_table) noexcept;
+
+}  // namespace are::core

@@ -1,38 +1,17 @@
 #include "core/windowed_engine.hpp"
 
-#include "financial/trial_accumulator.hpp"
+#include "core/trial_kernel.hpp"
 
 namespace are::core {
 
 YearLossTable run_windowed(const Portfolio& portfolio, const yet::YearEventTable& yet_table,
                            const CoverageWindow& window) {
-  portfolio.validate();
   window.validate();
+  YearLossTable ylt = make_year_loss_table(portfolio, yet_table);
 
-  std::vector<std::uint32_t> ids;
-  for (const Layer& layer : portfolio.layers) ids.push_back(layer.id);
-  YearLossTable ylt(std::move(ids), yet_table.num_trials());
-
-  for (std::size_t layer_index = 0; layer_index < portfolio.layers.size(); ++layer_index) {
-    const Layer& layer = portfolio.layers[layer_index];
-    auto losses = ylt.layer_losses(layer_index);
-
-    for (std::size_t trial = 0; trial < yet_table.num_trials(); ++trial) {
-      const auto events = yet_table.trial_events(trial);
-      const auto times = yet_table.trial_times(trial);
-
-      financial::TrialAccumulator accumulator(layer.terms);
-      for (std::size_t k = 0; k < events.size(); ++k) {
-        if (!window.covers(times[k])) continue;
-        double combined = 0.0;
-        for (const LayerElt& layer_elt : layer.elts) {
-          combined += layer_elt.terms.apply(layer_elt.lookup->lookup(events[k]));
-        }
-        accumulator.add_occurrence(layer.terms.apply_occurrence(combined));
-      }
-      losses[trial] = accumulator.trial_loss();
-    }
-  }
+  TrialKernelConfig config;
+  config.window = window;
+  run_trial_kernel(portfolio, yet_table, config, {}, &ylt, nullptr);
   return ylt;
 }
 

@@ -1,31 +1,16 @@
 #pragma once
 
+#include "core/coverage_window.hpp"
 #include "core/engine.hpp"
 
 namespace are::core {
 
-/// A coverage window within the contractual year: real treaties incept and
-/// expire mid-year, so a layer only responds to occurrences whose YET
-/// timestamp falls inside [from, to). This is the first consumer of the
-/// timestamps the paper's YET carries alongside each event id.
-struct CoverageWindow {
-  float from = 0.0f;  // inclusive, fraction of year
-  float to = 1.0f;    // exclusive
-
-  constexpr bool covers(float time) const noexcept { return time >= from && time < to; }
-  constexpr bool full_year() const noexcept { return from <= 0.0f && to >= 1.0f; }
-
-  void validate() const {
-    if (!(from >= 0.0f) || !(to <= 1.0f) || !(from < to)) {
-      throw std::invalid_argument("coverage window must satisfy 0 <= from < to <= 1");
-    }
-  }
-};
-
 /// Sequential aggregate analysis where every layer shares the coverage
 /// window: occurrences outside the window contribute nothing (and do not
 /// advance the aggregate-terms recurrence). With a full-year window the
-/// result is bit-identical to run_sequential.
+/// result is bit-identical to run_sequential. This is the serial driver of
+/// the shared trial kernel with the window enabled; every other engine
+/// applies the same semantics through AnalysisConfig::window.
 YearLossTable run_windowed(const Portfolio& portfolio, const yet::YearEventTable& yet_table,
                            const CoverageWindow& window);
 

@@ -3,8 +3,10 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <exception>
 #include <fstream>
 #include <stdexcept>
+#include <string>
 #include <system_error>
 #include <utility>
 
@@ -58,12 +60,23 @@ void ShardStore::Pin::release() noexcept {
 }
 
 ShardStore::Pin ShardStore::pin(std::size_t shard_index) {
-  std::lock_guard<std::mutex> guard(lock_);
-  fault_in(shard_index);
+  std::unique_lock<std::mutex> lock(lock_);
+  // Wait out any in-flight spill or fault of THIS shard by another thread;
+  // I/O on other shards proceeds concurrently (that is the point).
+  io_done_.wait(lock, [&] { return !shards_[shard_index].io_in_progress; });
+  fault_in(lock, shard_index);
   Shard& shard = shards_[shard_index];
+  // Incremented before eviction so the target stays protected while the
+  // budget loop releases the lock around victim writes; if a spill fails,
+  // no Pin is ever handed out, so the count must be rolled back here.
   ++shard.pins;
   shard.last_use = ++clock_;
-  evict_over_budget(shard_index);
+  try {
+    evict_over_budget(lock, shard_index);
+  } catch (...) {
+    --shards_[shard_index].pins;
+    throw;
+  }
   return Pin(this, shard_index);
 }
 
@@ -72,34 +85,61 @@ ShardStoreStats ShardStore::stats() const {
   return stats_;
 }
 
-void ShardStore::fault_in(std::size_t shard_index) {
+void ShardStore::fault_in(std::unique_lock<std::mutex>& lock, std::size_t shard_index) {
   Shard& shard = shards_[shard_index];
   if (shard.state == State::kResident) return;
 
-  if (shard.state == State::kSpilled) {
-    // The read fills every byte, so the buffer is allocated uninitialised.
-    shard.buffer = std::make_unique_for_overwrite<double[]>(shard.size_doubles);
-    std::ifstream in(shard_path(shard_index), std::ios::binary);
-    if (!in) {
-      throw std::runtime_error("shard store: cannot reopen spill file for shard " +
-                               std::to_string(shard_index));
+  // The disk read (and the large allocation / zero fill) happens with the
+  // store mutex released: the shard is marked in-transition, so concurrent
+  // pins of this shard wait on io_done_ while pins of other shards proceed.
+  const State prior = shard.state;
+  shard.io_in_progress = true;
+  const std::filesystem::path path = shard_path(shard_index);
+  const std::size_t doubles = shard.size_doubles;
+  lock.unlock();
+
+  // Anything thrown in the unlocked window (bad_alloc under the very
+  // memory pressure this store targets, a checksum failure from the read)
+  // must still clear io_in_progress under the lock, or every later pin()
+  // of this shard would park on io_done_ forever.
+  std::unique_ptr<double[]> buffer;
+  std::exception_ptr failure;
+  try {
+    if (prior == State::kSpilled) {
+      // The read fills every byte, so the buffer is allocated uninitialised.
+      buffer = std::make_unique_for_overwrite<double[]>(doubles);
+      std::ifstream in(path, std::ios::binary);
+      if (!in) {
+        throw std::runtime_error("shard store: cannot reopen spill file for shard " +
+                                 std::to_string(shard_index));
+      }
+      io::read_shard_binary(in, {buffer.get(), doubles});
+    } else {
+      buffer = std::make_unique<double[]>(doubles);  // first touch: zeros
     }
-    io::read_shard_binary(in, {shard.buffer.get(), shard.size_doubles});
-    ++stats_.faults;
-  } else {
-    shard.buffer = std::make_unique<double[]>(shard.size_doubles);  // first touch: zeros
+  } catch (...) {
+    failure = std::current_exception();
   }
+
+  lock.lock();
+  shard.io_in_progress = false;
+  io_done_.notify_all();
+  if (failure) std::rethrow_exception(failure);
+  shard.buffer = std::move(buffer);
+  if (prior == State::kSpilled) ++stats_.faults;
   shard.state = State::kResident;
-  stats_.resident_bytes += bytes_of(shard.size_doubles);
+  stats_.resident_bytes += bytes_of(doubles);
   if (stats_.resident_bytes > stats_.peak_resident_bytes) {
     stats_.peak_resident_bytes = stats_.resident_bytes;
   }
 }
 
-void ShardStore::evict_over_budget(std::size_t protect_index) {
+void ShardStore::evict_over_budget(std::unique_lock<std::mutex>& lock,
+                                   std::size_t protect_index) {
   if (config_.memory_budget_bytes == 0) return;
   while (stats_.resident_bytes > config_.memory_budget_bytes) {
-    // Least-recently-pinned resident shard that nobody holds.
+    // Least-recently-pinned resident shard that nobody holds. Shards whose
+    // I/O is in flight are not kResident, so they are never re-selected.
     std::size_t victim = shards_.size();
     for (std::size_t i = 0; i < shards_.size(); ++i) {
       const Shard& shard = shards_[i];
@@ -107,28 +147,53 @@ void ShardStore::evict_over_budget(std::size_t protect_index) {
       if (victim == shards_.size() || shard.last_use < shards_[victim].last_use) victim = i;
     }
     if (victim == shards_.size()) return;  // everything evictable is pinned
-    spill(victim);
-  }
-}
 
-void ShardStore::spill(std::size_t shard_index) {
-  ensure_spill_dir();
-  Shard& shard = shards_[shard_index];
-  std::ofstream out(shard_path(shard_index), std::ios::binary | std::ios::trunc);
-  if (!out) {
-    throw std::runtime_error("shard store: cannot open spill file for shard " +
-                             std::to_string(shard_index) + " under " + spill_dir_.string());
+    // Detach the victim's buffer and write it out with the mutex released.
+    // The bytes leave residency the moment the buffer detaches, so other
+    // threads observe budget progress immediately; marking the victim
+    // in-transition keeps pins of it parked on io_done_ until the write
+    // lands (its state only becomes kSpilled then).
+    ensure_spill_dir();
+    Shard& shard = shards_[victim];
+    shard.io_in_progress = true;
+    shard.state = State::kSpilled;
+    const std::filesystem::path path = shard_path(victim);
+    std::unique_ptr<double[]> buffer = std::move(shard.buffer);
+    const std::size_t doubles = shard.size_doubles;
+    stats_.resident_bytes -= bytes_of(doubles);
+    lock.unlock();
+
+    // As in fault_in: whatever the unlocked write throws, io_in_progress
+    // must be cleared under the lock and the victim rolled back to
+    // residency before the error propagates.
+    std::exception_ptr failure;
+    try {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      if (!out) {
+        throw std::runtime_error("shard store: cannot open spill file for shard " +
+                                 std::to_string(victim) + " under " + spill_dir_.string());
+      }
+      io::write_shard_binary(out, {buffer.get(), doubles});
+      out.flush();
+      if (!out) {
+        throw std::runtime_error("shard store: short write spilling shard " +
+                                 std::to_string(victim));
+      }
+    } catch (...) {
+      failure = std::current_exception();
+    }
+
+    lock.lock();
+    shard.io_in_progress = false;
+    io_done_.notify_all();
+    if (failure) {
+      shard.buffer = std::move(buffer);
+      shard.state = State::kResident;
+      stats_.resident_bytes += bytes_of(doubles);
+      std::rethrow_exception(failure);
+    }
+    ++stats_.spills;
   }
-  io::write_shard_binary(out, {shard.buffer.get(), shard.size_doubles});
-  out.flush();
-  if (!out) {
-    throw std::runtime_error("shard store: short write spilling shard " +
-                             std::to_string(shard_index));
-  }
-  shard.buffer.reset();
-  shard.state = State::kSpilled;
-  stats_.resident_bytes -= bytes_of(shard.size_doubles);
-  ++stats_.spills;
 }
 
 std::filesystem::path ShardStore::shard_path(std::size_t shard_index) const {

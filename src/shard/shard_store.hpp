@@ -1,5 +1,6 @@
 #pragma once
 
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <filesystem>
@@ -86,8 +87,11 @@ class ShardStore {
 
   /// Faults the shard in (allocating zeros on first touch, reading the
   /// spill file after an eviction) and pins it. May evict other, unpinned
-  /// shards to get back under budget. Throws std::runtime_error on spill
-  /// I/O failure.
+  /// shards to get back under budget. Disk transfers (spill writes, fault
+  /// reads) happen with the store mutex *released* — the shard in
+  /// transition is marked and other threads pin other shards concurrently,
+  /// so worker emits no longer serialise on a neighbour's I/O under memory
+  /// pressure. Throws std::runtime_error on spill I/O failure.
   Pin pin(std::size_t shard_index);
 
   std::size_t num_shards() const noexcept { return shards_.size(); }
@@ -116,16 +120,22 @@ class ShardStore {
     std::unique_ptr<double[]> buffer;
     std::uint32_t pins = 0;
     std::uint64_t last_use = 0;  // LRU clock value at last pin
+    /// Spill write / fault read in flight with the store mutex released.
+    /// While set the shard is untouchable: pin() waits on io_done_, and
+    /// eviction never selects it (it is not kResident during the window).
+    bool io_in_progress = false;
   };
 
-  // All require lock_ held.
-  void fault_in(std::size_t shard_index);
-  void evict_over_budget(std::size_t protect_index);
-  void spill(std::size_t shard_index);
+  // Both require lock_ held on entry and may release it around disk I/O
+  // (the unique_lock is re-acquired before returning or throwing).
+  void fault_in(std::unique_lock<std::mutex>& lock, std::size_t shard_index);
+  void evict_over_budget(std::unique_lock<std::mutex>& lock, std::size_t protect_index);
+  // Require lock_ held throughout.
   std::filesystem::path shard_path(std::size_t shard_index) const;
   void ensure_spill_dir();
 
   mutable std::mutex lock_;
+  std::condition_variable io_done_;
   std::vector<Shard> shards_;
   ShardStoreConfig config_;
   std::filesystem::path spill_dir_;

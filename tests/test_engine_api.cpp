@@ -5,6 +5,7 @@
 // run_sequential through the one front door.
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <memory>
 
 #include "core/analysis.hpp"
@@ -105,12 +106,21 @@ TEST(EngineRegistry, UnknownNameListsKnownEngines) {
 
 TEST(EngineRegistry, DescriptorCapabilitiesMatchTheEngines) {
   const auto& registry = EngineRegistry::global();
-  EXPECT_TRUE(registry.require("windowed").supports_windowing);
   EXPECT_FALSE(registry.require("windowed").bit_identical_to_sequential);
-  EXPECT_TRUE(registry.require("instrumented").supports_instrumentation);
   EXPECT_TRUE(registry.require("parallel").supports_pool_reuse);
   EXPECT_TRUE(registry.require("simd").supports_pool_reuse);
-  EXPECT_FALSE(registry.require("seq").supports_windowing);
+  // Every builtin drives the shared trial kernel, so the cross-cutting
+  // capabilities are uniform: windowing, the Fig-6b breakdown, and sharded
+  // output hold for every registered engine kind.
+  for (const EngineKind kind :
+       {EngineKind::kSequential, EngineKind::kParallel, EngineKind::kChunked,
+        EngineKind::kOpenMp, EngineKind::kSimd, EngineKind::kWindowed,
+        EngineKind::kInstrumented, EngineKind::kFused}) {
+    const EngineDescriptor& descriptor = EngineRegistry::global().require(kind);
+    EXPECT_TRUE(descriptor.supports_windowing) << descriptor.name;
+    EXPECT_TRUE(descriptor.supports_instrumentation) << descriptor.name;
+    EXPECT_TRUE(descriptor.supports_sharded_output()) << descriptor.name;
+  }
   // Every builtin is runnable in every build (openmp/simd degrade, with the
   // story in the availability note).
   for (const auto& descriptor : registry.descriptors()) {
@@ -166,12 +176,50 @@ TEST(AnalysisConfig, ValidateRejectsBadWindowAndZeroChunks) {
 }
 
 TEST(UnifiedRun, RejectsWindowOnEngineWithoutWindowSupport) {
+  // Every kernel-backed builtin applies windows; the capability gate still
+  // protects custom engines that do not.
+  EngineDescriptor custom;
+  custom.kind = EngineKind::kSequential;
+  custom.name = "no-window";
+  custom.summary = "test double without window support";
+  custom.supports_windowing = false;
+  custom.run = [](const AnalysisRequest& request) {
+    return core::run_sequential(request.portfolio, request.yet_table);
+  };
+  EngineRegistry::global().register_engine(custom);
+
   const auto portfolio = test_portfolio(1);
   const auto yet_table = test_yet(20, 10.0);
   AnalysisConfig config;
-  config.engine = EngineKind::kSequential;
+  config.engine_name = "no-window";
   config.window = core::CoverageWindow{0.0f, 0.5f};
   EXPECT_THROW(core::run({portfolio, yet_table, config}), std::invalid_argument);
+}
+
+TEST(UnifiedRun, EveryEngineAppliesTheSameWindowSemantics) {
+  // The window is a kernel feature now: any engine with a real mid-year
+  // window must produce exactly run_windowed's YLT for that window.
+  const auto portfolio = test_portfolio(2);
+  const auto yet_table = test_yet(300, 40.0);
+  const core::CoverageWindow window{0.25f, 0.75f};
+  const auto reference = core::run_windowed(portfolio, yet_table, window);
+  const auto full_year = core::run_sequential(portfolio, yet_table);
+
+  for (const EngineKind kind :
+       {EngineKind::kSequential, EngineKind::kParallel, EngineKind::kChunked,
+        EngineKind::kOpenMp, EngineKind::kSimd, EngineKind::kWindowed,
+        EngineKind::kInstrumented, EngineKind::kFused}) {
+    AnalysisConfig config;
+    config.engine = kind;
+    config.num_threads = 3;
+    config.window = window;
+    SCOPED_TRACE(core::to_string(kind));
+    const auto windowed = core::run({portfolio, yet_table, config});
+    expect_identical(reference, windowed);
+    // The window genuinely bites on this workload.
+    EXPECT_NE(0, std::memcmp(windowed.layer_losses(0).data(), full_year.layer_losses(0).data(),
+                             windowed.num_trials() * sizeof(double)));
+  }
 }
 
 TEST(UnifiedRun, RejectsBorrowedPoolOnEngineWithoutPoolSupport) {

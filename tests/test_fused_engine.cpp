@@ -263,17 +263,23 @@ TEST(FusedEngine, CollectPhasesFillsBreakdownAndKeepsBytes) {
   EXPECT_EQ(quiet.engine_used, core::EngineKind::kFused);
 }
 
-TEST(FusedEngine, CollectPhasesRejectedByNonInstrumentedEngine) {
+TEST(FusedEngine, CollectPhasesWorksOnEveryKernelEngine) {
   const Portfolio portfolio = synthetic_portfolio(1, 1);
-  const auto yet_table = skewed_yet(10, 5.0);
+  const auto yet_table = skewed_yet(50, 10.0);
+  // Instrumentation is a kernel feature now: even the threaded engines
+  // fill the Fig-6b breakdown when asked.
   core::InstrumentationSink sink;
   core::AnalysisConfig config;
   config.engine = core::EngineKind::kParallel;
+  config.num_threads = 2;
   config.instrumentation = &sink;
   config.collect_phases = true;
-  EXPECT_THROW(core::run({portfolio, yet_table, config}), std::invalid_argument);
+  const auto instrumented = core::run({portfolio, yet_table, config});
+  ASSERT_TRUE(sink.phases.has_value());
+  EXPECT_GT(sink.phases->total_seconds(), 0.0);
+  expect_identical(core::run_sequential(portfolio, yet_table), instrumented);
 
-  // collect_phases with nowhere to deliver the breakdown is an error too,
+  // collect_phases with nowhere to deliver the breakdown is an error,
   // not a silent no-op.
   config.engine = core::EngineKind::kFused;
   config.instrumentation = nullptr;

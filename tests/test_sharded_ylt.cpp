@@ -10,6 +10,7 @@
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include "core/analysis.hpp"
@@ -114,7 +115,10 @@ TEST_P(ShardedEquivalence, MaterializeMatchesSequential) {
 
 INSTANTIATE_TEST_SUITE_P(
     EnginesAndShardSizes, ShardedEquivalence,
-    ::testing::Combine(::testing::Values(std::string("seq"), std::string("fused")),
+    ::testing::Combine(::testing::Values(std::string("seq"), std::string("parallel"),
+                                         std::string("chunked"), std::string("openmp"),
+                                         std::string("simd"), std::string("instrumented"),
+                                         std::string("fused")),
                        // shard size 1, a prime, a tile-straddling size, and
                        // one shard spanning every trial
                        ::testing::Values(1, 7, 64, 1000)),
@@ -153,6 +157,31 @@ TEST(ShardedYlt, TinyBudgetForcesSpillAndRestoresExactBytes) {
     EXPECT_GT(stats.spills, 0u) << engine;
     EXPECT_GT(stats.faults, 0u) << engine;
     EXPECT_LE(stats.resident_bytes, stats.peak_resident_bytes) << engine;
+  }
+}
+
+TEST(ShardedYlt, ThreadedEnginesForcedSpillStaysBitIdentical) {
+  // The threaded drivers emit concurrent disjoint blocks into the sharded
+  // sink while a tiny budget forces spill-and-restore cycles underneath;
+  // every (engine x threads) combination must still land exactly the
+  // sequential bytes.
+  const Portfolio portfolio = synthetic_portfolio(2, 3);
+  const auto yet_table = skewed_yet(400, 40.0);
+  const auto sequential = core::run_sequential(portfolio, yet_table);
+
+  for (const std::string engine : {"parallel", "openmp", "simd"}) {
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}, std::size_t{0}}) {
+      SCOPED_TRACE(engine + "_threads" + std::to_string(threads));
+      // 2 layers x 25 trials x 8 B = 400 B per shard; a one-shard budget
+      // keeps the store under constant eviction pressure.
+      auto config = sharded_config(engine, 25, /*budget_bytes=*/400);
+      config.num_threads = threads;
+      auto sharded = shard::run_sharded({portfolio, yet_table, config});
+      expect_identical(sequential, sharded.materialize());
+      const shard::ShardStoreStats stats = sharded.stats();
+      EXPECT_GT(stats.spills, 0u);
+      EXPECT_GT(stats.faults, 0u);
+    }
   }
 }
 
@@ -197,6 +226,52 @@ TEST(ShardStore, SpillRestoreRoundTripPreservesBits) {
   const shard::ShardStoreStats stats = store.stats();
   EXPECT_GE(stats.spills, 2u);
   EXPECT_GE(stats.faults, 2u);
+}
+
+TEST(ShardStore, ConcurrentPinsUnderEvictionPressurePreserveBits) {
+  // pin() releases the store mutex around spill writes and fault reads; a
+  // one-shard budget keeps every pin evicting while worker threads hammer
+  // disjoint shards. Whatever interleaving happens, each shard must always
+  // fault back the exact bytes its last writer stored.
+  ShardStoreConfig config;
+  config.memory_budget_bytes = 32 * sizeof(double);  // one shard resident
+  shard::ShardStore store(std::vector<std::size_t>(8, 32), config);
+
+  const auto fill_value = [](std::size_t shard, std::uint32_t round, std::size_t i) {
+    return static_cast<double>(shard * 1'000'000 + round * 1'000 + i) * 1.5;
+  };
+
+  std::vector<std::thread> workers;
+  for (std::size_t w = 0; w < 4; ++w) {
+    workers.emplace_back([&, w] {
+      // Each worker owns two shards (disjoint data, concurrent I/O).
+      for (std::uint32_t round = 0; round < 25; ++round) {
+        for (const std::size_t shard : {2 * w, 2 * w + 1}) {
+          auto pin = store.pin(shard);
+          auto data = pin.data();
+          if (round > 0) {
+            for (std::size_t i = 0; i < data.size(); ++i) {
+              ASSERT_EQ(data[i], fill_value(shard, round - 1, i))
+                  << "shard " << shard << " round " << round << " index " << i;
+            }
+          }
+          for (std::size_t i = 0; i < data.size(); ++i) data[i] = fill_value(shard, round, i);
+        }
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+
+  const shard::ShardStoreStats stats = store.stats();
+  EXPECT_GT(stats.spills, 0u);
+  EXPECT_GT(stats.faults, 0u);
+  for (std::size_t shard = 0; shard < 8; ++shard) {
+    auto pin = store.pin(shard);
+    auto data = pin.data();
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      ASSERT_EQ(data[i], fill_value(shard, 24, i)) << "shard " << shard << " index " << i;
+    }
+  }
 }
 
 TEST(ShardStore, SpillFilesAreRemovedOnDestruction) {
@@ -272,15 +347,25 @@ TEST(YltSink, RunRejectsShardedOutputAndSinklessEngines) {
   EXPECT_THROW(core::run({portfolio, yet_table, sharded_config("seq", 4)}),
                std::invalid_argument);
 
-  // Engines without a run_to_sink adapter reject sharded execution.
-  EXPECT_THROW(shard::run_sharded({portfolio, yet_table, sharded_config("parallel", 4)}),
-               std::invalid_argument);
-
-  // The registry tells the truth about who can.
+  // Every kernel-backed builtin carries a run_to_sink adapter now.
   const auto& registry = core::EngineRegistry::global();
-  EXPECT_TRUE(registry.require("seq").supports_sharded_output());
-  EXPECT_TRUE(registry.require("fused").supports_sharded_output());
-  EXPECT_FALSE(registry.require("parallel").supports_sharded_output());
+  for (const char* name :
+       {"seq", "parallel", "chunked", "openmp", "simd", "windowed", "instrumented", "fused"}) {
+    EXPECT_TRUE(registry.require(name).supports_sharded_output()) << name;
+  }
+
+  // A custom engine without a run_to_sink adapter still rejects sharded
+  // execution.
+  core::EngineDescriptor sinkless;
+  sinkless.kind = core::EngineKind::kSequential;
+  sinkless.name = "sinkless";
+  sinkless.summary = "test double without a sink adapter";
+  sinkless.run = [](const core::AnalysisRequest& request) {
+    return core::run_sequential(request.portfolio, request.yet_table);
+  };
+  core::EngineRegistry::global().register_engine(sinkless);
+  EXPECT_THROW(shard::run_sharded({portfolio, yet_table, sharded_config("sinkless", 4)}),
+               std::invalid_argument);
 
   // shard_trials == 0 is rejected by config validation.
   EXPECT_THROW(shard::run_sharded({portfolio, yet_table, sharded_config("seq", 0)}),

@@ -11,6 +11,8 @@
 //   are_cli price     --yet years.yet --elt a.elt ... [terms...]     (quote to stdout)
 //   are_cli info      --yet years.yet | --elt book.elt               (describe a file)
 //   are_cli list-engines [--names] [--bit-identical]   (dump the engine registry)
+//   are_cli list-engines --sinks   (smoke-run every sink-capable engine under a
+//                                   forced-spill budget, byte-diffing vs seq)
 //
 // Layer terms: --occ-retention --occ-limit --agg-retention --agg-limit
 // Engine:      --engine NAME (any name in `are_cli list-engines`)
@@ -36,6 +38,7 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -72,6 +75,8 @@ commands:
   price              aggregate analysis -> layer quote   (--yet F --elt F...)
   info               describe a .yet/.elt binary file    (--yet F | --elt F)
   list-engines       dump the engine registry            (--names --bit-identical)
+                     --sinks: smoke-run every sink-capable engine (forced spill,
+                     sharded CSV byte-diffed against the sequential reference)
 
 common options:
   layer terms   --occ-retention X --occ-limit X --agg-retention X --agg-limit X
@@ -452,10 +457,81 @@ int cmd_price(const Args& args) {
   return 0;
 }
 
+/// `list-engines --sinks`: runs every sink-capable engine on a small
+/// synthetic workload with a deliberately tiny memory budget (shards must
+/// spill and fault back) and byte-diffs its sharded CSV against the
+/// sequential reference — the in-process version of CI's sharded smoke
+/// leg, one command instead of a shell loop. Returns nonzero on the first
+/// mismatch.
+int smoke_sink_engines() {
+  elt::SyntheticEltConfig elt_config;
+  elt_config.catalog_size = 20'000;
+  elt_config.entries = 2'000;
+  core::Layer layer;
+  layer.id = 1;
+  layer.terms.occurrence_retention = 200e3;
+  layer.terms.occurrence_limit = 2e6;
+  core::LayerElt layer_elt;
+  layer_elt.lookup = elt::make_lookup(elt::LookupKind::kDirectAccess,
+                                      elt::make_synthetic_elt(elt_config), elt_config.catalog_size);
+  layer.elts.push_back(std::move(layer_elt));
+  core::Portfolio portfolio;
+  portfolio.layers.push_back(std::move(layer));
+
+  yet::YetConfig yet_config;
+  yet_config.num_trials = 2'000;
+  yet_config.events_per_trial = 20.0;
+  yet_config.count_model = yet::CountModel::kPoisson;
+  yet_config.seed = 2012;
+  const auto yet_table = yet::generate_uniform_yet(yet_config, elt_config.catalog_size);
+
+  std::ostringstream reference;
+  io::write_ylt_csv(reference,
+                    core::run({portfolio, yet_table, {.engine = core::EngineKind::kSequential,
+                                                      .num_threads = 1}}));
+
+  bool all_passed = true;
+  for (const auto& engine : core::EngineRegistry::global().descriptors()) {
+    if (!engine.supports_sharded_output() || !engine.available_in_this_build) continue;
+    core::AnalysisConfig config;
+    config.engine = engine.kind;
+    config.engine_name = engine.name;
+    config.num_threads = 2;
+    config.output = core::OutputMode::kSharded;
+    config.sharding.shard_trials = 64;
+    config.sharding.memory_budget_bytes = 2 * 64 * sizeof(double);  // ~2 shards: forced spill
+    auto sharded = shard::run_sharded({portfolio, yet_table, config});
+    std::ostringstream streamed;
+    io::write_ylt_csv(streamed, sharded);
+    const shard::ShardStoreStats stats = sharded.stats();
+
+    const bool identical = streamed.str() == reference.str();
+    const bool spilled = stats.spills > 0;
+    // windowed runs full-year here (no window given), so even its CSV must
+    // match seq byte-for-byte.
+    std::printf("%-13s %s  (%llu spills, %llu faults)\n", engine.name.c_str(),
+                identical && spilled ? "PASS" : "FAIL",
+                static_cast<unsigned long long>(stats.spills),
+                static_cast<unsigned long long>(stats.faults));
+    if (!identical) {
+      std::fprintf(stderr, "are_cli list-engines --sinks: engine '%s' sharded CSV differs "
+                           "from the sequential reference\n", engine.name.c_str());
+      all_passed = false;
+    }
+    if (!spilled) {
+      std::fprintf(stderr, "are_cli list-engines --sinks: engine '%s' never spilled — the "
+                           "smoke budget is vacuous\n", engine.name.c_str());
+      all_passed = false;
+    }
+  }
+  return all_passed ? 0 : 1;
+}
+
 int cmd_list_engines(const Args& args) {
   const auto& registry = core::EngineRegistry::global();
   const bool names_only = args.has("names");
   const bool only_bit_identical = args.has("bit-identical");
+  if (args.has("sinks")) return smoke_sink_engines();
 
   if (names_only) {
     // Machine-readable: one canonical name per line, restricted to engines
