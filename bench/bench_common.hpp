@@ -13,11 +13,14 @@
 #include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "core/analysis.hpp"
 #include "elt/synthetic.hpp"
+#include "obs/export.hpp"
+#include "obs/telemetry.hpp"
 #include "yet/generator.hpp"
 
 namespace are::bench {
@@ -108,6 +111,46 @@ inline void print_note(const char* text) { std::printf("[note] %s\n", text); }
 // points as a JSON array (e.g. bench_fused_tiling -> BENCH_fused.json); CI
 // uploads the file as an artifact so regressions are visible run over run.
 
+/// Build/host facts stamped into every BENCH_*.json as its `meta` object,
+/// so artifacts from different CI legs (gcc vs clang, native vs baseline
+/// SIMD) are comparable without reconstructing the leg from the file name.
+inline std::string build_metadata_json() {
+  std::string compiler =
+#if defined(__clang__)
+      "clang " + std::to_string(__clang_major__) + "." + std::to_string(__clang_minor__);
+#elif defined(__GNUC__)
+      "gcc " + std::to_string(__GNUC__) + "." + std::to_string(__GNUC_MINOR__);
+#else
+      "unknown";
+#endif
+  std::string simd;
+  for (const core::SimdExtension extension :
+       {core::SimdExtension::kScalar, core::SimdExtension::kSse2, core::SimdExtension::kAvx2,
+        core::SimdExtension::kAvx512, core::SimdExtension::kNeon}) {
+    if (!core::simd_extension_available(extension)) continue;
+    if (!simd.empty()) simd += ",";
+    simd += to_string(extension);
+  }
+  std::string meta = "{\"compiler\": \"" + compiler + "\"";
+  meta += ", \"simd_extensions\": \"" + simd + "\"";
+  meta += ", \"best_simd_extension\": \"" +
+          std::string(to_string(core::best_simd_extension())) + "\"";
+  meta += ", \"hardware_threads\": " + std::to_string(std::thread::hardware_concurrency());
+  meta += std::string(", \"telemetry_enabled\": ") + (obs::enabled() ? "true" : "false");
+  meta += ", \"full_scale\": " + std::string(full_scale() ? "true" : "false");
+  meta += "}";
+  return meta;
+}
+
+/// The current telemetry snapshot as a `"telemetry": {...}` JSON fragment
+/// for a record's `extra` field (empty when collection is off, so records
+/// measured without telemetry stay unchanged).
+inline std::string telemetry_extra() {
+  if (!obs::enabled()) return {};
+  return "\"telemetry\": " +
+         obs::snapshot_json_object(obs::TelemetryRegistry::global().snapshot());
+}
+
 /// One measured point: a (workload, engine/config) pair with its wall time
 /// and its speedup over the sequential reference on the same workload.
 /// `extra` is an optional pre-rendered JSON fragment of additional keys
@@ -128,12 +171,14 @@ class JsonReport {
                         speedup_vs_sequential, std::move(extra)});
   }
 
-  /// Writes the records as a JSON array; returns false on I/O failure.
-  /// Workload/engine strings are plain identifiers (no escaping needed).
+  /// Writes `{"meta": {...}, "records": [...]}` — the meta object stamps
+  /// the build/host facts (build_metadata_json), the records array is the
+  /// measured points. Returns false on I/O failure. Workload/engine strings
+  /// are plain identifiers (no escaping needed).
   bool write(const std::string& path) const {
     std::FILE* out = std::fopen(path.c_str(), "w");
     if (out == nullptr) return false;
-    std::fprintf(out, "[\n");
+    std::fprintf(out, "{\"meta\": %s,\n \"records\": [\n", build_metadata_json().c_str());
     for (std::size_t i = 0; i < records_.size(); ++i) {
       const JsonRecord& record = records_[i];
       std::fprintf(out,
@@ -143,7 +188,7 @@ class JsonReport {
                    record.speedup_vs_sequential, record.extra.empty() ? "" : ", ",
                    record.extra.c_str(), i + 1 < records_.size() ? "," : "");
     }
-    std::fprintf(out, "]\n");
+    std::fprintf(out, "]}\n");
     return std::fclose(out) == 0;
   }
 

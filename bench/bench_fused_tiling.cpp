@@ -142,6 +142,30 @@ int main(int argc, char** argv) {
                 "(target >= 1.5x)\n",
                 cache_fig6a_parallel / cache_fig6a_fused_best);
   }
+
+  // Telemetry overhead A/B on the cache-resident fig6a shape (the regime
+  // where per-block bookkeeping would show first): the default fused
+  // config, counters+spans off vs. on. Acceptance: <= 2% overhead.
+  {
+    Workload& cache_workload = workloads[0];
+    core::AnalysisConfig fused_config;
+    fused_config.engine = core::EngineKind::kFused;
+    const double off_seconds = measure_seconds(cache_workload, fused_config);
+    fused_config.telemetry.counters = true;
+    fused_config.telemetry.trace = true;
+    const double on_seconds = measure_seconds(cache_workload, fused_config);
+    obs::set_enabled(true);  // stamp the A/B's snapshot into the "on" record
+    report.add(cache_workload.name, "fused_telemetry_off", off_seconds,
+               off_seconds > 0.0 ? cache_workload.sequential_seconds / off_seconds : 0.0);
+    report.add(cache_workload.name, "fused_telemetry_on", on_seconds,
+               on_seconds > 0.0 ? cache_workload.sequential_seconds / on_seconds : 0.0,
+               bench::telemetry_extra());
+    obs::set_enabled(false);
+    std::printf("[note] telemetry overhead on fig6a_cache (fused): off %.4fs, on %.4fs "
+                "(%+.1f%%; target <= 2%%)\n",
+                off_seconds, on_seconds,
+                off_seconds > 0.0 ? 100.0 * (on_seconds - off_seconds) / off_seconds : 0.0);
+  }
   if (report.write(json_path)) {
     std::printf("[note] wrote %zu records to %s\n", report.size(), json_path.c_str());
   } else {

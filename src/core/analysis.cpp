@@ -4,6 +4,7 @@
 #include <string>
 
 #include "core/engine_registry.hpp"
+#include "obs/telemetry.hpp"
 
 namespace are::core {
 
@@ -83,6 +84,8 @@ YearLossTable run(const AnalysisRequest& request) {
         "run() returns a materialized YLT; for OutputMode::kSharded call shard::run_sharded "
         "(or core::run_to_sink with your own sink)");
   }
+  const obs::RunScope telemetry(request.config.telemetry.counters,
+                                request.config.telemetry.trace);
   return engine.run(request);
 }
 
@@ -93,6 +96,8 @@ void run_to_sink(const AnalysisRequest& request, YltSink& sink) {
                                 "' cannot emit into a YltSink (no sharded/out-of-core output; "
                                 "see list-engines for engines with the 'sharded' capability)");
   }
+  const obs::RunScope telemetry(request.config.telemetry.counters,
+                                request.config.telemetry.trace);
   engine.run_to_sink(request, sink);
 }
 

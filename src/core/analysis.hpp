@@ -76,6 +76,20 @@ enum class OutputMode {
   kSharded,
 };
 
+/// Runtime-telemetry collection for one run (src/obs/). Both flags enable
+/// the process-wide collectors for the duration of the run (RAII-scoped
+/// inside run()/run_to_sink(), restoring the prior state), so concurrent
+/// runs see each other's requests; long-lived hosts (the CLI, the future
+/// resident service) instead call obs::set_enabled()/set_trace_enabled()
+/// directly and leave these off. Off by default: the disabled hot path is
+/// bit-identical and within noise of an untelemetered build.
+struct TelemetryOptions {
+  /// Collect counters/gauges/histograms into obs::TelemetryRegistry::global().
+  bool counters = false;
+  /// Record Chrome-trace spans into obs::TraceBuffer::global().
+  bool trace = false;
+};
+
 /// Knobs of the sharded output mode (read when output == kSharded).
 struct ShardingOptions {
   /// Trials per shard. Shard boundaries also clamp the fused engine's tile
@@ -146,6 +160,9 @@ struct AnalysisConfig {
   /// require an engine whose descriptor has a run_to_sink adapter.
   OutputMode output = OutputMode::kMaterialized;
   ShardingOptions sharding;
+
+  /// Runtime counters/spans for this run (see TelemetryOptions).
+  TelemetryOptions telemetry;
 
   /// Borrowed thread pool, reused across runs (the real-time pricing path);
   /// requires an engine whose descriptor sets supports_pool_reuse

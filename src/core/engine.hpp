@@ -76,21 +76,25 @@ YearLossTable run_chunked(const Portfolio& portfolio, const yet::YearEventTable&
                           const ChunkedOptions& options = {});
 
 /// Phase attribution for the instrumented engine (Fig 6b of the paper:
-/// event fetch / ELT lookup / financial terms / layer terms).
+/// event fetch / ELT lookup / financial terms / layer terms) plus an
+/// output phase for sink emission — zero on materialized runs (no sink),
+/// so the four Fig-6b fractions still sum to 1.0 there.
 struct PhaseBreakdown {
   double fetch_seconds = 0.0;
   double lookup_seconds = 0.0;
   double financial_seconds = 0.0;
   double layer_seconds = 0.0;
+  double output_seconds = 0.0;
 
   double total_seconds() const noexcept {
-    return fetch_seconds + lookup_seconds + financial_seconds + layer_seconds;
+    return fetch_seconds + lookup_seconds + financial_seconds + layer_seconds + output_seconds;
   }
   /// Fractions are 0.0 (not NaN) when nothing has been timed yet.
   double fetch_fraction() const noexcept { return fraction(fetch_seconds); }
   double lookup_fraction() const noexcept { return fraction(lookup_seconds); }
   double financial_fraction() const noexcept { return fraction(financial_seconds); }
   double layer_fraction() const noexcept { return fraction(layer_seconds); }
+  double output_fraction() const noexcept { return fraction(output_seconds); }
 
  private:
   double fraction(double seconds) const noexcept {

@@ -14,6 +14,8 @@
 #include "core/direct_elt_view.hpp"
 #include "core/simd_terms.hpp"
 #include "financial/trial_accumulator.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 #include "parallel/task_scratch.hpp"
 #include "simd/prefetch.hpp"
 #include "simd/vec.hpp"
@@ -116,7 +118,10 @@ void combine_elts_generic(const LayerPlan<V>& plan, const yet::EventId* events,
   raw.resize(count);
   const std::vector<LayerElt>& elts = plan.layer->elts;
   for (std::size_t e = 0; e < elts.size(); ++e) {
-    elts[e].lookup->lookup_many(events, count, raw.data());
+    {
+      obs::Span span("elt.lookup_many", "elt");
+      elts[e].lookup->lookup_many(events, count, raw.data());
+    }
     fold_raw_losses(plan, e, raw.data(), count, combined);
   }
 }
@@ -208,6 +213,14 @@ class KernelImpl final : public TrialBlockKernel::Impl {
     const std::span<const std::uint64_t> offsets = yet_->offsets();
     const yet::EventId* all_events = yet_->events().data();
 
+    // Telemetry is flushed once per run_range call (= one task / launch
+    // slice), never per block or per event: the flag is sampled here and
+    // the hot loop below is untouched when disabled.
+    const bool telemetry = obs::enabled();
+    obs::Histogram* block_hist =
+        telemetry ? &obs::TelemetryRegistry::global().histogram("kernel.block_ns") : nullptr;
+    std::uint64_t blocks = 0;
+
     for (std::uint64_t t0 = first, t1 = first; t0 < last; t0 = t1) {
       t1 = std::min<std::uint64_t>(t0 + block_trials, last);
       if (sink_block_ != 0) {
@@ -228,7 +241,18 @@ class KernelImpl final : public TrialBlockKernel::Impl {
         simd::prefetch_read(all_events + p);
       }
 
-      run_block(t0, t1, scratch);
+      {
+        obs::ScopedTimer block_timer(block_hist);
+        run_block(t0, t1, scratch);
+      }
+      ++blocks;
+    }
+
+    if (telemetry && blocks != 0) {
+      obs::TelemetryRegistry& registry = obs::TelemetryRegistry::global();
+      registry.counter("kernel.blocks").add(blocks);
+      registry.counter("kernel.trials").add(last - first);
+      registry.counter("kernel.events").add(offsets[last] - offsets[first]);
     }
   }
 
@@ -270,10 +294,17 @@ class KernelImpl final : public TrialBlockKernel::Impl {
     }
 
     if (sink_ != nullptr) {
+      // The output phase: sink emission (a memcpy for a materialized sink,
+      // a shard pin + scatter — possibly faulting — for a sharded one) was
+      // previously unattributed on instrumented runs.
+      const auto emit_start = instrument_ ? Clock::now() : Clock::time_point{};
       for (std::size_t layer_index = 0; layer_index < plans_.size(); ++layer_index) {
         sink_->emit(layer_index, t0,
                     {scratch.block_losses.data() + layer_index * num_block_trials,
                      num_block_trials});
+      }
+      if (instrument_) {
+        scratch.phases.output_seconds += seconds_between(emit_start, Clock::now());
       }
     }
   }
@@ -309,7 +340,10 @@ class KernelImpl final : public TrialBlockKernel::Impl {
       scratch.accesses.events_fetched += count;
       for (std::size_t e = 0; e < elts.size(); ++e) {
         stamp = Clock::now();
-        elts[e].lookup->lookup_many(scratch.staged_events.data(), count, scratch.raw.data());
+        {
+          obs::Span span("elt.lookup_many", "elt");
+          elts[e].lookup->lookup_many(scratch.staged_events.data(), count, scratch.raw.data());
+        }
         now = Clock::now();
         phases.lookup_seconds += seconds_between(stamp, now);
         fold_raw_losses<V>(plan, e, scratch.raw.data(), count, combined);
@@ -411,6 +445,7 @@ void TrialBlockKernel::collect(const TrialKernelScratch& scratch, PhaseBreakdown
     phases->lookup_seconds += scratch.phases.lookup_seconds;
     phases->financial_seconds += scratch.phases.financial_seconds;
     phases->layer_seconds += scratch.phases.layer_seconds;
+    phases->output_seconds += scratch.phases.output_seconds;
   }
   if (accesses != nullptr) {
     accesses->events_fetched += scratch.accesses.events_fetched;
@@ -432,6 +467,9 @@ void run_trial_kernel(const Portfolio& portfolio, const yet::YearEventTable& yet
   const std::uint64_t num_trials = yet_table.num_trials();
   if (num_trials == 0) return;
 
+  obs::Span launch_span("kernel.launch", "kernel");
+  if (obs::enabled()) obs::TelemetryRegistry::global().counter("kernel.launches").increment();
+
   KernelLaunch::Schedule schedule = launch.schedule;
 #ifndef _OPENMP
   // No OpenMP in this build: the bit-identical thread-pool fallback runs
@@ -444,7 +482,7 @@ void run_trial_kernel(const Portfolio& portfolio, const yet::YearEventTable& yet
       TrialKernelScratch scratch;
       kernel.run_range(0, num_trials, scratch);
       TrialBlockKernel::collect(scratch, phases, accesses);
-      return;
+      break;
     }
     case KernelLaunch::Schedule::kPool:
     case KernelLaunch::Schedule::kCosted: {
@@ -470,7 +508,7 @@ void run_trial_kernel(const Portfolio& portfolio, const yet::YearEventTable& yet
       scratches.for_each([&](const TrialKernelScratch& scratch) {
         TrialBlockKernel::collect(scratch, phases, accesses);
       });
-      return;
+      break;
     }
     case KernelLaunch::Schedule::kOpenMp: {
 #ifdef _OPENMP
@@ -490,8 +528,23 @@ void run_trial_kernel(const Portfolio& portfolio, const yet::YearEventTable& yet
         TrialBlockKernel::collect(scratch, phases, accesses);
       }
 #endif
-      return;
+      break;
     }
+  }
+
+  // Feed the collected per-phase wall times into the registry so an
+  // instrumented run's Fig-6b attribution is visible to exporters and the
+  // future service without threading InstrumentedResult around.
+  if (obs::enabled() && config.instrument && phases != nullptr) {
+    obs::TelemetryRegistry& registry = obs::TelemetryRegistry::global();
+    const auto ns = [](double seconds) {
+      return static_cast<std::uint64_t>(seconds * 1e9);
+    };
+    registry.counter("kernel.phase.fetch_ns").add(ns(phases->fetch_seconds));
+    registry.counter("kernel.phase.lookup_ns").add(ns(phases->lookup_seconds));
+    registry.counter("kernel.phase.financial_ns").add(ns(phases->financial_seconds));
+    registry.counter("kernel.phase.layer_ns").add(ns(phases->layer_seconds));
+    registry.counter("kernel.phase.output_ns").add(ns(phases->output_seconds));
   }
 }
 

@@ -7,11 +7,18 @@
 #include "elt/paged_direct_table.hpp"
 #include "elt/robin_hood_table.hpp"
 #include "elt/sorted_table.hpp"
+#include "obs/telemetry.hpp"
 #include "simd/prefetch.hpp"
 
 namespace are::elt {
 
 namespace {
+
+// Probe counters accumulate in locals inside the batch loops (a register
+// increment, noise next to the memory traffic being counted) and flush to
+// the registry once per lookup_many call, gated on obs::enabled(). The
+// scalar lookup() entry points stay uninstrumented — the kernel only calls
+// the batch path, and per-call gating there would cost more than it tells.
 
 void validate_universe(const EventLossTable& table, std::size_t catalog_size) {
   if (!table.empty() && table.max_event() >= catalog_size) {
@@ -47,12 +54,18 @@ void DirectAccessTable::lookup_many(const EventId* events, std::size_t count,
     const EventId event = events[i];
     out[i] = event < universe ? data[event] : 0.0;
   }
+  if (obs::enabled()) {
+    static obs::Counter& lookups =
+        obs::TelemetryRegistry::global().counter("elt.direct_access.lookups");
+    lookups.add(count);
+  }
 }
 
 void SortedTable::lookup_many(const EventId* events, std::size_t count,
                               double* out) const noexcept {
   constexpr std::size_t kGroup = 8;
   const std::size_t n = events_.size();
+  std::uint64_t compares = 0;
   for (std::size_t base = 0; base < count; base += kGroup) {
     const std::size_t group = std::min(kGroup, count - base);
     std::size_t lo[kGroup];
@@ -74,6 +87,7 @@ void SortedTable::lookup_many(const EventId* events, std::size_t count,
       active = false;
       for (std::size_t q = 0; q < group; ++q) {
         if (lo[q] >= hi[q]) continue;
+        ++compares;
         if (events_[mid[q]] < events[base + q]) {
           lo[q] = mid[q] + 1;
         } else {
@@ -88,6 +102,13 @@ void SortedTable::lookup_many(const EventId* events, std::size_t count,
           (position < n && events_[position] == events[base + q]) ? losses_[position] : 0.0;
     }
   }
+  if (obs::enabled()) {
+    obs::TelemetryRegistry& registry = obs::TelemetryRegistry::global();
+    static obs::Counter& lookups = registry.counter("elt.sorted_vector.lookups");
+    static obs::Counter& probes = registry.counter("elt.sorted_vector.probes");
+    lookups.add(count);
+    probes.add(compares);
+  }
 }
 
 void RobinHoodTable::lookup_many(const EventId* events, std::size_t count,
@@ -96,6 +117,7 @@ void RobinHoodTable::lookup_many(const EventId* events, std::size_t count,
     for (std::size_t i = 0; i < count; ++i) out[i] = 0.0;
     return;
   }
+  std::uint64_t slot_reads = 0;
   constexpr std::size_t kLookahead = 8;
   std::size_t home[kLookahead];
   const std::size_t primed = std::min(kLookahead, count);
@@ -115,6 +137,7 @@ void RobinHoodTable::lookup_many(const EventId* events, std::size_t count,
     double result = 0.0;
     std::uint32_t distance = 0;
     for (;;) {
+      ++slot_reads;
       const Slot& slot = slots_[index];
       if (!slot.occupied) break;
       if (slot.event == event) {
@@ -127,6 +150,13 @@ void RobinHoodTable::lookup_many(const EventId* events, std::size_t count,
     }
     out[i] = result;
   }
+  if (obs::enabled()) {
+    obs::TelemetryRegistry& registry = obs::TelemetryRegistry::global();
+    static obs::Counter& lookups = registry.counter("elt.robin_hood.lookups");
+    static obs::Counter& probes = registry.counter("elt.robin_hood.probes");
+    lookups.add(count);
+    probes.add(slot_reads);
+  }
 }
 
 void CuckooTable::lookup_many(const EventId* events, std::size_t count,
@@ -135,6 +165,7 @@ void CuckooTable::lookup_many(const EventId* events, std::size_t count,
     for (std::size_t i = 0; i < count; ++i) out[i] = 0.0;
     return;
   }
+  std::uint64_t bucket_reads = 0;
   constexpr std::size_t kLookahead = 8;
   std::size_t home0[kLookahead];
   std::size_t home1[kLookahead];
@@ -158,12 +189,21 @@ void CuckooTable::lookup_many(const EventId* events, std::size_t count,
     }
     const EventId event = events[i];
     const Slot& first = buckets_[0][index0];
+    ++bucket_reads;
     if (first.occupied && first.event == event) {
       out[i] = first.loss;
       continue;
     }
     const Slot& second = buckets_[1][index1];
+    ++bucket_reads;
     out[i] = (second.occupied && second.event == event) ? second.loss : 0.0;
+  }
+  if (obs::enabled()) {
+    obs::TelemetryRegistry& registry = obs::TelemetryRegistry::global();
+    static obs::Counter& lookups = registry.counter("elt.cuckoo.lookups");
+    static obs::Counter& probes = registry.counter("elt.cuckoo.probes");
+    lookups.add(count);
+    probes.add(bucket_reads);
   }
 }
 
@@ -173,6 +213,7 @@ void PagedDirectTable::lookup_many(const EventId* events, std::size_t count,
   constexpr std::size_t kBlock = 64;
   constexpr std::size_t kLookahead = 8;
   const double* slot_ptr[kBlock];
+  std::uint64_t zero_hits = 0;
   for (std::size_t base = 0; base < count; base += kBlock) {
     const std::size_t block = std::min(kBlock, count - base);
     // Pass 1: resolve every slot address through the page table (its own
@@ -187,14 +228,24 @@ void PagedDirectTable::lookup_many(const EventId* events, std::size_t count,
       const EventId event = events[base + i];
       const std::uint32_t page = event >> kPageBits;
       if (page < page_table_.size()) {
-        slot_ptr[i] = pages_[page_table_[page]].data() + (event & kPageMask);
+        const std::uint32_t page_index = page_table_[page];
+        zero_hits += page_index == 0;
+        slot_ptr[i] = pages_[page_index].data() + (event & kPageMask);
         simd::prefetch_read(slot_ptr[i]);
       } else {
+        ++zero_hits;
         slot_ptr[i] = &kZero;
       }
     }
     // Pass 2: the slot loads, now overlapped.
     for (std::size_t i = 0; i < block; ++i) out[base + i] = *slot_ptr[i];
+  }
+  if (obs::enabled()) {
+    obs::TelemetryRegistry& registry = obs::TelemetryRegistry::global();
+    static obs::Counter& lookups = registry.counter("elt.paged_direct.lookups");
+    static obs::Counter& zero_page = registry.counter("elt.paged_direct.zero_page_hits");
+    lookups.add(count);
+    zero_page.add(zero_hits);
   }
 }
 

@@ -1,0 +1,87 @@
+#include "obs/export.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace are::obs {
+
+namespace {
+
+std::string prometheus_name(const std::string& dotted) {
+  std::string out = "are_";
+  out.reserve(out.size() + dotted.size());
+  for (char c : dotted) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+void write_json_object(std::ostream& out, const Snapshot& snapshot) {
+  out << "{\"counters\":{";
+  for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
+    if (i != 0) out << ",";
+    out << "\"" << snapshot.counters[i].name << "\":" << snapshot.counters[i].value;
+  }
+  out << "},\"gauges\":{";
+  for (std::size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    if (i != 0) out << ",";
+    out << "\"" << snapshot.gauges[i].name << "\":" << snapshot.gauges[i].value;
+  }
+  out << "},\"histograms\":{";
+  for (std::size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const auto& h = snapshot.histograms[i];
+    if (i != 0) out << ",";
+    out << "\"" << h.name << "\":{\"count\":" << h.count << ",\"sum_ns\":" << h.sum_ns
+        << ",\"min_ns\":" << h.min_ns << ",\"max_ns\":" << h.max_ns << "}";
+  }
+  out << "}}";
+}
+
+}  // namespace
+
+void write_snapshot_json(std::ostream& out, const Snapshot& snapshot) {
+  write_json_object(out, snapshot);
+  out << "\n";
+}
+
+void write_snapshot_csv(std::ostream& out, const Snapshot& snapshot) {
+  out << "kind,name,value\n";
+  for (const auto& c : snapshot.counters) out << "counter," << c.name << "," << c.value << "\n";
+  for (const auto& g : snapshot.gauges) out << "gauge," << g.name << "," << g.value << "\n";
+  for (const auto& h : snapshot.histograms) {
+    out << "histogram," << h.name << ".count," << h.count << "\n";
+    out << "histogram," << h.name << ".sum_ns," << h.sum_ns << "\n";
+    out << "histogram," << h.name << ".min_ns," << h.min_ns << "\n";
+    out << "histogram," << h.name << ".max_ns," << h.max_ns << "\n";
+  }
+}
+
+void write_snapshot_prometheus(std::ostream& out, const Snapshot& snapshot) {
+  for (const auto& c : snapshot.counters) {
+    const std::string name = prometheus_name(c.name) + "_total";
+    out << "# TYPE " << name << " counter\n";
+    out << name << " " << c.value << "\n";
+  }
+  for (const auto& g : snapshot.gauges) {
+    const std::string name = prometheus_name(g.name);
+    out << "# TYPE " << name << " gauge\n";
+    out << name << " " << g.value << "\n";
+  }
+  for (const auto& h : snapshot.histograms) {
+    const std::string base = prometheus_name(h.name);
+    out << "# TYPE " << base << "_count gauge\n" << base << "_count " << h.count << "\n";
+    out << "# TYPE " << base << "_sum_ns gauge\n" << base << "_sum_ns " << h.sum_ns << "\n";
+    out << "# TYPE " << base << "_min_ns gauge\n" << base << "_min_ns " << h.min_ns << "\n";
+    out << "# TYPE " << base << "_max_ns gauge\n" << base << "_max_ns " << h.max_ns << "\n";
+  }
+}
+
+std::string snapshot_json_object(const Snapshot& snapshot) {
+  std::ostringstream out;
+  write_json_object(out, snapshot);
+  return out.str();
+}
+
+}  // namespace are::obs

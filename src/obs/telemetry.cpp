@@ -1,0 +1,136 @@
+#include "obs/telemetry.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <mutex>
+
+#include "obs/trace.hpp"
+
+namespace are::obs {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+void set_enabled(bool on) noexcept {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+void Histogram::record_ns(std::uint64_t ns) noexcept {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_ns_.fetch_add(ns, std::memory_order_relaxed);
+
+  std::uint64_t seen_min = min_ns_.load(std::memory_order_relaxed);
+  while (ns < seen_min &&
+         !min_ns_.compare_exchange_weak(seen_min, ns, std::memory_order_relaxed)) {
+  }
+  std::uint64_t seen_max = max_ns_.load(std::memory_order_relaxed);
+  while (ns > seen_max &&
+         !max_ns_.compare_exchange_weak(seen_max, ns, std::memory_order_relaxed)) {
+  }
+
+  std::size_t bucket = static_cast<std::size_t>(std::bit_width(ns));
+  if (bucket >= kBuckets) bucket = kBuckets - 1;
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::min_ns() const noexcept {
+  std::uint64_t v = min_ns_.load(std::memory_order_relaxed);
+  return v == UINT64_MAX ? 0 : v;
+}
+
+void Histogram::reset() noexcept {
+  count_.store(0, std::memory_order_relaxed);
+  sum_ns_.store(0, std::memory_order_relaxed);
+  min_ns_.store(UINT64_MAX, std::memory_order_relaxed);
+  max_ns_.store(0, std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t Snapshot::counter_value(std::string_view name) const noexcept {
+  for (const CounterSample& c : counters) {
+    if (c.name == name) return c.value;
+  }
+  return 0;
+}
+
+std::int64_t Snapshot::gauge_value(std::string_view name) const noexcept {
+  for (const GaugeSample& g : gauges) {
+    if (g.name == name) return g.value;
+  }
+  return 0;
+}
+
+TelemetryRegistry& TelemetryRegistry::global() {
+  static TelemetryRegistry registry;
+  return registry;
+}
+
+namespace {
+
+template <typename T, typename Vec>
+T& find_or_create(Vec& vec, std::string_view name) {
+  for (auto& entry : vec) {
+    if (entry.name == name) return *entry.instrument;
+  }
+  vec.push_back({std::string(name), std::make_unique<T>()});
+  return *vec.back().instrument;
+}
+
+}  // namespace
+
+Counter& TelemetryRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return find_or_create<Counter>(counters_, name);
+}
+
+Gauge& TelemetryRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return find_or_create<Gauge>(gauges_, name);
+}
+
+Histogram& TelemetryRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return find_or_create<Histogram>(histograms_, name);
+}
+
+void TelemetryRegistry::reset() {
+  std::lock_guard<std::mutex> guard(mutex_);
+  for (auto& c : counters_) c.instrument->reset();
+  for (auto& g : gauges_) g.instrument->reset();
+  for (auto& h : histograms_) h.instrument->reset();
+}
+
+Snapshot TelemetryRegistry::snapshot() const {
+  Snapshot snap;
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    snap.counters.reserve(counters_.size());
+    for (const auto& c : counters_) snap.counters.push_back({c.name, c.instrument->value()});
+    snap.gauges.reserve(gauges_.size());
+    for (const auto& g : gauges_) snap.gauges.push_back({g.name, g.instrument->value()});
+    snap.histograms.reserve(histograms_.size());
+    for (const auto& h : histograms_) {
+      snap.histograms.push_back({h.name, h.instrument->count(), h.instrument->sum_ns(),
+                                 h.instrument->min_ns(), h.instrument->max_ns()});
+    }
+  }
+  auto by_name = [](const auto& a, const auto& b) { return a.name < b.name; };
+  std::sort(snap.counters.begin(), snap.counters.end(), by_name);
+  std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
+  std::sort(snap.histograms.begin(), snap.histograms.end(), by_name);
+  return snap;
+}
+
+RunScope::RunScope(bool counters, bool trace) noexcept
+    : prior_enabled_(enabled()), prior_trace_(trace_enabled()) {
+  if (counters) set_enabled(true);
+  if (trace) set_trace_enabled(true);
+}
+
+RunScope::~RunScope() {
+  set_enabled(prior_enabled_);
+  set_trace_enabled(prior_trace_);
+}
+
+}  // namespace are::obs

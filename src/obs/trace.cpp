@@ -1,0 +1,85 @@
+#include "obs/trace.hpp"
+
+#include <ostream>
+
+namespace are::obs {
+
+namespace detail {
+std::atomic<bool> g_trace_enabled{false};
+}  // namespace detail
+
+void set_trace_enabled(bool on) noexcept {
+  detail::g_trace_enabled.store(on, std::memory_order_relaxed);
+}
+
+TraceBuffer& TraceBuffer::global() {
+  static TraceBuffer* buffer = new TraceBuffer();  // leaked: outlives exiting threads
+  return *buffer;
+}
+
+TraceBuffer::TraceBuffer() : epoch_(std::chrono::steady_clock::now()) {}
+
+TraceBuffer::ThreadLog& TraceBuffer::log_for_this_thread() {
+  thread_local ThreadLog* tls_log = nullptr;
+  thread_local const TraceBuffer* tls_owner = nullptr;
+  if (tls_log == nullptr || tls_owner != this) {
+    std::lock_guard<std::mutex> guard(mutex_);
+    logs_.push_back(std::make_unique<ThreadLog>());
+    logs_.back()->tid = static_cast<std::uint32_t>(logs_.size() - 1);
+    tls_log = logs_.back().get();
+    tls_owner = this;
+  }
+  return *tls_log;
+}
+
+void TraceBuffer::append(const char* name, const char* category, char phase) {
+  ThreadLog& log = log_for_this_thread();
+  const std::uint64_t now_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() -
+                                                           epoch_)
+          .count());
+  std::lock_guard<std::mutex> guard(log.mutex);
+  log.events.push_back({name, category, phase, log.tid, now_ns});
+}
+
+void TraceBuffer::write_chrome_json(std::ostream& out) const {
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  std::lock_guard<std::mutex> guard(mutex_);
+  for (const auto& log : logs_) {
+    std::lock_guard<std::mutex> log_guard(log->mutex);
+    for (const Event& e : log->events) {
+      if (!first) out << ",";
+      first = false;
+      // ts is microseconds; emit ns as µs with three decimals so
+      // per-thread monotonicity survives the unit conversion.
+      const std::uint64_t whole_us = e.time_ns / 1000;
+      const std::uint64_t frac_ns = e.time_ns % 1000;
+      out << "\n{\"name\":\"" << e.name << "\",\"cat\":\"" << e.category << "\",\"ph\":\""
+          << e.phase << "\",\"pid\":1,\"tid\":" << e.tid << ",\"ts\":" << whole_us << ".";
+      out << static_cast<char>('0' + frac_ns / 100) << static_cast<char>('0' + frac_ns / 10 % 10)
+          << static_cast<char>('0' + frac_ns % 10) << "}";
+    }
+  }
+  out << "\n]}\n";
+}
+
+void TraceBuffer::clear() {
+  std::lock_guard<std::mutex> guard(mutex_);
+  for (auto& log : logs_) {
+    std::lock_guard<std::mutex> log_guard(log->mutex);
+    log->events.clear();
+  }
+}
+
+std::size_t TraceBuffer::event_count() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  std::size_t n = 0;
+  for (const auto& log : logs_) {
+    std::lock_guard<std::mutex> log_guard(log->mutex);
+    n += log->events.size();
+  }
+  return n;
+}
+
+}  // namespace are::obs

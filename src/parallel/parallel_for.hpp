@@ -6,6 +6,8 @@
 #include <cstdint>
 #include <span>
 
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace are::parallel {
@@ -107,6 +109,20 @@ inline std::uint64_t advance_by_cost(std::span<const std::uint64_t> cost_prefix,
   return static_cast<std::uint64_t>(it - begin);
 }
 
+/// Costed-chunk execution with telemetry: every claimed chunk is one span
+/// on the worker's timeline (how well equal-cost chunks actually pack) and
+/// one tick of parallel.costed_chunks.
+template <typename Body>
+inline void run_costed_chunk(const Body& body, std::uint64_t lo, std::uint64_t hi) {
+  if (obs::enabled()) {
+    static obs::Counter& chunks =
+        obs::TelemetryRegistry::global().counter("parallel.costed_chunks");
+    chunks.increment();
+  }
+  obs::Span span("parallel.costed_chunk", "parallel");
+  body(lo, hi);
+}
+
 }  // namespace detail
 
 /// Cost-aware parallel_for for ranges whose per-index work is skewed (the
@@ -129,7 +145,7 @@ void parallel_for_costed(ThreadPool& pool, std::uint64_t first, std::uint64_t la
   if (first >= last) return;
   const std::size_t workers = pool.size();
   if (workers <= 1 || last - first == 1) {
-    body(first, last);
+    detail::run_costed_chunk(body, first, last);
     return;
   }
   const std::uint64_t min_cost = std::max<std::uint64_t>(1, chunk_cost);
@@ -141,7 +157,7 @@ void parallel_for_costed(ThreadPool& pool, std::uint64_t first, std::uint64_t la
       std::uint64_t lo = first;
       while (lo < last) {
         const std::uint64_t hi = detail::advance_by_cost(cost_prefix, lo, last, block_cost);
-        pool.submit([&body, lo, hi] { body(lo, hi); });
+        pool.submit([&body, lo, hi] { detail::run_costed_chunk(body, lo, hi); });
         lo = hi;
       }
       break;
@@ -157,7 +173,7 @@ void parallel_for_costed(ThreadPool& pool, std::uint64_t first, std::uint64_t la
               if (lo >= last) return;
               hi = detail::advance_by_cost(cost_prefix, lo, last, min_cost);
             } while (!cursor->compare_exchange_weak(lo, hi, std::memory_order_relaxed));
-            body(lo, hi);
+            detail::run_costed_chunk(body, lo, hi);
           }
         });
       }
@@ -177,7 +193,7 @@ void parallel_for_costed(ThreadPool& pool, std::uint64_t first, std::uint64_t la
                   std::max<std::uint64_t>(min_cost, remaining / (2 * workers));
               hi = detail::advance_by_cost(cost_prefix, lo, last, budget);
             } while (!cursor->compare_exchange_weak(lo, hi, std::memory_order_relaxed));
-            body(lo, hi);
+            detail::run_costed_chunk(body, lo, hi);
           }
         });
       }

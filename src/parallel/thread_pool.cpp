@@ -1,5 +1,10 @@
 #include "parallel/thread_pool.hpp"
 
+#include <chrono>
+
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
+
 namespace are::parallel {
 
 namespace {
@@ -49,6 +54,12 @@ void ThreadPool::wait_idle() {
 void ThreadPool::worker_loop(std::size_t slot) {
   tls_worker_slot = slot;
   for (;;) {
+    // Sampled once per claim, so a disabled run's loop is the original
+    // lock/wait/execute sequence with one extra relaxed load.
+    const bool telemetry = obs::enabled();
+    std::chrono::steady_clock::time_point wait_start{};
+    if (telemetry) wait_start = std::chrono::steady_clock::now();
+
     std::function<void()> task;
     {
       std::unique_lock lock(mutex_);
@@ -57,7 +68,22 @@ void ThreadPool::worker_loop(std::size_t slot) {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
+    if (telemetry) {
+      // Idle time = queue wait + claim contention, the utilization gap a
+      // timeline shows between this worker's task spans.
+      static obs::Counter& tasks_claimed = obs::TelemetryRegistry::global().counter("pool.tasks");
+      static obs::Counter& idle_ns = obs::TelemetryRegistry::global().counter("pool.idle_ns");
+      tasks_claimed.increment();
+      idle_ns.add(static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                                 std::chrono::steady_clock::now() - wait_start)
+                                                 .count()));
+    }
+    {
+      obs::Span span("pool.task", "pool");
+      obs::ScopedTimer timer(
+          telemetry ? &obs::TelemetryRegistry::global().histogram("pool.task_ns") : nullptr);
+      task();
+    }
     {
       std::lock_guard lock(mutex_);
       if (--in_flight_ == 0) all_done_.notify_all();

@@ -11,12 +11,38 @@
 #include <utility>
 
 #include "io/binary.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 
 namespace are::shard {
 
 namespace {
 
 std::size_t bytes_of(std::size_t doubles) { return doubles * sizeof(double); }
+
+/// Registry mirrors of ShardStoreStats, shared by every store in the
+/// process (the per-store struct stays the per-instance view). Updated at
+/// spill/fault granularity — disk I/O dwarfs the counter cost.
+struct StoreCounters {
+  obs::Counter& spills;
+  obs::Counter& faults;
+  obs::Counter& bytes_spilled;
+  obs::Counter& bytes_faulted;
+  obs::Gauge& resident_bytes;
+  obs::Gauge& peak_resident_bytes;
+
+  static StoreCounters& get() {
+    static StoreCounters counters{
+        obs::TelemetryRegistry::global().counter("shard.spills"),
+        obs::TelemetryRegistry::global().counter("shard.faults"),
+        obs::TelemetryRegistry::global().counter("shard.bytes_spilled"),
+        obs::TelemetryRegistry::global().counter("shard.bytes_faulted"),
+        obs::TelemetryRegistry::global().gauge("shard.resident_bytes"),
+        obs::TelemetryRegistry::global().gauge("shard.peak_resident_bytes"),
+    };
+    return counters;
+  }
+};
 
 /// Unique default spill-dir name: pid + process-wide counter, so concurrent
 /// analyses (in this process or another on the same box) can never share a
@@ -106,6 +132,7 @@ void ShardStore::fault_in(std::unique_lock<std::mutex>& lock, std::size_t shard_
   std::exception_ptr failure;
   try {
     if (prior == State::kSpilled) {
+      obs::Span span("shard.fault", "shard");
       // The read fills every byte, so the buffer is allocated uninitialised.
       buffer = std::make_unique_for_overwrite<double[]>(doubles);
       std::ifstream in(path, std::ios::binary);
@@ -131,6 +158,17 @@ void ShardStore::fault_in(std::unique_lock<std::mutex>& lock, std::size_t shard_
   stats_.resident_bytes += bytes_of(doubles);
   if (stats_.resident_bytes > stats_.peak_resident_bytes) {
     stats_.peak_resident_bytes = stats_.resident_bytes;
+  }
+  if (obs::enabled()) {
+    StoreCounters& counters = StoreCounters::get();
+    if (prior == State::kSpilled) {
+      counters.faults.increment();
+      counters.bytes_faulted.add(bytes_of(doubles));
+    }
+    // The registry gauges aggregate residency across every store in the
+    // process (delta-based), unlike the per-instance stats_ fields.
+    counters.resident_bytes.add(static_cast<std::int64_t>(bytes_of(doubles)));
+    counters.peak_resident_bytes.record_max(counters.resident_bytes.value());
   }
 }
 
@@ -161,6 +199,9 @@ void ShardStore::evict_over_budget(std::unique_lock<std::mutex>& lock,
     std::unique_ptr<double[]> buffer = std::move(shard.buffer);
     const std::size_t doubles = shard.size_doubles;
     stats_.resident_bytes -= bytes_of(doubles);
+    if (obs::enabled()) {
+      StoreCounters::get().resident_bytes.add(-static_cast<std::int64_t>(bytes_of(doubles)));
+    }
     lock.unlock();
 
     // As in fault_in: whatever the unlocked write throws, io_in_progress
@@ -168,6 +209,7 @@ void ShardStore::evict_over_budget(std::unique_lock<std::mutex>& lock,
     // residency before the error propagates.
     std::exception_ptr failure;
     try {
+      obs::Span span("shard.spill", "shard");
       std::ofstream out(path, std::ios::binary | std::ios::trunc);
       if (!out) {
         throw std::runtime_error("shard store: cannot open spill file for shard " +
@@ -190,9 +232,17 @@ void ShardStore::evict_over_budget(std::unique_lock<std::mutex>& lock,
       shard.buffer = std::move(buffer);
       shard.state = State::kResident;
       stats_.resident_bytes += bytes_of(doubles);
+      if (obs::enabled()) {
+        StoreCounters::get().resident_bytes.add(static_cast<std::int64_t>(bytes_of(doubles)));
+      }
       std::rethrow_exception(failure);
     }
     ++stats_.spills;
+    if (obs::enabled()) {
+      StoreCounters& counters = StoreCounters::get();
+      counters.spills.increment();
+      counters.bytes_spilled.add(bytes_of(doubles));
+    }
   }
 }
 

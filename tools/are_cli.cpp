@@ -29,6 +29,10 @@
 //              trial-range shards that spill to disk under a memory budget
 //              (out-of-core; engines with the 'sharded' capability), with
 //              --shard-trials N --spill-dir PATH --memory-budget-mb M
+// Telemetry:   --telemetry json|csv|prom|trace [--telemetry-out PATH]
+//              (runtime counters / Chrome-trace spans from src/obs/, exported
+//              after the command finishes; default destination stderr)
+//              --verbose (human summaries rendered from the telemetry registry)
 //
 // Engine selection goes through core::run(AnalysisRequest) and the
 // EngineRegistry, so a backend registered there is immediately reachable
@@ -47,6 +51,9 @@
 #include "core/analysis.hpp"
 #include "core/engine_registry.hpp"
 #include "core/openmp_engine.hpp"
+#include "obs/export.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 #include "elt/synthetic.hpp"
 #include "io/binary.hpp"
 #include "io/csv.hpp"
@@ -89,6 +96,10 @@ common options:
   lookup        --lookup direct|sorted|robinhood|cuckoo
   output        --output materialized|sharded  (sharded = out-of-core YLT)
                 --shard-trials N --spill-dir PATH --memory-budget-mb M (0 = unlimited)
+  telemetry     --telemetry json|csv|prom|trace  (runtime counters / trace spans,
+                exported after the run; Chrome-trace JSON loads in chrome://tracing)
+                --telemetry-out PATH  (default: stderr)
+                --verbose  (human-readable summaries from the telemetry registry)
   run 'are_cli <command> --help' is not needed: every option has a default.
 )";
   return 2;
@@ -222,6 +233,59 @@ core::AnalysisConfig parse_engine_config(const Args& args) {
   return config;
 }
 
+/// Telemetry options parsed once per command. Collection is enabled
+/// process-wide here, before the engine runs, rather than per-run through
+/// AnalysisConfig::telemetry: the sharded read-back pass (CSV streaming, EP
+/// reduction) faults shards *after* run_to_sink returns, and its I/O must
+/// land in the counters too.
+struct TelemetryCli {
+  std::string format;    // "json" | "csv" | "prom" | "trace"; empty = no export
+  std::string out_path;  // empty = stderr
+  bool verbose = false;
+};
+
+TelemetryCli parse_telemetry(const Args& args) {
+  TelemetryCli telemetry;
+  telemetry.verbose = args.has("verbose");
+  if (args.has("telemetry")) {
+    telemetry.format = args.require("telemetry");
+    if (telemetry.format != "json" && telemetry.format != "csv" &&
+        telemetry.format != "prom" && telemetry.format != "trace") {
+      throw std::runtime_error("unknown --telemetry '" + telemetry.format +
+                               "' (expected json, csv, prom, or trace)");
+    }
+  }
+  telemetry.out_path = args.get("telemetry-out", "");
+  // --verbose summaries render from the registry, so it too turns the
+  // counters on.
+  if (!telemetry.format.empty() || telemetry.verbose) obs::set_enabled(true);
+  if (telemetry.format == "trace") obs::set_trace_enabled(true);
+  return telemetry;
+}
+
+void export_telemetry(const TelemetryCli& telemetry) {
+  if (telemetry.format.empty()) return;
+  std::ofstream file;
+  std::ostream* out = &std::cerr;
+  if (!telemetry.out_path.empty()) {
+    file.open(telemetry.out_path);
+    if (!file) throw std::runtime_error("cannot write " + telemetry.out_path);
+    out = &file;
+  }
+  if (telemetry.format == "trace") {
+    obs::TraceBuffer::global().write_chrome_json(*out);
+    return;
+  }
+  const obs::Snapshot snapshot = obs::TelemetryRegistry::global().snapshot();
+  if (telemetry.format == "json") {
+    obs::write_snapshot_json(*out, snapshot);
+  } else if (telemetry.format == "csv") {
+    obs::write_snapshot_csv(*out, snapshot);
+  } else {
+    obs::write_snapshot_prometheus(*out, snapshot);
+  }
+}
+
 /// Post-run execution facts (stderr, so CSV/report stdout stays clean):
 /// the Fig-6b phase breakdown for the instrumented engine, the resolved
 /// lane type for simd, and whether openmp actually ran OpenMP or fell back.
@@ -243,6 +307,7 @@ void report_execution(const core::InstrumentationSink& sink) {
     row("ELT lookup", phases.lookup_seconds, phases.lookup_fraction());
     row("financial terms", phases.financial_seconds, phases.financial_fraction());
     row("layer terms", phases.layer_seconds, phases.layer_fraction());
+    row("output", phases.output_seconds, phases.output_fraction());
     row("total", phases.total_seconds(), 1.0);
   }
   if (sink.accesses) {
@@ -265,16 +330,21 @@ core::YearLossTable run_engine(const Args& args, const core::Portfolio& portfoli
   return ylt;
 }
 
-/// Post-run shard-store facts (stderr): how hard the memory budget pressed.
-void report_sharding(const shard::ShardedYearLossTable& ylt) {
-  const shard::ShardStoreStats stats = ylt.stats();
+/// Post-run shard-store facts (stderr, --verbose only): how hard the memory
+/// budget pressed. Rendered from the telemetry registry — the store's
+/// bespoke stats are no longer read here — so the numbers include every
+/// spill/fault of the whole command (run + read-back), exactly what
+/// --telemetry exports.
+void report_sharding(const shard::ShardedYearLossTable& ylt, const TelemetryCli& telemetry) {
+  if (!telemetry.verbose) return;
+  const obs::Snapshot snapshot = obs::TelemetryRegistry::global().snapshot();
   std::fprintf(stderr,
                "sharded YLT: %zu shards x %llu trials, %llu spills, %llu faults, "
                "peak resident %.1f MB\n",
                ylt.num_shards(), static_cast<unsigned long long>(ylt.shard_trials()),
-               static_cast<unsigned long long>(stats.spills),
-               static_cast<unsigned long long>(stats.faults),
-               static_cast<double>(stats.peak_resident_bytes) / 1e6);
+               static_cast<unsigned long long>(snapshot.counter_value("shard.spills")),
+               static_cast<unsigned long long>(snapshot.counter_value("shard.faults")),
+               static_cast<double>(snapshot.gauge_value("shard.peak_resident_bytes")) / 1e6);
 }
 
 /// Sharded execution path shared by run/report: engine -> out-of-core YLT.
@@ -379,6 +449,7 @@ int cmd_gen_yet(const Args& args) {
 }
 
 int cmd_run(const Args& args) {
+  const TelemetryCli telemetry = parse_telemetry(args);
   const auto yet_table = load_yet(args.require("yet"));
   const auto portfolio = build_portfolio(args, universe_of(yet_table, args));
   const std::string out_path = args.require("out");
@@ -398,7 +469,8 @@ int cmd_run(const Args& args) {
     auto ylt = run_engine_sharded(args, portfolio, yet_table);
     auto out = open_out();
     io::write_ylt_csv(out, ylt);
-    report_sharding(ylt);
+    report_sharding(ylt, telemetry);
+    export_telemetry(telemetry);
     std::cout << "wrote " << out_path << ": " << ylt.num_trials() << " trial losses ("
               << ylt.num_shards() << " shards)\n";
     return 0;
@@ -406,11 +478,13 @@ int cmd_run(const Args& args) {
   const auto ylt = run_engine(args, portfolio, yet_table);
   auto out = open_out();
   io::write_ylt_csv(out, ylt);
+  export_telemetry(telemetry);
   std::cout << "wrote " << out_path << ": " << ylt.num_trials() << " trial losses\n";
   return 0;
 }
 
 int cmd_report(const Args& args) {
+  const TelemetryCli telemetry = parse_telemetry(args);
   const auto yet_table = load_yet(args.require("yet"));
   const auto portfolio = build_portfolio(args, universe_of(yet_table, args));
 
@@ -426,13 +500,14 @@ int cmd_report(const Args& args) {
     curve = metrics::ep_curve_sharded(ylt, 0);
     const metrics::RunningStats stats = metrics::stats_sharded(ylt, 0);
     standard_error = stats.stddev() / std::sqrt(static_cast<double>(stats.count()));
-    report_sharding(ylt);
+    report_sharding(ylt, telemetry);
   } else {
     const auto ylt = run_engine(args, portfolio, yet_table);
     trials = ylt.num_trials();
     curve = metrics::EpCurve(ylt.layer_losses(0));
     standard_error = metrics::mean_standard_error(ylt.layer_losses(0));
   }
+  export_telemetry(telemetry);
 
   std::cout << "trials              : " << trials << "\n";
   std::cout << "expected annual loss: " << curve.expected_loss() << "\n";
@@ -443,6 +518,7 @@ int cmd_report(const Args& args) {
 }
 
 int cmd_price(const Args& args) {
+  const TelemetryCli telemetry = parse_telemetry(args);
   const auto yet_table = load_yet(args.require("yet"));
   const auto portfolio = build_portfolio(args, universe_of(yet_table, args));
   const auto ylt = run_engine(args, portfolio, yet_table);
@@ -453,6 +529,7 @@ int cmd_price(const Args& args) {
   assumptions.expense_ratio = args.get_double("expense-ratio", assumptions.expense_ratio);
   const auto quote =
       pricing::price_layer(ylt.layer_losses(0), portfolio.layers[0].terms, assumptions);
+  export_telemetry(telemetry);
   std::cout << pricing::describe(quote) << "\n";
   return 0;
 }
