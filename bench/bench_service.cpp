@@ -1,0 +1,200 @@
+// Resident-service quote latency: measures the three paths a quote can take
+// through the AnalysisService — cold (full kernel run + ground-up capture),
+// cache hit (fingerprint match, no kernel at all), and delta re-pricing
+// (terms-only change replayed over the cached ground-up losses, skipping the
+// event fetch and every ELT lookup) — under 1, 4, and hardware_concurrency
+// concurrent submitters sharing one session (one YET, one thread pool, one
+// broker). Writes p50/p99 per (submitters, path) to BENCH_service.json
+// (--json PATH), the CI artifact that tracks interactive-quote latency.
+//
+// The workload is deliberately lookup-heavy (many ELTs per layer, few
+// trials): the paper attributes ~78% of runtime to ELT lookups (Fig 6b), so
+// the delta path — which performs none — must land well under 0.5x cold.
+// That ratio is enforced as this bench's acceptance guard.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "service/analysis_service.hpp"
+
+namespace {
+
+using namespace are;
+using Clock = std::chrono::steady_clock;
+
+struct Percentiles {
+  double p50 = 0.0;
+  double p99 = 0.0;
+};
+
+Percentiles percentiles(std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  const auto at = [&](double q) {
+    const std::size_t index = std::min(
+        samples.size() - 1, static_cast<std::size_t>(q * static_cast<double>(samples.size())));
+    return samples[index];
+  };
+  return {at(0.50), at(0.99)};
+}
+
+std::string extra_json(const Percentiles& p, std::size_t requests, double vs_cold_p50) {
+  std::string extra = "\"p99_seconds\": " + std::to_string(p.p99) +
+                      ", \"requests\": " + std::to_string(requests);
+  if (vs_cold_p50 > 0.0) {
+    extra += ", \"p50_vs_cold_p50\": " + std::to_string(p.p50 / vs_cold_p50);
+  }
+  return extra;
+}
+
+/// S submitter threads each issue `reps` quotes built by `make_request(thread,
+/// iteration)` and record per-request wall time; returns the merged samples.
+/// Every response's source must match `expected` — a quote that took the
+/// wrong path (e.g. a "delta" that ran cold) would silently skew the series.
+std::vector<double> hammer(service::AnalysisService& analysis_service, std::size_t submitters,
+                           std::size_t reps, service::QuoteSource expected,
+                           const std::function<service::QuoteRequest(std::size_t, std::size_t)>&
+                               make_request) {
+  std::vector<std::vector<double>> per_thread(submitters);
+  std::vector<std::thread> threads;
+  std::atomic<int> mismatches{0};
+  for (std::size_t t = 0; t < submitters; ++t) {
+    threads.emplace_back([&, t] {
+      per_thread[t].reserve(reps);
+      for (std::size_t i = 0; i < reps; ++i) {
+        const auto start = Clock::now();
+        const service::QuoteResponse response =
+            analysis_service.quote(make_request(t, i));
+        per_thread[t].push_back(
+            std::chrono::duration<double>(Clock::now() - start).count());
+        if (response.source != expected) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  if (mismatches.load() != 0) {
+    std::fprintf(stderr, "bench_service: %d responses took an unexpected path\n",
+                 mismatches.load());
+    std::exit(1);
+  }
+  std::vector<double> merged;
+  for (const auto& samples : per_thread) {
+    merged.insert(merged.end(), samples.begin(), samples.end());
+  }
+  return merged;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = bench::consume_json_flag(&argc, argv, "BENCH_service.json");
+  if (!bench::full_scale()) {
+    bench::print_note("calibrated sub-scale; set ARE_BENCH_FULL=1 for paper scale");
+  }
+
+  // Lookup-heavy book: 2 layers x 6 ELTs means every event costs 12 table
+  // gathers on the cold path and zero on the delta path.
+  const bench::Scale scale = bench::full_scale()
+                                 ? bench::Scale{2'000'000, 100'000, 1000.0, 20'000}
+                                 : bench::Scale{100'000, 2'000, 250.0, 4'000};
+  const core::Portfolio portfolio = bench::make_portfolio(scale, 2, 6);
+  const auto yet_table = bench::make_yet(scale, scale.trials, scale.events_per_trial);
+
+  service::ServiceConfig config;
+  config.default_engine = "fused";
+  service::AnalysisService analysis_service(yet_table, config);
+  analysis_service.register_portfolio("book", portfolio);
+
+  // Prime once: the first quote runs cold, captures the ground-up losses,
+  // and seeds the result cache — after this, identical requests are cache
+  // hits and terms-tweaked requests are deltas.
+  const service::QuoteResponse primed = analysis_service.quote({.portfolio_id = "book"});
+  if (primed.source != service::QuoteSource::kCold) {
+    std::fprintf(stderr, "bench_service: priming quote was not cold\n");
+    return 1;
+  }
+
+  const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
+  std::vector<std::size_t> submitter_counts = {1, 4};
+  if (std::find(submitter_counts.begin(), submitter_counts.end(), hw) ==
+      submitter_counts.end()) {
+    submitter_counts.push_back(hw);
+  }
+
+  const std::size_t cold_reps = bench::full_scale() ? 5 : 9;
+  const std::size_t cached_reps = 64;
+  const std::size_t delta_reps = bench::full_scale() ? 9 : 17;
+
+  bench::JsonReport report;
+  bool delta_guard_ok = true;
+  for (const std::size_t submitters : submitter_counts) {
+    const std::string workload = "submitters_" + std::to_string(submitters);
+
+    // Cold: bypass both the cache and the ground-up replay so every request
+    // pays the full fetch + lookup + financial-terms pipeline.
+    const Percentiles cold = percentiles(hammer(
+        analysis_service, submitters, cold_reps, service::QuoteSource::kCold,
+        [](std::size_t, std::size_t) {
+          return service::QuoteRequest{
+              .portfolio_id = "book", .use_cache = false, .use_delta = false};
+        }));
+    report.add(workload, "cold", cold.p50, 1.0,
+               extra_json(cold, submitters * cold_reps, 0.0));
+    bench::print_row("service", "submitters", static_cast<double>(submitters),
+                     "cold_p50_ms", 1e3 * cold.p50);
+
+    // Cache hit: the primed request repeated verbatim.
+    const Percentiles cached = percentiles(hammer(
+        analysis_service, submitters, cached_reps, service::QuoteSource::kCached,
+        [](std::size_t, std::size_t) {
+          return service::QuoteRequest{.portfolio_id = "book"};
+        }));
+    report.add(workload, "cache_hit", cached.p50,
+               cached.p50 > 0.0 ? cold.p50 / cached.p50 : 0.0,
+               extra_json(cached, submitters * cached_reps, cold.p50));
+
+    // Delta: every request tweaks the occurrence retention, so fingerprints
+    // never repeat (no cache hits) and the kernel replays the captured
+    // ground-up losses instead of fetching events and probing ELTs.
+    const Percentiles delta = percentiles(hammer(
+        analysis_service, submitters, delta_reps, service::QuoteSource::kDelta,
+        [&](std::size_t thread, std::size_t iteration) {
+          financial::LayerTerms terms = portfolio.layers[0].terms;
+          terms.occurrence_retention +=
+              1e3 * static_cast<double>(thread * delta_reps + iteration + 1);
+          service::QuoteRequest request{.portfolio_id = "book", .use_cache = false};
+          request.overrides.push_back({portfolio.layers[0].id, terms});
+          return request;
+        }));
+    report.add(workload, "delta", delta.p50,
+               delta.p50 > 0.0 ? cold.p50 / delta.p50 : 0.0,
+               extra_json(delta, submitters * delta_reps, cold.p50));
+    bench::print_row("service", "submitters", static_cast<double>(submitters),
+                     "delta_p50_ms", 1e3 * delta.p50);
+
+    std::printf("[note] %zu submitters: cold p50 %.2f ms / cache hit p50 %.4f ms / "
+                "delta p50 %.2f ms (%.2fx cold)\n",
+                submitters, 1e3 * cold.p50, 1e3 * cached.p50, 1e3 * delta.p50,
+                delta.p50 / cold.p50);
+    if (delta.p50 >= 0.5 * cold.p50) delta_guard_ok = false;
+  }
+
+  // Acceptance guard: delta re-pricing exists to make interactive re-quotes
+  // cheap; if it is not at least 2x faster than cold, the path regressed.
+  if (!delta_guard_ok) {
+    std::fprintf(stderr, "bench_service: delta p50 not under 0.5x cold p50\n");
+    return 1;
+  }
+
+  if (report.write(json_path)) {
+    std::printf("[note] wrote %zu records to %s\n", report.size(), json_path.c_str());
+  } else {
+    std::fprintf(stderr, "bench_service: cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -3,8 +3,15 @@
 // event's place among the book's drivers, the conditional year outlook,
 // capital attribution, and a severity-stressed re-run (climate loading).
 //
+// Hosted on the resident analysis service (src/service/): the book is
+// registered once, the baseline run is a cold quote that captures the
+// ground-up losses, the rest-of-season window re-run rides the delta path
+// (terms/window-only change), and the severity stress — which rewrites the
+// ELT structure — registers a second book and runs cold, demonstrating
+// exactly which mutations invalidate the ground-up cache.
+//
 // Exercises: metrics/event_response, metrics/allocation, elt/scaled_lookup,
-// core/windowed_engine and the io/report renderer.
+// the service session/cache/delta flow and the io/report renderer.
 //
 //   $ ./event_response
 //
@@ -12,13 +19,13 @@
 #include <iostream>
 #include <memory>
 
-#include "core/analysis.hpp"
 #include "elt/scaled_lookup.hpp"
 #include "elt/synthetic.hpp"
 #include "io/report.hpp"
 #include "metrics/allocation.hpp"
 #include "metrics/ep_curve.hpp"
 #include "metrics/event_response.hpp"
+#include "service/analysis_service.hpp"
 #include "yet/generator.hpp"
 
 int main() {
@@ -55,8 +62,22 @@ int main() {
   yet_config.num_trials = 10'000;
   yet_config.events_per_trial = 800.0;
   yet_config.count_model = yet::CountModel::kPoisson;
-  const auto yet_table = yet::generate_uniform_yet(yet_config, kCatalogSize);
-  const auto ylt = core::run({portfolio, yet_table});
+
+  service::AnalysisService analysis_service(
+      yet::generate_uniform_yet(yet_config, kCatalogSize), {});
+  const yet::YearEventTable& yet_table = analysis_service.session().yet_table();
+  analysis_service.register_portfolio("book", portfolio);
+
+  const auto report_latency = [](const char* what, const service::QuoteResponse& response) {
+    std::printf("[service] %-28s %-6s %7.1f ms\n", what,
+                std::string(service::to_string(response.source)).c_str(),
+                1e3 * response.wall_seconds);
+  };
+
+  // Baseline position: a cold quote (captures ground-up losses for later).
+  const auto base = analysis_service.quote({.portfolio_id = "book"});
+  report_latency("baseline", base);
+  const core::YearLossTable& ylt = base.outcome->ylt;
 
   // --- 1. The event strikes: immediate position ----------------------------
   // Pick the book's single worst driver as "the event that just happened".
@@ -64,7 +85,7 @@ int main() {
       metrics::top_contributing_events(portfolio.layers[2], yet_table, kCatalogSize, 5);
   const yet::EventId the_event = drivers.front().event;
 
-  std::printf("== post-event report: catalog event %u ==\n\n", the_event);
+  std::printf("\n== post-event report: catalog event %u ==\n\n", the_event);
   io::TextTable impact({"layer", "immediate ceded loss", "conditional-year EL"});
   const auto losses = metrics::event_losses(portfolio, the_event);
   for (std::size_t l = 0; l < portfolio.num_layers(); ++l) {
@@ -101,13 +122,18 @@ int main() {
               io::format_percent(metrics::diversification_benefit(ylt, 0.99)).c_str());
 
   // --- 4. Severity stress (+20% climate loading on every ELT) ----------------
+  // Scaling the lookups rewrites the ELT structure, which the ground-up
+  // cache depends on — so this registers as its own book and runs cold.
   core::Portfolio stressed = portfolio;
   for (auto& layer : stressed.layers) {
     for (auto& layer_elt : layer.elts) {
       layer_elt.lookup = std::make_shared<elt::ScaledLookup>(layer_elt.lookup, 1.2);
     }
   }
-  const auto stressed_ylt = core::run({stressed, yet_table});
+  analysis_service.register_portfolio("book-stressed", std::move(stressed));
+  const auto stress_response = analysis_service.quote({.portfolio_id = "book-stressed"});
+  report_latency("+20% severity stress", stress_response);
+  const core::YearLossTable& stressed_ylt = stress_response.outcome->ylt;
   io::TextTable stress({"layer", "base EL", "stressed EL", "change"});
   for (std::size_t l = 0; l < portfolio.num_layers(); ++l) {
     const metrics::EpCurve base_curve(ylt.layer_losses(l));
@@ -123,9 +149,12 @@ int main() {
 
   // --- 5. Rest-of-season exposure --------------------------------------------
   // The event struck at mid-year: what does the remaining half-year hold?
-  const auto remainder = core::run(
-      {portfolio, yet_table,
-       {.engine = core::EngineKind::kWindowed, .window = core::CoverageWindow{0.5f, 1.0f}}});
+  // A window-only change on the same book — the service replays the captured
+  // ground-up losses (delta), skipping fetch and lookups entirely.
+  const auto season_response = analysis_service.quote(
+      {.portfolio_id = "book", .window = core::CoverageWindow{0.5f, 1.0f}});
+  report_latency("rest-of-season (window)", season_response);
+  const core::YearLossTable& remainder = season_response.outcome->ylt;
   io::TextTable season({"layer", "full-year EL", "remaining-half EL"});
   for (std::size_t l = 0; l < portfolio.num_layers(); ++l) {
     const metrics::EpCurve full(ylt.layer_losses(l));

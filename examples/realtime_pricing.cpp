@@ -2,23 +2,24 @@
 // different contractual terms and pricing while discussing a deal with a
 // client over the phone."
 //
-// The expensive inputs (YET, ELT lookup tables) are built once; each
-// what-if quote then re-runs aggregate analysis for a single layer with
-// new terms and reports the quote and its latency. With ~50K trials the
-// paper targets sub-second re-quotes.
+// Hosted on the resident analysis service (src/service/): the expensive
+// inputs (YET, ELT lookup tables, thread pool) are loaded once into an
+// AnalysisService; each what-if quote is a terms override on the registered
+// book. The first quote runs cold and captures the book's ground-up losses;
+// every later terms tweak replays them (delta re-pricing — no event fetch,
+// no ELT lookups), a repeat of a structure is a cache hit, and all three
+// latencies are printed side by side.
 //
 //   $ ./realtime_pricing [num_trials]
 //
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
 
-#include "core/analysis.hpp"
 #include "elt/synthetic.hpp"
 #include "metrics/ep_curve.hpp"
-#include "parallel/thread_pool.hpp"
 #include "pricing/pricing.hpp"
+#include "service/analysis_service.hpp"
 #include "yet/generator.hpp"
 
 namespace {
@@ -32,7 +33,6 @@ struct Proposal {
 
 int main(int argc, char** argv) {
   using namespace are;
-  using Clock = std::chrono::steady_clock;
 
   const std::uint64_t trials = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 50'000;
   constexpr std::size_t kCatalogSize = 500'000;
@@ -41,13 +41,11 @@ int main(int argc, char** argv) {
   // --- One-off setup (happens before the phone rings) ---------------------
   std::printf("preparing book: %llu trials, %zu ELTs over a %zu-event catalog...\n",
               static_cast<unsigned long long>(trials), kNumElts, kCatalogSize);
-  const auto setup_start = Clock::now();
 
   yet::YetConfig yet_config;
   yet_config.num_trials = trials;
   yet_config.events_per_trial = 1000.0;
   yet_config.count_model = yet::CountModel::kPoisson;
-  const yet::YearEventTable yet_table = yet::generate_uniform_yet(yet_config, kCatalogSize);
 
   core::Layer book;
   book.id = 1;
@@ -63,10 +61,15 @@ int main(int argc, char** argv) {
     layer_elt.terms.share = 0.85;
     book.elts.push_back(std::move(layer_elt));
   }
-  parallel::ThreadPool pool;  // reused across quotes
+  core::Portfolio portfolio;
+  portfolio.layers.push_back(std::move(book));
 
-  const double setup_seconds = std::chrono::duration<double>(Clock::now() - setup_start).count();
-  std::printf("setup done in %.2f s\n\n", setup_seconds);
+  // The resident service owns the YET and the warm thread pool; the book is
+  // registered once and every quote below is a terms override against it.
+  service::AnalysisService analysis_service(
+      yet::generate_uniform_yet(yet_config, kCatalogSize), {});
+  analysis_service.register_portfolio("deal", std::move(portfolio));
+  std::printf("setup done\n\n");
 
   // --- The phone call: five alternative structures -------------------------
   const std::vector<Proposal> proposals = {
@@ -77,25 +80,29 @@ int main(int argc, char** argv) {
       {"20M xs 20M occ + 10M agg deductible", {20e6, 20e6, 10e6, financial::kUnlimited}},
   };
 
-  core::Portfolio portfolio;
-  portfolio.layers.push_back(book);
+  const auto quote_once = [&](const Proposal& proposal) {
+    service::QuoteRequest request;
+    request.portfolio_id = "deal";
+    request.overrides.push_back({1, proposal.terms});
+    const service::QuoteResponse response = analysis_service.quote(request);
+    const metrics::EpCurve curve(response.outcome->ylt.layer_losses(0));
+    std::printf("%-38s -> %s | 250y PML %.1fM | %s in %.1f ms\n", proposal.description,
+                pricing::describe(response.outcome->quotes[0]).c_str(),
+                curve.probable_maximum_loss(250.0) / 1e6,
+                std::string(service::to_string(response.source)).c_str(),
+                1e3 * response.wall_seconds);
+    return response;
+  };
 
-  for (const Proposal& proposal : proposals) {
-    const auto quote_start = Clock::now();
-    portfolio.layers[0].terms = proposal.terms;
+  // First pass: quote 1 is cold (and captures the ground-up losses); quotes
+  // 2-5 are terms-only changes, so they replay as deltas.
+  for (const Proposal& proposal : proposals) quote_once(proposal);
 
-    // Borrowed pool: the engine reuses the warm workers across quotes.
-    const auto ylt = core::run({portfolio, yet_table, {.pool = &pool}});
-    const auto quote = pricing::price_layer(ylt.layer_losses(0), proposal.terms);
-    const metrics::EpCurve curve(ylt.layer_losses(0));
+  // The client circles back to the first structure: a result-cache hit.
+  std::printf("\nclient returns to the opening structure:\n");
+  quote_once(proposals[0]);
 
-    const double millis =
-        1e3 * std::chrono::duration<double>(Clock::now() - quote_start).count();
-    std::printf("%-38s -> %s | 250y PML %.1fM | quoted in %.0f ms\n", proposal.description,
-                pricing::describe(quote).c_str(), curve.probable_maximum_loss(250.0) / 1e6,
-                millis);
-  }
-
-  std::printf("\n(paper target: sub-second re-quotes at 50K trials)\n");
+  std::printf("\n(paper target: sub-second re-quotes at 50K trials; the delta path\n"
+              " re-runs only the terms + aggregation phases over cached losses)\n");
   return 0;
 }

@@ -32,6 +32,10 @@ void AnalysisConfig::validate() const {
   if (sharding.shard_trials == 0) {
     throw std::invalid_argument("AnalysisConfig: sharding.shard_trials must be > 0");
   }
+  if (ground_up_capture != nullptr && ground_up_replay != nullptr) {
+    throw std::invalid_argument(
+        "AnalysisConfig: ground_up_capture and ground_up_replay are mutually exclusive");
+  }
 }
 
 namespace {

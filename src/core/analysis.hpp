@@ -24,6 +24,8 @@
 
 namespace are::core {
 
+class GroundUpLossCache;  // core/trial_kernel.hpp
+
 /// Every execution strategy the registry knows about. The enumerators are
 /// stable identifiers; their canonical string names (used by the CLI and
 /// config files) live in the EngineRegistry descriptors.
@@ -168,6 +170,19 @@ struct AnalysisConfig {
   /// requires an engine whose descriptor sets supports_pool_reuse
   /// (kParallel, kSimd). nullptr = the engine owns its threads.
   parallel::ThreadPool* pool = nullptr;
+
+  /// Delta execution (core/trial_kernel.hpp GroundUpLossCache; the resident
+  /// service's fast path — see src/service/). Capture: this run additionally
+  /// records its combined pre-occurrence-terms losses into the cache (shape
+  /// must be portfolio layers x YET total events). Replay: this run skips
+  /// the fetch/lookup/financial phases and reads the combined losses from
+  /// the cache — valid only when the portfolio's ELT sets and per-ELT
+  /// FinancialTerms are unchanged since capture (LayerTerms and the window
+  /// may differ), bit-identical to a cold run by construction. Any engine
+  /// accepts either pointer (they parameterize the shared kernel); setting
+  /// both is rejected. Borrowed, not owned.
+  GroundUpLossCache* ground_up_capture = nullptr;
+  const GroundUpLossCache* ground_up_replay = nullptr;
 
   /// Engine-independent sanity checks; throws std::invalid_argument on a
   /// malformed window, partition_chunk == 0, chunk_size == 0, or

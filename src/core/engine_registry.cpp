@@ -32,6 +32,11 @@ ResolvedExecution resolve_execution(const AnalysisRequest& request, EngineKind k
   ResolvedExecution resolved;
   resolved.config.window = config.window;
   resolved.config.instrument = config.collect_phases || kind == EngineKind::kInstrumented;
+  // Ground-up capture/replay parameterize the shared kernel, so every
+  // builtin supports delta execution uniformly (schedule and lane width
+  // never change the captured or replayed bytes).
+  resolved.config.ground_up_capture = config.ground_up_capture;
+  resolved.config.ground_up_replay = config.ground_up_replay;
   resolved.launch.num_threads = config.num_threads;
   resolved.launch.pool = config.pool;  // non-null only past the capability check
 

@@ -186,6 +186,8 @@ class KernelImpl final : public TrialBlockKernel::Impl {
       : yet_(&yet_table),
         event_chunk_(config.event_chunk),
         instrument_(config.instrument),
+        capture_(config.ground_up_capture),
+        replay_(config.ground_up_replay),
         sink_(sink),
         sink_block_(sink != nullptr ? sink->block_trials() : 0) {
     if (config.window && !config.window->full_year()) {
@@ -232,13 +234,17 @@ class KernelImpl final : public TrialBlockKernel::Impl {
       // Stream the head of the NEXT block's event ids toward the cache while
       // this block computes (16 u32 ids per 64-byte line). The burst is
       // capped: past ~4 KB the lines would be evicted again before the
-      // multi-layer compute reaches them.
-      constexpr std::uint64_t kPrefetchIds = 1024;  // 64 cache lines
-      const std::uint64_t n1 = std::min<std::uint64_t>(t1 + block_trials, last);
-      const std::uint64_t next_end =
-          std::min<std::uint64_t>(offsets[n1], offsets[t1] + kPrefetchIds);
-      for (std::uint64_t p = offsets[t1]; p < next_end; p += 16) {
-        simd::prefetch_read(all_events + p);
+      // multi-layer compute reaches them. A replay block never reads event
+      // ids (combined losses come from the ground-up cache), so the
+      // prefetch is skipped.
+      if (replay_ == nullptr) {
+        constexpr std::uint64_t kPrefetchIds = 1024;  // 64 cache lines
+        const std::uint64_t n1 = std::min<std::uint64_t>(t1 + block_trials, last);
+        const std::uint64_t next_end =
+            std::min<std::uint64_t>(offsets[n1], offsets[t1] + kPrefetchIds);
+        for (std::uint64_t p = offsets[t1]; p < next_end; p += 16) {
+          simd::prefetch_read(all_events + p);
+        }
       }
 
       {
@@ -253,6 +259,14 @@ class KernelImpl final : public TrialBlockKernel::Impl {
       registry.counter("kernel.blocks").add(blocks);
       registry.counter("kernel.trials").add(last - first);
       registry.counter("kernel.events").add(offsets[last] - offsets[first]);
+      if (replay_ != nullptr) {
+        registry.counter("kernel.ground_up.replayed_events")
+            .add(offsets[last] - offsets[first]);
+      }
+      if (capture_ != nullptr) {
+        registry.counter("kernel.ground_up.captured_events")
+            .add(offsets[last] - offsets[first]);
+      }
     }
   }
 
@@ -274,17 +288,38 @@ class KernelImpl final : public TrialBlockKernel::Impl {
       for (std::size_t layer_index = 0; layer_index < plans_.size(); ++layer_index) {
         const LayerPlan<V>& plan = plans_[layer_index];
         double* combined = scratch.combined.data();
-        // Phase 1+2: batch ELT lookups + financial terms across ELTs, then
-        // occurrence terms — staged in event_chunk-bounded spans (the whole
-        // block when unconstrained).
-        for (std::size_t c0 = 0; c0 < count; c0 += chunk) {
-          const std::size_t n = std::min(chunk, count - c0);
-          if (!plan.direct.empty()) {
-            combine_elts_direct<V>(plan, events + c0, n, combined + c0);
-          } else {
-            combine_elts_generic<V>(plan, events + c0, n, combined + c0, scratch.raw);
+        if (replay_ != nullptr) {
+          // Delta execution: the combined pre-occurrence losses were
+          // captured by an earlier full run; copy them in and skip the
+          // fetch/lookup/financial phases entirely. The copied doubles are
+          // the very values the full run computed, and occurrence terms are
+          // elementwise (min/max/sub, no cross-lane or cross-chunk state),
+          // so the bytes below match a cold run exactly.
+          const double* cached =
+              replay_->layer_values(layer_index) + static_cast<std::size_t>(ev0);
+          std::copy(cached, cached + count, combined);
+          apply_occurrence_terms<V>(plan, combined, count);
+        } else {
+          // Phase 1+2: batch ELT lookups + financial terms across ELTs, then
+          // occurrence terms — staged in event_chunk-bounded spans (the whole
+          // block when unconstrained).
+          for (std::size_t c0 = 0; c0 < count; c0 += chunk) {
+            const std::size_t n = std::min(chunk, count - c0);
+            if (!plan.direct.empty()) {
+              combine_elts_direct<V>(plan, events + c0, n, combined + c0);
+            } else {
+              combine_elts_generic<V>(plan, events + c0, n, combined + c0, scratch.raw);
+            }
+            if (capture_ != nullptr) {
+              // Capture between combine and the in-place occurrence terms:
+              // this chunk's slice is final combined losses right here.
+              // Concurrent blocks write disjoint [ev0, ev0+count) ranges.
+              std::copy(combined + c0, combined + c0 + n,
+                        capture_->layer_values(layer_index) +
+                            static_cast<std::size_t>(ev0) + c0);
+            }
+            apply_occurrence_terms<V>(plan, combined + c0, n);
           }
-          apply_occurrence_terms<V>(plan, combined + c0, n);
         }
         double* row = sink_ != nullptr
                           ? scratch.block_losses.data() + layer_index * num_block_trials
@@ -324,33 +359,53 @@ class KernelImpl final : public TrialBlockKernel::Impl {
     PhaseBreakdown& phases = scratch.phases;
 
     auto stamp = Clock::now();
-    scratch.staged_events.assign(events, events + count);
+    // A replay block never reads the event ids (combined losses come from
+    // the ground-up cache) — only the timestamps the aggregate recurrence
+    // filters on. Its fetch phase is the staging of those plus, per layer
+    // below, the cached-loss copy; lookup/financial stay exactly zero.
+    if (replay_ == nullptr) scratch.staged_events.assign(events, events + count);
     scratch.staged_times.assign(times, times + count);
     auto now = Clock::now();
     phases.fetch_seconds += seconds_between(stamp, now);
     stamp = now;
 
     double* combined = scratch.combined.data();
-    scratch.raw.resize(count);
+    if (replay_ == nullptr) scratch.raw.resize(count);
     const std::size_t num_block_trials = static_cast<std::size_t>(t1 - t0);
 
     for (std::size_t layer_index = 0; layer_index < plans_.size(); ++layer_index) {
       const LayerPlan<V>& plan = plans_[layer_index];
       const std::vector<LayerElt>& elts = plan.layer->elts;
       scratch.accesses.events_fetched += count;
-      for (std::size_t e = 0; e < elts.size(); ++e) {
+      if (replay_ != nullptr) {
         stamp = Clock::now();
-        {
-          obs::Span span("elt.lookup_many", "elt");
-          elts[e].lookup->lookup_many(scratch.staged_events.data(), count, scratch.raw.data());
+        const double* cached =
+            replay_->layer_values(layer_index) + static_cast<std::size_t>(ev0);
+        std::copy(cached, cached + count, combined);
+        phases.fetch_seconds += seconds_between(stamp, Clock::now());
+      } else {
+        for (std::size_t e = 0; e < elts.size(); ++e) {
+          stamp = Clock::now();
+          {
+            obs::Span span("elt.lookup_many", "elt");
+            elts[e].lookup->lookup_many(scratch.staged_events.data(), count, scratch.raw.data());
+          }
+          now = Clock::now();
+          phases.lookup_seconds += seconds_between(stamp, now);
+          fold_raw_losses<V>(plan, e, scratch.raw.data(), count, combined);
+          phases.financial_seconds += seconds_between(now, Clock::now());
         }
-        now = Clock::now();
-        phases.lookup_seconds += seconds_between(stamp, now);
-        fold_raw_losses<V>(plan, e, scratch.raw.data(), count, combined);
-        phases.financial_seconds += seconds_between(now, Clock::now());
+        scratch.accesses.elt_lookups += elts.size() * count;
+        scratch.accesses.financial_applications += elts.size() * count;
+        if (capture_ != nullptr) {
+          // The combined buffer is final pre-occurrence right here; the
+          // capture copy is data placement, so it lands in the output phase.
+          stamp = Clock::now();
+          std::copy(combined, combined + count,
+                    capture_->layer_values(layer_index) + static_cast<std::size_t>(ev0));
+          phases.output_seconds += seconds_between(stamp, Clock::now());
+        }
       }
-      scratch.accesses.elt_lookups += elts.size() * count;
-      scratch.accesses.financial_applications += elts.size() * count;
 
       stamp = Clock::now();
       apply_occurrence_terms<V>(plan, combined, count);
@@ -370,6 +425,8 @@ class KernelImpl final : public TrialBlockKernel::Impl {
   const CoverageWindow* window_ = nullptr;  // null = full year
   std::size_t event_chunk_;
   bool instrument_;
+  GroundUpLossCache* capture_;        // null = no capture
+  const GroundUpLossCache* replay_;   // null = full run
   YltSink* sink_;
   std::uint64_t sink_block_;
 };
@@ -420,6 +477,27 @@ TrialBlockKernel::TrialBlockKernel(const Portfolio& portfolio,
   if (config.window) config.window->validate();
   if ((ylt == nullptr) == (sink == nullptr)) {
     throw std::invalid_argument("trial kernel: exactly one of YLT / sink must be given");
+  }
+  if (config.ground_up_capture != nullptr && config.ground_up_replay != nullptr) {
+    throw std::invalid_argument(
+        "trial kernel: ground_up_capture and ground_up_replay are mutually exclusive");
+  }
+  const auto check_cache_shape = [&](const GroundUpLossCache& cache, const char* which) {
+    if (cache.num_layers() != portfolio.layers.size() ||
+        cache.total_events() != yet_table.total_events()) {
+      throw std::invalid_argument(
+          std::string("trial kernel: ") + which + " cache shape (" +
+          std::to_string(cache.num_layers()) + " layers x " +
+          std::to_string(cache.total_events()) + " events) does not match the run (" +
+          std::to_string(portfolio.layers.size()) + " layers x " +
+          std::to_string(yet_table.total_events()) + " events)");
+    }
+  };
+  if (config.ground_up_capture != nullptr) {
+    check_cache_shape(*config.ground_up_capture, "ground-up capture");
+  }
+  if (config.ground_up_replay != nullptr) {
+    check_cache_shape(*config.ground_up_replay, "ground-up replay");
   }
   SimdExtension extension = config.extension;
   if (extension == SimdExtension::kAuto) extension = best_simd_extension();

@@ -38,6 +38,55 @@
 
 namespace are::core {
 
+/// Per-(layer, event-occurrence) *combined* losses: the exact intermediate
+/// the kernel produces after the ELT lookups and per-ELT financial terms
+/// have been folded across a layer's ELTs, but BEFORE the layer's
+/// occurrence terms touch the buffer. This is the delta-execution cache of
+/// the resident service (src/service/): the buffer depends on the YET and
+/// the layers' ELT sets + FinancialTerms, but not on LayerTerms or on the
+/// coverage window (windows only filter inside the aggregate recurrence).
+/// A request that differs from a captured run only in layer terms or
+/// window can therefore skip the fetch + lookup + financial phases — ~78%
+/// of runtime per Fig 6b — and replay the cached values through occurrence
+/// terms + aggregation, bit-identical to a full run by construction
+/// (capture copies the very doubles the full run computes).
+///
+/// Layout: layer-major, one double per YET event occurrence
+/// (num_layers x total_events). Capture writes disjoint event ranges from
+/// concurrent workers; replay is read-only, so one cache can serve many
+/// concurrent replays.
+class GroundUpLossCache {
+ public:
+  GroundUpLossCache(std::size_t num_layers, std::uint64_t total_events)
+      : num_layers_(num_layers),
+        total_events_(total_events),
+        values_(num_layers * static_cast<std::size_t>(total_events), 0.0) {}
+
+  std::size_t num_layers() const noexcept { return num_layers_; }
+  std::uint64_t total_events() const noexcept { return total_events_; }
+
+  double* layer_values(std::size_t layer_index) noexcept {
+    return values_.data() + layer_index * static_cast<std::size_t>(total_events_);
+  }
+  const double* layer_values(std::size_t layer_index) const noexcept {
+    return values_.data() + layer_index * static_cast<std::size_t>(total_events_);
+  }
+
+  std::size_t memory_bytes() const noexcept { return values_.size() * sizeof(double); }
+
+  /// What a capture for this shape would cost — the admission-side check
+  /// before allocating (layers x events x 8 B).
+  static std::size_t estimate_bytes(std::size_t num_layers,
+                                    std::uint64_t total_events) noexcept {
+    return num_layers * static_cast<std::size_t>(total_events) * sizeof(double);
+  }
+
+ private:
+  std::size_t num_layers_ = 0;
+  std::uint64_t total_events_ = 0;
+  std::vector<double> values_;
+};
+
 /// What the kernel computes per block — the cross-cutting knobs every
 /// driver shares. Scheduling lives in KernelLaunch, not here.
 struct TrialKernelConfig {
@@ -66,6 +115,22 @@ struct TrialKernelConfig {
   /// fetch phase), per-phase timers around the lookup/financial/layer
   /// sweeps, and the paper's access counts accumulated per scratch.
   bool instrument = false;
+
+  /// Capture: every block additionally copies its combined per-event losses
+  /// (post-financial-terms, pre-occurrence-terms) into this cache. Workers
+  /// write disjoint event ranges of the pre-sized buffer, so concurrent
+  /// blocks are safe. The cache shape must match the run
+  /// (portfolio layers x YET total events); the kernel constructor throws
+  /// otherwise. Never changes the output bytes.
+  GroundUpLossCache* ground_up_capture = nullptr;
+
+  /// Replay (delta execution): skip the fetch/lookup/financial phases and
+  /// read each layer's combined losses from this cache instead, then run
+  /// occurrence terms + aggregation as usual. Produces exactly the bytes a
+  /// full run with the same layer terms and window would — and performs
+  /// zero ELT lookups (`elt.*.lookups` and `kernel.phase.lookup_ns` stay 0).
+  /// Mutually exclusive with ground_up_capture; shape-checked like it.
+  const GroundUpLossCache* ground_up_replay = nullptr;
 };
 
 /// Per-worker scratch, reused across every block a worker executes (via

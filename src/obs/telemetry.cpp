@@ -61,6 +61,28 @@ std::int64_t Snapshot::gauge_value(std::string_view name) const noexcept {
   return 0;
 }
 
+Snapshot Snapshot::diff(const Snapshot& earlier) const {
+  Snapshot delta;
+  delta.counters.reserve(counters.size());
+  for (const CounterSample& c : counters) {
+    const std::uint64_t before = earlier.counter_value(c.name);
+    delta.counters.push_back({c.name, c.value >= before ? c.value - before : c.value});
+  }
+  delta.gauges = gauges;  // point-in-time levels: the later reading stands
+  delta.histograms.reserve(histograms.size());
+  for (const HistogramSample& h : histograms) {
+    HistogramSample sample = h;
+    for (const HistogramSample& e : earlier.histograms) {
+      if (e.name != h.name) continue;
+      sample.count = h.count >= e.count ? h.count - e.count : h.count;
+      sample.sum_ns = h.sum_ns >= e.sum_ns ? h.sum_ns - e.sum_ns : h.sum_ns;
+      break;
+    }
+    delta.histograms.push_back(sample);
+  }
+  return delta;
+}
+
 TelemetryRegistry& TelemetryRegistry::global() {
   static TelemetryRegistry registry;
   return registry;

@@ -160,6 +160,19 @@ struct Snapshot {
   /// Counter value by exact name; 0 when absent (tests and admission logic).
   std::uint64_t counter_value(std::string_view name) const noexcept;
   std::int64_t gauge_value(std::string_view name) const noexcept;
+
+  /// The change since `earlier` — the per-request reporting primitive of
+  /// the resident service, where the registry otherwise accumulates for the
+  /// life of the process. Counters and histogram count/sum subtract
+  /// (clamped at zero, so a reset() between the snapshots never
+  /// underflows); gauges keep this snapshot's level (a gauge is a
+  /// point-in-time reading, not an accumulation); histogram min/max carry
+  /// this snapshot's values (the interval's extrema are not recoverable
+  /// from two endpoint snapshots). Instruments that exist only in `this`
+  /// are kept whole; instruments only in `earlier` are dropped. With
+  /// overlapping concurrent requests the process-global counters attribute
+  /// the overlap to both diffs.
+  Snapshot diff(const Snapshot& earlier) const;
 };
 
 /// The process-wide instrument registry. Names are dotted lowercase paths

@@ -1,0 +1,211 @@
+#include "service/analysis_service.hpp"
+
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+#include "core/engine_registry.hpp"
+
+namespace are::service {
+
+namespace {
+
+/// The book's portfolio with the request's terms overrides applied. Returns
+/// the book's own shared_ptr when there is nothing to override (the common
+/// repricing loop allocates nothing).
+std::shared_ptr<const core::Portfolio> effective_portfolio(
+    const PortfolioSession::BookSnapshot& book, const QuoteRequest& request) {
+  if (request.overrides.empty()) return book.portfolio;
+  auto copy = std::make_shared<core::Portfolio>(*book.portfolio);
+  for (const TermsOverride& override_ : request.overrides) {
+    override_.terms.validate();
+    bool found = false;
+    for (core::Layer& layer : copy->layers) {
+      if (layer.id != override_.layer_id) continue;
+      layer.terms = override_.terms;
+      found = true;
+      break;
+    }
+    if (!found) {
+      throw std::invalid_argument("terms override names unknown layer " +
+                                  std::to_string(override_.layer_id));
+    }
+  }
+  return copy;
+}
+
+}  // namespace
+
+std::string_view to_string(QuoteSource source) noexcept {
+  switch (source) {
+    case QuoteSource::kRejected:
+      return "rejected";
+    case QuoteSource::kCold:
+      return "cold";
+    case QuoteSource::kCached:
+      return "cached";
+    case QuoteSource::kDelta:
+      return "delta";
+  }
+  return "unknown";
+}
+
+AnalysisService::AnalysisService(yet::YearEventTable yet_table, ServiceConfig config)
+    : config_(std::move(config)),
+      session_(std::move(yet_table), config_.session),
+      broker_(config_.broker),
+      cache_(config_.cache_entries) {}
+
+void AnalysisService::register_portfolio(std::string id, core::Portfolio portfolio) {
+  cache_.invalidate(id);
+  session_.register_portfolio(std::move(id), std::move(portfolio));
+}
+
+void AnalysisService::update_layer_terms(std::string_view id, std::uint32_t layer_id,
+                                         const financial::LayerTerms& terms) {
+  session_.update_layer_terms(id, layer_id, terms);
+  cache_.invalidate(id);
+}
+
+std::uint64_t AnalysisService::fingerprint_of(std::string_view portfolio_id,
+                                              std::uint64_t generation,
+                                              const core::Portfolio& effective,
+                                              std::string_view engine_name,
+                                              const QuoteRequest& request) const {
+  Fingerprint fp;
+  fp.mix(portfolio_id).mix(generation).mix(engine_name);
+  fp.mix(session_.yet_table().num_trials()).mix(session_.yet_table().total_events());
+  fp.mix(request.window.has_value() ? 1u : 0u);
+  if (request.window.has_value()) {
+    fp.mix_double(request.window->from).mix_double(request.window->to);
+  }
+  fp.mix(request.collect_phases ? 1u : 0u);
+  for (const core::Layer& layer : effective.layers) {
+    fp.mix(layer.id);
+    fp.mix_double(layer.terms.occurrence_retention)
+        .mix_double(layer.terms.occurrence_limit)
+        .mix_double(layer.terms.aggregate_retention)
+        .mix_double(layer.terms.aggregate_limit);
+    fp.mix(layer.elts.size());
+    for (const core::LayerElt& elt : layer.elts) {
+      fp.mix_double(elt.terms.occurrence_retention)
+          .mix_double(elt.terms.occurrence_limit)
+          .mix_double(elt.terms.share)
+          .mix_double(elt.terms.currency_rate);
+    }
+  }
+  return fp.value();
+}
+
+QuoteResponse AnalysisService::quote(const QuoteRequest& request) {
+  auto& registry = obs::TelemetryRegistry::global();
+  const bool telemetry_on = obs::enabled();
+  const obs::Snapshot before = telemetry_on ? registry.snapshot() : obs::Snapshot{};
+  registry.counter("service.requests").increment();
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  if (request.window.has_value()) request.window->validate();
+  const PortfolioSession::BookSnapshot book = session_.snapshot(request.portfolio_id);
+  const std::shared_ptr<const core::Portfolio> portfolio =
+      effective_portfolio(book, request);
+  const std::string& engine_name =
+      request.engine.empty() ? config_.default_engine : request.engine;
+  const core::EngineDescriptor& descriptor =
+      core::EngineRegistry::global().require(engine_name);
+
+  QuoteResponse response;
+  response.engine = engine_name;
+  response.fingerprint =
+      fingerprint_of(request.portfolio_id, book.generation, *portfolio, engine_name,
+                     request);
+
+  auto finish = [&](QuoteResponse&& done) {
+    done.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start)
+            .count();
+    if (telemetry_on) done.telemetry = registry.snapshot().diff(before);
+    return std::move(done);
+  };
+
+  if (request.use_cache) {
+    if (auto hit = cache_.get(response.fingerprint)) {
+      registry.counter("service.cache_hits").increment();
+      response.source = QuoteSource::kCached;
+      response.admission.message = "served from result cache";
+      response.outcome = std::move(hit);
+      return finish(std::move(response));
+    }
+    registry.counter("service.cache_misses").increment();
+  }
+
+  const std::uint64_t cost =
+      RequestBroker::estimate_cost(*portfolio, session_.yet_table());
+  response.admission = broker_.admit(cost);
+  if (!response.admission.admitted()) {
+    response.source = QuoteSource::kRejected;
+    return finish(std::move(response));
+  }
+
+  // Delta decision. Replay needs a ground-up cache published at this
+  // structure generation (terms overrides and windows never invalidate it);
+  // otherwise a cold run may claim the capture slot and produce one.
+  const std::shared_ptr<const core::GroundUpLossCache> replay =
+      request.use_delta ? book.ground_up : nullptr;
+  std::shared_ptr<core::GroundUpLossCache> capture;
+  if (request.use_delta && replay == nullptr) {
+    const std::size_t bytes = core::GroundUpLossCache::estimate_bytes(
+        portfolio->layers.size(), session_.yet_table().total_events());
+    if (session_.try_claim_capture(request.portfolio_id, book.structure_generation,
+                                   bytes)) {
+      capture = std::make_shared<core::GroundUpLossCache>(
+          portfolio->layers.size(), session_.yet_table().total_events());
+    }
+  }
+
+  core::AnalysisConfig config;
+  config.engine = descriptor.kind;
+  config.engine_name = engine_name;
+  config.num_threads = config_.session.num_threads;
+  config.window = request.window;
+  if (descriptor.supports_pool_reuse) config.pool = &session_.pool();
+  config.ground_up_replay = replay.get();
+  config.ground_up_capture = capture.get();
+  core::InstrumentationSink sink;
+  if (request.collect_phases) {
+    config.instrumentation = &sink;
+    config.collect_phases = true;
+  }
+
+  auto outcome = std::make_shared<QuoteOutcome>();
+  try {
+    outcome->ylt = core::run({*portfolio, session_.yet_table(), config});
+  } catch (...) {
+    broker_.release(cost);
+    if (capture != nullptr) session_.abandon_capture(request.portfolio_id);
+    throw;
+  }
+  broker_.release(cost);
+  if (capture != nullptr) {
+    session_.publish_ground_up(request.portfolio_id, book.structure_generation,
+                               std::move(capture));
+  }
+
+  outcome->quotes.reserve(portfolio->layers.size());
+  for (std::size_t i = 0; i < portfolio->layers.size(); ++i) {
+    outcome->quotes.push_back(pricing::price_layer(
+        outcome->ylt.layer_losses(i), portfolio->layers[i].terms, config_.assumptions));
+  }
+  if (sink.phases.has_value()) outcome->phases = sink.phases;
+
+  response.source = replay != nullptr ? QuoteSource::kDelta : QuoteSource::kCold;
+  registry
+      .counter(replay != nullptr ? "service.delta_runs" : "service.cold_runs")
+      .increment();
+  response.outcome = outcome;
+  if (request.use_cache) {
+    cache_.put(response.fingerprint, request.portfolio_id, outcome);
+  }
+  return finish(std::move(response));
+}
+
+}  // namespace are::service

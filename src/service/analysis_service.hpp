@@ -1,0 +1,130 @@
+#pragma once
+
+// The resident analysis service: PortfolioSession (resident YET + pool +
+// books) + RequestBroker (cost-aware admission off the telemetry registry)
+// + ResultCache (fingerprint-keyed quotes) + the delta executor (ground-up
+// loss capture/replay through the trial kernel), composed behind one
+// quote() call. This is what `are_cli serve` hosts; tests drive it
+// in-process.
+//
+// A quote resolves in one of four ways, in order:
+//
+//   cached — the fingerprint (portfolio id + generation, effective terms,
+//            engine, trial count, window, phases flag) hits the result
+//            cache: no admission, no engine, the shared outcome is returned
+//            as-is. Bit-identical to the run that populated it by identity.
+//   rejected — the broker refuses admission (structured reason: request
+//            too large, queue full, memory pressure); outcome is null.
+//   delta  — the book has published ground-up losses and the request only
+//            varies layer terms / window / trial aggregation: the kernel
+//            replays the cached combined losses, skipping the fetch +
+//            lookup + per-ELT financial phases entirely (zero elt.*.lookups
+//            by construction) and re-running occurrence terms and the
+//            aggregate recurrence. Bit-identical to a cold run.
+//   cold   — full execution; opportunistically captures ground-up losses
+//            (claim/publish protocol, budget-gated) so the *next* terms
+//            tweak is a delta.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/analysis.hpp"
+#include "obs/telemetry.hpp"
+#include "pricing/pricing.hpp"
+#include "service/portfolio_session.hpp"
+#include "service/request_broker.hpp"
+#include "service/result_cache.hpp"
+
+namespace are::service {
+
+struct ServiceConfig {
+  SessionConfig session;
+  BrokerConfig broker;
+  std::size_t cache_entries = 64;
+  pricing::PricingAssumptions assumptions;
+  /// Registry name used when a request does not name an engine.
+  std::string default_engine = "fused";
+};
+
+/// Per-request replacement of one layer's terms, applied on top of the
+/// registered book without mutating it — the what-if probe of a pricing
+/// session. Layer terms sit after the ground-up combine stage, so an
+/// override never invalidates the delta fast path.
+struct TermsOverride {
+  std::uint32_t layer_id = 0;
+  financial::LayerTerms terms;
+};
+
+struct QuoteRequest {
+  std::string portfolio_id;
+  std::vector<TermsOverride> overrides;
+  /// Engine registry name; empty = ServiceConfig::default_engine.
+  std::string engine;
+  std::optional<core::CoverageWindow> window;
+  /// Fill QuoteOutcome::phases (Fig-6b attribution for this request).
+  bool collect_phases = false;
+  /// false bypasses the result cache (lookup and insert) — forces execution.
+  bool use_cache = true;
+  /// false forbids ground-up replay *and* capture — forces the cold path.
+  bool use_delta = true;
+};
+
+enum class QuoteSource { kRejected, kCold, kCached, kDelta };
+std::string_view to_string(QuoteSource source) noexcept;
+
+struct QuoteResponse {
+  QuoteSource source = QuoteSource::kRejected;
+  AdmissionDecision admission;
+  /// Null exactly when rejected. Shared with the cache: hits alias the
+  /// original outcome.
+  std::shared_ptr<const QuoteOutcome> outcome;
+  std::uint64_t fingerprint = 0;
+  std::string engine;
+  double wall_seconds = 0.0;
+  /// Registry change over this request (Snapshot::diff of before/after),
+  /// present when telemetry collection is enabled. Exact per-request
+  /// attribution only without overlapping requests — the registry is
+  /// process-global.
+  std::optional<obs::Snapshot> telemetry;
+};
+
+class AnalysisService {
+ public:
+  AnalysisService(yet::YearEventTable yet_table, ServiceConfig config = {});
+
+  /// Registers/replaces a book and drops its cached quotes.
+  void register_portfolio(std::string id, core::Portfolio portfolio);
+
+  /// Durable terms-only mutation of the book itself (vs. the per-request
+  /// QuoteRequest::overrides). Drops the book's cached quotes; keeps its
+  /// ground-up losses (see PortfolioSession::update_layer_terms).
+  void update_layer_terms(std::string_view id, std::uint32_t layer_id,
+                          const financial::LayerTerms& terms);
+
+  /// The front door. Throws std::invalid_argument on malformed requests
+  /// (unknown portfolio/layer/engine, bad window); admission refusals are
+  /// returned as kRejected responses, not exceptions.
+  QuoteResponse quote(const QuoteRequest& request);
+
+  PortfolioSession& session() noexcept { return session_; }
+  RequestBroker& broker() noexcept { return broker_; }
+  ResultCache& cache() noexcept { return cache_; }
+  const ServiceConfig& config() const noexcept { return config_; }
+
+ private:
+  std::uint64_t fingerprint_of(std::string_view portfolio_id, std::uint64_t generation,
+                               const core::Portfolio& effective,
+                               std::string_view engine_name,
+                               const QuoteRequest& request) const;
+
+  ServiceConfig config_;
+  PortfolioSession session_;
+  RequestBroker broker_;
+  ResultCache cache_;
+};
+
+}  // namespace are::service

@@ -1,0 +1,101 @@
+#pragma once
+
+// Cost-aware admission control for the resident analysis service.
+//
+// The broker's live state *is* the obs telemetry registry — no bespoke
+// bookkeeping: in-flight load lives in the `service.inflight_requests` /
+// `service.inflight_cost` / `service.queued_requests` gauges (updated
+// unconditionally: they are the admission state store, not optional
+// reporting; broker operations are request-granularity, far off the
+// per-event hot path the zero-cost contract protects), memory pressure is
+// read from the shard store's `shard.resident_bytes` gauge, and the pool
+// load counters (`pool.tasks`, `pool.idle_ns`) are sampled into every
+// decision. The same numbers are therefore visible to every exporter
+// (Prometheus scrape included) with no extra plumbing.
+//
+// A request's cost estimate is its ELT lookup count — layers x YET event
+// occurrences, the paper's ~78%-of-runtime driver (Fig 6b) and the quantity
+// the engines' wall time is linear in.
+
+#include <cstdint>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "core/layer.hpp"
+#include "yet/year_event_table.hpp"
+
+namespace are::service {
+
+struct BrokerConfig {
+  /// Largest single request, in estimated lookups; 0 = unlimited.
+  std::uint64_t max_request_cost = 0;
+  /// Total estimated lookups allowed in flight at once; 0 = unlimited.
+  /// A request that would exceed it queues until running work releases.
+  std::uint64_t max_inflight_cost = 0;
+  /// Requests allowed to wait for capacity before kQueueFull rejections.
+  std::size_t max_queued = 16;
+  /// Reject (under idle) / queue (under load) new work while the shard
+  /// store's resident bytes exceed this; 0 = no memory gate.
+  std::size_t memory_budget_bytes = 0;
+};
+
+enum class AdmissionOutcome { kAdmitted, kRejected };
+
+enum class RejectReason {
+  kNone,          ///< admitted
+  kRequestCost,   ///< the request alone exceeds a cost budget; retrying cannot help
+  kQueueFull,     ///< capacity exists but the wait queue is at max_queued
+  kMemoryPressure ///< shard.resident_bytes over budget with nothing in flight to drain
+};
+
+std::string_view to_string(AdmissionOutcome outcome) noexcept;
+std::string_view to_string(RejectReason reason) noexcept;
+
+/// The structured admission decision: machine-readable outcome/reason plus
+/// the registry readings it was based on and a human sentence.
+struct AdmissionDecision {
+  AdmissionOutcome outcome = AdmissionOutcome::kAdmitted;
+  RejectReason reason = RejectReason::kNone;
+  std::uint64_t estimated_cost = 0;
+  /// service.inflight_cost at decision time (before this request joined).
+  std::uint64_t inflight_cost = 0;
+  /// shard.resident_bytes at decision time.
+  std::int64_t resident_bytes = 0;
+  /// pool.tasks / pool.idle_ns readings at decision time (load context).
+  std::uint64_t pool_tasks = 0;
+  std::uint64_t pool_idle_ns = 0;
+  /// Time spent queued waiting for capacity (0 for immediate decisions).
+  double queue_wait_seconds = 0.0;
+  std::string message;
+
+  bool admitted() const noexcept { return outcome == AdmissionOutcome::kAdmitted; }
+};
+
+class RequestBroker {
+ public:
+  explicit RequestBroker(BrokerConfig config = {});
+
+  /// A request's estimated cost: layers x YET event occurrences (the ELT
+  /// lookup count of one full run).
+  static std::uint64_t estimate_cost(const core::Portfolio& portfolio,
+                                     const yet::YearEventTable& yet_table) noexcept;
+
+  /// Admits, queues (blocking until capacity frees), or rejects. Every
+  /// admitted call must be paired with release(same cost), even on engine
+  /// failure.
+  AdmissionDecision admit(std::uint64_t estimated_cost);
+
+  void release(std::uint64_t estimated_cost);
+
+  const BrokerConfig& config() const noexcept { return config_; }
+
+ private:
+  BrokerConfig config_;
+  std::mutex mutex_;
+  std::condition_variable capacity_freed_;
+  std::size_t waiting_ = 0;  // guarded by mutex_; mirrored in the queued gauge
+};
+
+}  // namespace are::service

@@ -1,0 +1,84 @@
+#include "service/result_cache.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <utility>
+
+#include "obs/telemetry.hpp"
+
+namespace are::service {
+
+namespace {
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+}  // namespace
+
+Fingerprint& Fingerprint::mix(std::uint64_t v) noexcept {
+  for (int byte = 0; byte < 8; ++byte) {
+    hash_ ^= (v >> (8 * byte)) & 0xffu;
+    hash_ *= kFnvPrime;
+  }
+  return *this;
+}
+
+Fingerprint& Fingerprint::mix_double(double v) noexcept {
+  return mix(std::bit_cast<std::uint64_t>(v));
+}
+
+Fingerprint& Fingerprint::mix(std::string_view s) noexcept {
+  for (const char c : s) {
+    hash_ ^= static_cast<unsigned char>(c);
+    hash_ *= kFnvPrime;
+  }
+  // Length terminator so ("ab","c") and ("a","bc") never collide.
+  return mix(static_cast<std::uint64_t>(s.size()));
+}
+
+std::shared_ptr<const QuoteOutcome> ResultCache::get(std::uint64_t key) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  for (Entry& entry : entries_) {
+    if (entry.key != key) continue;
+    entry.last_used = ++tick_;
+    return entry.outcome;
+  }
+  return nullptr;
+}
+
+void ResultCache::put(std::uint64_t key, std::string portfolio_id,
+                      std::shared_ptr<const QuoteOutcome> outcome) {
+  if (max_entries_ == 0) return;
+  std::lock_guard<std::mutex> guard(mutex_);
+  for (Entry& entry : entries_) {
+    if (entry.key != key) continue;
+    entry.portfolio_id = std::move(portfolio_id);
+    entry.outcome = std::move(outcome);
+    entry.last_used = ++tick_;
+    return;
+  }
+  if (entries_.size() >= max_entries_) {
+    auto victim = std::min_element(
+        entries_.begin(), entries_.end(),
+        [](const Entry& a, const Entry& b) { return a.last_used < b.last_used; });
+    entries_.erase(victim);
+    obs::TelemetryRegistry::global().counter("service.cache.evictions").increment();
+  }
+  entries_.push_back({key, std::move(portfolio_id), std::move(outcome), ++tick_});
+}
+
+std::size_t ResultCache::invalidate(std::string_view portfolio_id) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  const std::size_t before = entries_.size();
+  std::erase_if(entries_,
+                [&](const Entry& entry) { return entry.portfolio_id == portfolio_id; });
+  const std::size_t dropped = before - entries_.size();
+  if (dropped != 0) {
+    obs::TelemetryRegistry::global().counter("service.cache.invalidations").add(dropped);
+  }
+  return dropped;
+}
+
+std::size_t ResultCache::size() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return entries_.size();
+}
+
+}  // namespace are::service

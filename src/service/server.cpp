@@ -1,0 +1,430 @@
+#include "service/server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "io/csv.hpp"
+#include "obs/export.hpp"
+
+namespace are::service {
+
+namespace {
+
+// ---- protocol parsing -----------------------------------------------------
+
+/// key=value tokens after the verb. Values may not contain spaces (paths
+/// with spaces are not supported by the protocol — documented limitation).
+std::map<std::string, std::string> parse_fields(const std::string& line,
+                                                std::string& verb) {
+  std::istringstream in(line);
+  in >> verb;
+  std::map<std::string, std::string> fields;
+  std::string token;
+  while (in >> token) {
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("malformed token '" + token + "' (expected key=value)");
+    }
+    fields[token.substr(0, eq)] = token.substr(eq + 1);
+  }
+  return fields;
+}
+
+double parse_amount(const std::string& value, const std::string& key) {
+  if (value == "inf" || value == "unlimited") return financial::kUnlimited;
+  std::size_t consumed = 0;
+  double parsed = 0.0;
+  try {
+    parsed = std::stod(value, &consumed);
+  } catch (const std::exception&) {
+    consumed = 0;
+  }
+  if (consumed != value.size()) {
+    throw std::invalid_argument("field " + key + ": cannot parse amount '" + value + "'");
+  }
+  return parsed;
+}
+
+/// Builds the terms override from whichever of the four term keys are
+/// present, starting from the layer's current terms so a single-knob tweak
+/// (the common what-if) does not reset the others.
+bool parse_terms_fields(const std::map<std::string, std::string>& fields,
+                        financial::LayerTerms& terms) {
+  bool any = false;
+  auto take = [&](const char* key, double& out) {
+    auto it = fields.find(key);
+    if (it == fields.end()) return;
+    out = parse_amount(it->second, key);
+    any = true;
+  };
+  take("occ-retention", terms.occurrence_retention);
+  take("occ-limit", terms.occurrence_limit);
+  take("agg-retention", terms.aggregate_retention);
+  take("agg-limit", terms.aggregate_limit);
+  return any;
+}
+
+std::uint32_t parse_layer_id(const std::map<std::string, std::string>& fields) {
+  auto it = fields.find("layer");
+  if (it == fields.end()) return 1;  // are_cli-built books have a single layer id 1
+  return static_cast<std::uint32_t>(std::stoul(it->second));
+}
+
+bool parse_flag(const std::map<std::string, std::string>& fields, const char* key,
+                bool fallback) {
+  auto it = fields.find(key);
+  if (it == fields.end()) return fallback;
+  return it->second != "0" && it->second != "false";
+}
+
+// ---- JSON rendering ---------------------------------------------------------
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_double(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::string error_json(const std::string& message) {
+  return "{\"status\":\"error\",\"message\":\"" + json_escape(message) + "\"}";
+}
+
+std::string admission_json(const AdmissionDecision& decision) {
+  std::ostringstream out;
+  out << "{\"outcome\":\"" << to_string(decision.outcome) << "\""
+      << ",\"reason\":\"" << to_string(decision.reason) << "\""
+      << ",\"estimated_cost\":" << decision.estimated_cost
+      << ",\"inflight_cost\":" << decision.inflight_cost
+      << ",\"resident_bytes\":" << decision.resident_bytes
+      << ",\"pool_tasks\":" << decision.pool_tasks
+      << ",\"pool_idle_ns\":" << decision.pool_idle_ns
+      << ",\"queue_wait_seconds\":" << json_double(decision.queue_wait_seconds)
+      << ",\"message\":\"" << json_escape(decision.message) << "\"}";
+  return out.str();
+}
+
+std::string response_json(const QuoteResponse& response) {
+  std::ostringstream out;
+  out << "{\"status\":\""
+      << (response.source == QuoteSource::kRejected ? "rejected" : "ok") << "\""
+      << ",\"source\":\"" << to_string(response.source) << "\""
+      << ",\"engine\":\"" << json_escape(response.engine) << "\"";
+  {
+    char fp[24];
+    std::snprintf(fp, sizeof fp, "%016llx",
+                  static_cast<unsigned long long>(response.fingerprint));
+    out << ",\"fingerprint\":\"" << fp << "\"";
+  }
+  out << ",\"wall_seconds\":" << json_double(response.wall_seconds)
+      << ",\"admission\":" << admission_json(response.admission);
+  if (response.outcome != nullptr) {
+    out << ",\"trials\":" << response.outcome->ylt.num_trials() << ",\"quotes\":[";
+    const auto layer_ids = response.outcome->ylt.layer_ids();
+    for (std::size_t i = 0; i < response.outcome->quotes.size(); ++i) {
+      const pricing::Quote& quote = response.outcome->quotes[i];
+      if (i != 0) out << ',';
+      out << "{\"layer\":" << (i < layer_ids.size() ? layer_ids[i] : 0)
+          << ",\"expected_loss\":" << json_double(quote.expected_loss)
+          << ",\"stddev\":" << json_double(quote.stddev)
+          << ",\"tvar\":" << json_double(quote.tvar)
+          << ",\"technical_premium\":" << json_double(quote.technical_premium)
+          << ",\"rate_on_line\":" << json_double(quote.rate_on_line) << "}";
+    }
+    out << ']';
+    if (response.outcome->phases.has_value()) {
+      const core::PhaseBreakdown& phases = *response.outcome->phases;
+      out << ",\"phases\":{\"fetch_seconds\":" << json_double(phases.fetch_seconds)
+          << ",\"lookup_seconds\":" << json_double(phases.lookup_seconds)
+          << ",\"financial_seconds\":" << json_double(phases.financial_seconds)
+          << ",\"layer_seconds\":" << json_double(phases.layer_seconds)
+          << ",\"output_seconds\":" << json_double(phases.output_seconds) << "}";
+    }
+  }
+  if (response.telemetry.has_value()) {
+    out << ",\"telemetry\":" << obs::snapshot_json_object(*response.telemetry);
+  }
+  out << '}';
+  return out.str();
+}
+
+std::uint64_t sum_counters_matching(const obs::Snapshot& snapshot,
+                                    std::string_view prefix, std::string_view suffix) {
+  std::uint64_t total = 0;
+  for (const auto& counter : snapshot.counters) {
+    if (counter.name.size() >= prefix.size() + suffix.size() &&
+        counter.name.compare(0, prefix.size(), prefix) == 0 &&
+        counter.name.compare(counter.name.size() - suffix.size(), suffix.size(),
+                             suffix) == 0) {
+      total += counter.value;
+    }
+  }
+  return total;
+}
+
+// ---- socket plumbing --------------------------------------------------------
+
+int make_listen_socket(const std::string& path) {
+  ::unlink(path.c_str());
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("socket(): " + std::string(std::strerror(errno)));
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    ::close(fd);
+    throw std::runtime_error("socket path too long: " + path);
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(fd, 16) != 0) {
+    const std::string reason = std::strerror(errno);
+    ::close(fd);
+    throw std::runtime_error("bind/listen on " + path + ": " + reason);
+  }
+  return fd;
+}
+
+void write_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + sent, data.size() - sent);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;  // peer went away; nothing sensible to do server-side
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+Server::Server(AnalysisService& service, ServerOptions options)
+    : service_(service), options_(std::move(options)) {}
+
+std::string Server::handle_quote(const std::string& line) {
+  std::string verb;
+  const auto fields = parse_fields(line, verb);
+
+  QuoteRequest request;
+  const auto portfolio = fields.find("portfolio");
+  if (portfolio == fields.end()) {
+    throw std::invalid_argument("QUOTE requires portfolio=<id>");
+  }
+  request.portfolio_id = portfolio->second;
+
+  const std::uint32_t layer_id = parse_layer_id(fields);
+  {
+    // Start the override from the book's current terms so one-knob tweaks
+    // keep the rest (snapshot() throws on unknown portfolio — wanted here).
+    const auto book = service_.session().snapshot(request.portfolio_id);
+    financial::LayerTerms terms;
+    bool layer_known = false;
+    for (const core::Layer& layer : book.portfolio->layers) {
+      if (layer.id != layer_id) continue;
+      terms = layer.terms;
+      layer_known = true;
+      break;
+    }
+    if (parse_terms_fields(fields, terms)) {
+      if (!layer_known) {
+        throw std::invalid_argument("terms override names unknown layer " +
+                                    std::to_string(layer_id));
+      }
+      request.overrides.push_back({layer_id, terms});
+    }
+  }
+
+  if (const auto it = fields.find("engine"); it != fields.end()) {
+    request.engine = it->second;
+  }
+  if (const auto it = fields.find("window"); it != fields.end()) {
+    const std::size_t colon = it->second.find(':');
+    if (colon == std::string::npos) {
+      throw std::invalid_argument("window must be <from:to>");
+    }
+    core::CoverageWindow window;
+    window.from = std::stof(it->second.substr(0, colon));
+    window.to = std::stof(it->second.substr(colon + 1));
+    window.validate();
+    request.window = window;
+  }
+  request.collect_phases = parse_flag(fields, "phases", false);
+  request.use_cache = parse_flag(fields, "cache", true);
+  request.use_delta = parse_flag(fields, "delta", true);
+
+  const QuoteResponse response = service_.quote(request);
+
+  if (const auto it = fields.find("csv");
+      it != fields.end() && response.outcome != nullptr) {
+    std::ofstream out(it->second);
+    if (!out) throw std::runtime_error("cannot open csv path " + it->second);
+    io::write_ylt_csv(out, response.outcome->ylt);
+  }
+
+  if (options_.verbose) {
+    std::ostringstream note;
+    note << "[serve] " << request.portfolio_id << " source=" << to_string(response.source)
+         << " engine=" << response.engine << " wall_ms=" << response.wall_seconds * 1e3;
+    if (response.telemetry.has_value()) {
+      note << " elt_lookups=" << sum_counters_matching(*response.telemetry, "elt.", ".lookups")
+           << " lookup_ns=" << response.telemetry->counter_value("kernel.phase.lookup_ns")
+           << " events=" << response.telemetry->counter_value("kernel.events");
+    }
+    std::cerr << note.str() << '\n';
+  }
+  return response_json(response);
+}
+
+std::string Server::handle_update(const std::string& line) {
+  std::string verb;
+  const auto fields = parse_fields(line, verb);
+  const auto portfolio = fields.find("portfolio");
+  if (portfolio == fields.end()) {
+    throw std::invalid_argument("UPDATE requires portfolio=<id>");
+  }
+  const std::uint32_t layer_id = parse_layer_id(fields);
+  const auto book = service_.session().snapshot(portfolio->second);
+  financial::LayerTerms terms;
+  bool layer_known = false;
+  for (const core::Layer& layer : book.portfolio->layers) {
+    if (layer.id != layer_id) continue;
+    terms = layer.terms;
+    layer_known = true;
+    break;
+  }
+  if (!layer_known) {
+    throw std::invalid_argument("UPDATE names unknown layer " + std::to_string(layer_id));
+  }
+  if (!parse_terms_fields(fields, terms)) {
+    throw std::invalid_argument("UPDATE requires at least one terms field");
+  }
+  service_.update_layer_terms(portfolio->second, layer_id, terms);
+  if (options_.verbose) {
+    std::cerr << "[serve] updated " << portfolio->second << " layer " << layer_id << '\n';
+  }
+  return "{\"status\":\"ok\",\"updated\":\"" + json_escape(portfolio->second) + "\"}";
+}
+
+std::string Server::handle_line(const std::string& line) {
+  try {
+    std::istringstream in(line);
+    std::string verb;
+    in >> verb;
+    if (verb.empty()) return error_json("empty request");
+    if (verb == "PING") return "{\"status\":\"ok\",\"pong\":true}";
+    if (verb == "SHUTDOWN") {
+      request_stop();
+      return "{\"status\":\"ok\",\"shutdown\":true}";
+    }
+    if (verb == "QUOTE") return handle_quote(line);
+    if (verb == "UPDATE") return handle_update(line);
+    return error_json("unknown verb '" + verb + "'");
+  } catch (const std::exception& error) {
+    return error_json(error.what());
+  }
+}
+
+int Server::serve() {
+  const int listen_fd = make_listen_socket(options_.socket_path);
+  std::vector<std::thread> connections;
+  while (!stop_requested()) {
+    pollfd pfd{listen_fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 200);
+    if (ready < 0 && errno != EINTR) break;
+    if (ready <= 0 || (pfd.revents & POLLIN) == 0) continue;
+    const int conn = ::accept(listen_fd, nullptr, nullptr);
+    if (conn < 0) continue;
+    connections.emplace_back([this, conn] {
+      std::string pending;
+      char buf[4096];
+      for (;;) {
+        const ssize_t n = ::read(conn, buf, sizeof buf);
+        if (n < 0 && errno == EINTR) continue;
+        if (n <= 0) break;
+        pending.append(buf, static_cast<std::size_t>(n));
+        std::size_t newline;
+        while ((newline = pending.find('\n')) != std::string::npos) {
+          const std::string request = pending.substr(0, newline);
+          pending.erase(0, newline + 1);
+          write_all(conn, handle_line(request) + "\n");
+        }
+        if (stop_requested()) break;
+      }
+      ::close(conn);
+    });
+  }
+  for (std::thread& connection : connections) connection.join();
+  ::close(listen_fd);
+  ::unlink(options_.socket_path.c_str());
+  return 0;
+}
+
+std::string Server::round_trip(const std::string& socket_path, const std::string& line) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("socket(): " + std::string(std::strerror(errno)));
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    ::close(fd);
+    throw std::runtime_error("socket path too long: " + socket_path);
+  }
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    const std::string reason = std::strerror(errno);
+    ::close(fd);
+    throw std::runtime_error("connect to " + socket_path + ": " + reason);
+  }
+  write_all(fd, line + "\n");
+  std::string response;
+  char buf[4096];
+  while (response.find('\n') == std::string::npos) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  const std::size_t newline = response.find('\n');
+  if (newline == std::string::npos) {
+    throw std::runtime_error("connection closed before a full response line");
+  }
+  return response.substr(0, newline);
+}
+
+}  // namespace are::service

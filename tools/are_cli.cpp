@@ -13,6 +13,12 @@
 //   are_cli list-engines [--names] [--bit-identical]   (dump the engine registry)
 //   are_cli list-engines --sinks   (smoke-run every sink-capable engine under a
 //                                   forced-spill budget, byte-diffing vs seq)
+//   are_cli serve     --yet years.yet --elt a.elt ... [terms...] --socket are.sock
+//                     (resident analysis service on an AF_UNIX socket; loads the
+//                     inputs once, then answers QUOTE/UPDATE lines with admission
+//                     control, result caching, and delta re-pricing)
+//   are_cli quote     --socket are.sock [terms...] [--csv ylt.csv] [--shutdown]
+//                     (client for a running serve; prints the JSON response line)
 //
 // Layer terms: --occ-retention --occ-limit --agg-retention --agg-limit
 // Engine:      --engine NAME (any name in `are_cli list-engines`)
@@ -61,6 +67,8 @@
 #include "metrics/ep_curve.hpp"
 #include "metrics/sharded_reduce.hpp"
 #include "pricing/pricing.hpp"
+#include "service/analysis_service.hpp"
+#include "service/server.hpp"
 #include "shard/sharded_run.hpp"
 #include "yet/generator.hpp"
 
@@ -84,6 +92,16 @@ commands:
   list-engines       dump the engine registry            (--names --bit-identical)
                      --sinks: smoke-run every sink-capable engine (forced spill,
                      sharded CSV byte-diffed against the sequential reference)
+  serve              resident analysis service           (--yet F --elt F... --socket PATH)
+                     --portfolio NAME (book id, default 'book') --threads N
+                     --max-request-cost N --max-inflight-cost N --queue-limit N
+                     --admission-memory-budget-mb M --ground-up-budget-mb M
+                     --cache-entries N --engine NAME (default engine, default fused)
+                     --verbose (per-request telemetry lines to stderr)
+  quote              client for a running serve          (--socket PATH [terms...])
+                     --portfolio NAME --layer N --engine NAME --window FROM:TO
+                     --phases --csv PATH (server-side YLT CSV) --no-cache --no-delta
+                     --ping --shutdown; prints the JSON response, exit 0 iff ok
 
 common options:
   layer terms   --occ-retention X --occ-limit X --agg-retention X --agg-limit X
@@ -638,6 +656,80 @@ int cmd_list_engines(const Args& args) {
   return 0;
 }
 
+/// `are_cli serve`: load the YET/ELTs once, register them as a book, and
+/// answer quote lines over an AF_UNIX socket until SHUTDOWN. Telemetry
+/// counters are enabled for the life of the server — the broker's admission
+/// state lives in the registry, and every response carries its per-request
+/// Snapshot::diff.
+int cmd_serve(const Args& args) {
+  obs::set_enabled(true);
+  auto yet_table = load_yet(args.require("yet"));
+  auto portfolio = build_portfolio(args, universe_of(yet_table, args));
+
+  service::ServiceConfig config;
+  config.session.num_threads = static_cast<std::size_t>(args.get_u64("threads", 0));
+  config.session.ground_up_budget_bytes =
+      static_cast<std::size_t>(args.get_u64("ground-up-budget-mb", 512)) << 20;
+  config.broker.max_request_cost = args.get_u64("max-request-cost", 0);
+  config.broker.max_inflight_cost = args.get_u64("max-inflight-cost", 0);
+  config.broker.max_queued = static_cast<std::size_t>(args.get_u64("queue-limit", 16));
+  config.broker.memory_budget_bytes =
+      static_cast<std::size_t>(args.get_u64("admission-memory-budget-mb", 0)) << 20;
+  config.cache_entries = static_cast<std::size_t>(args.get_u64("cache-entries", 64));
+  config.default_engine = args.get("engine", "fused");
+  core::EngineRegistry::global().require(config.default_engine);  // fail fast on typos
+
+  const std::string book = args.get("portfolio", "book");
+  service::AnalysisService analysis_service(std::move(yet_table), config);
+  analysis_service.register_portfolio(book, std::move(portfolio));
+
+  service::ServerOptions options;
+  options.socket_path = args.get("socket", "are.sock");
+  options.verbose = args.has("verbose");
+  service::Server server(analysis_service, options);
+  std::cout << "serving portfolio '" << book << "' on " << options.socket_path
+            << " (engine " << config.default_engine << ", "
+            << analysis_service.session().yet_table().num_trials() << " trials)\n"
+            << std::flush;
+  return server.serve();
+}
+
+/// `are_cli quote`: one protocol line to a running serve, response to
+/// stdout. Exit status is 0 only for an ok response, so shell scripts (and
+/// the CI smoke) can gate on it directly.
+int cmd_quote(const Args& args) {
+  const std::string socket_path = args.get("socket", "are.sock");
+  std::ostringstream line;
+  if (args.has("ping")) {
+    line << "PING";
+  } else if (args.has("update")) {
+    line << "UPDATE portfolio=" << args.get("portfolio", "book")
+         << " layer=" << args.get_u64("layer", 1);
+  } else if (args.has("shutdown")) {
+    line << "SHUTDOWN";
+  } else {
+    line << "QUOTE portfolio=" << args.get("portfolio", "book")
+         << " layer=" << args.get_u64("layer", 1);
+  }
+  // Terms ride along verbatim (QUOTE builds a per-request override; UPDATE
+  // mutates the book). Only keys the user actually passed are sent, so a
+  // bare quote reprices the book's own terms.
+  for (const char* key : {"occ-retention", "occ-limit", "agg-retention", "agg-limit"}) {
+    if (args.has(key)) line << ' ' << key << '=' << args.require(key);
+  }
+  if (!args.has("ping") && !args.has("update") && !args.has("shutdown")) {
+    if (args.has("engine")) line << " engine=" << args.require("engine");
+    if (args.has("window")) line << " window=" << args.require("window");
+    if (args.has("phases")) line << " phases=1";
+    if (args.has("no-cache")) line << " cache=0";
+    if (args.has("no-delta")) line << " delta=0";
+    if (args.has("csv")) line << " csv=" << args.require("csv");
+  }
+  const std::string response = service::Server::round_trip(socket_path, line.str());
+  std::cout << response << "\n";
+  return response.find("\"status\":\"ok\"") != std::string::npos ? 0 : 1;
+}
+
 int cmd_info(const Args& args) {
   if (args.has("yet")) {
     const auto table = load_yet(args.require("yet"));
@@ -669,6 +761,8 @@ int main(int argc, char** argv) {
     if (command == "report") return cmd_report(args);
     if (command == "price") return cmd_price(args);
     if (command == "info") return cmd_info(args);
+    if (command == "serve") return cmd_serve(args);
+    if (command == "quote") return cmd_quote(args);
     if (command == "list-engines" || command == "--list-engines") return cmd_list_engines(args);
     std::cerr << "unknown command '" << command << "'\n";
     return usage();
