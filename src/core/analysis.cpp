@@ -4,6 +4,7 @@
 #include <string>
 
 #include "core/engine_registry.hpp"
+#include "fault/fault_injection.hpp"
 #include "obs/telemetry.hpp"
 
 namespace are::core {
@@ -90,6 +91,7 @@ YearLossTable run(const AnalysisRequest& request) {
   }
   const obs::RunScope telemetry(request.config.telemetry.counters,
                                 request.config.telemetry.trace);
+  const fault::ScopedArm faults(request.config.faults);
   return engine.run(request);
 }
 
@@ -102,6 +104,7 @@ void run_to_sink(const AnalysisRequest& request, YltSink& sink) {
   }
   const obs::RunScope telemetry(request.config.telemetry.counters,
                                 request.config.telemetry.trace);
+  const fault::ScopedArm faults(request.config.faults);
   engine.run_to_sink(request, sink);
 }
 

@@ -18,6 +18,7 @@
 #include <string>
 #include <string_view>
 
+#include "core/cancel.hpp"
 #include "core/engine.hpp"
 #include "core/simd_engine.hpp"
 #include "core/windowed_engine.hpp"
@@ -183,6 +184,20 @@ struct AnalysisConfig {
   /// both is rejected. Borrowed, not owned.
   GroundUpLossCache* ground_up_capture = nullptr;
   const GroundUpLossCache* ground_up_replay = nullptr;
+
+  /// Cooperative cancellation + deadline for this run (core/cancel.hpp).
+  /// The kernel checks the token between trial blocks; a fired token makes
+  /// the run throw core::StatusError with the token's reason
+  /// (kDeadlineExceeded / kCancelled) and produce no output. Borrowed, not
+  /// owned; null = never cancelled.
+  const CancelToken* cancel = nullptr;
+
+  /// Fault-injection sites to arm for the duration of this run, as a
+  /// comma-separated SITE=SPEC list (src/fault/fault_injection.hpp) —
+  /// "shard.spill_write=always,io.read=every:3". Armed process-wide
+  /// (RAII-scoped inside run()/run_to_sink()); empty = no injection.
+  /// Test/chaos tooling only.
+  std::string faults;
 
   /// Engine-independent sanity checks; throws std::invalid_argument on a
   /// malformed window, partition_chunk == 0, chunk_size == 0, or

@@ -1,0 +1,77 @@
+#pragma once
+
+// Cooperative cancellation for kernel launches. A CancelToken is a tiny
+// shared flag + optional deadline that the trial-block kernel polls once
+// per block (milliseconds of work — cheap relative to a block, prompt
+// relative to a request): the resident service arms one per quote with the
+// request's deadline, and the kernel driver chains an internal token to it
+// so one worker's failure stops the others at their next block boundary.
+//
+// Checking is lock-free (two relaxed atomic loads on the live path; the
+// clock is read only when a deadline is armed). All methods are const and
+// thread-safe, so a `const CancelToken*` can be shared across workers.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "core/status.hpp"
+
+namespace are::core {
+
+class CancelToken {
+ public:
+  CancelToken() = default;
+  /// A token chained to `parent`: it reports cancelled when the parent does
+  /// (adopting the parent's reason) or when cancelled directly. The parent
+  /// must outlive this token. Used by the kernel driver so an engine-internal
+  /// abort and the caller's deadline share one per-block check.
+  explicit CancelToken(const CancelToken* parent) : parent_(parent) {}
+
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Marks the token cancelled. The first reason wins; later calls are
+  /// no-ops, so a deadline expiry racing an explicit cancel stays coherent.
+  void cancel(StatusCode reason = StatusCode::kCancelled) const noexcept {
+    std::uint32_t expected = 0;
+    state_.compare_exchange_strong(expected, static_cast<std::uint32_t>(reason),
+                                   std::memory_order_acq_rel, std::memory_order_acquire);
+  }
+
+  /// Arms a deadline; past it, cancelled() reports true with
+  /// kDeadlineExceeded.
+  void set_deadline(std::chrono::steady_clock::time_point deadline) noexcept {
+    deadline_ns_.store(deadline.time_since_epoch().count(), std::memory_order_relaxed);
+  }
+  void set_deadline_after(std::chrono::nanoseconds budget) noexcept {
+    set_deadline(std::chrono::steady_clock::now() + budget);
+  }
+
+  bool cancelled() const noexcept {
+    if (state_.load(std::memory_order_acquire) != 0) return true;
+    const std::int64_t deadline = deadline_ns_.load(std::memory_order_relaxed);
+    if (deadline != 0 &&
+        std::chrono::steady_clock::now().time_since_epoch().count() >= deadline) {
+      cancel(StatusCode::kDeadlineExceeded);
+      return true;
+    }
+    if (parent_ != nullptr && parent_->cancelled()) {
+      cancel(parent_->reason());
+      return true;
+    }
+    return false;
+  }
+
+  /// The cancellation reason, or kOk while the token is live.
+  StatusCode reason() const noexcept {
+    return static_cast<StatusCode>(state_.load(std::memory_order_acquire));
+  }
+
+ private:
+  mutable std::atomic<std::uint32_t> state_{0};  // 0 = live, else StatusCode
+  std::atomic<std::int64_t> deadline_ns_{0};     // steady_clock epoch ns; 0 = none
+  const CancelToken* parent_ = nullptr;
+};
+
+}  // namespace are::core

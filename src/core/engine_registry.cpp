@@ -37,6 +37,9 @@ ResolvedExecution resolve_execution(const AnalysisRequest& request, EngineKind k
   // never change the captured or replayed bytes).
   resolved.config.ground_up_capture = config.ground_up_capture;
   resolved.config.ground_up_replay = config.ground_up_replay;
+  // Cancellation likewise rides the shared kernel: every builtin honours
+  // the caller's token at its block boundaries.
+  resolved.config.cancel = config.cancel;
   resolved.launch.num_threads = config.num_threads;
   resolved.launch.pool = config.pool;  // non-null only past the capability check
 

@@ -1,0 +1,57 @@
+#include "core/status.hpp"
+
+#include <new>
+
+namespace are::core {
+
+std::string_view to_string(StatusCode code) noexcept {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kInvalidArgument: return "invalid-argument";
+    case StatusCode::kDeadlineExceeded: return "deadline-exceeded";
+    case StatusCode::kCancelled: return "cancelled";
+    case StatusCode::kResourceExhausted: return "resource-exhausted";
+    case StatusCode::kSpillFailure: return "spill-failure";
+    case StatusCode::kDataCorruption: return "data-corruption";
+    case StatusCode::kIoError: return "io-error";
+    case StatusCode::kUnavailable: return "unavailable";
+    case StatusCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+bool retryable(StatusCode code) noexcept {
+  switch (code) {
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kResourceExhausted:
+    case StatusCode::kSpillFailure:
+    case StatusCode::kIoError:
+    case StatusCode::kUnavailable:
+      return true;
+    case StatusCode::kOk:
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kCancelled:
+    case StatusCode::kDataCorruption:
+    case StatusCode::kInternal:
+      return false;
+  }
+  return false;
+}
+
+Status status_from_current_exception() {
+  try {
+    throw;
+  } catch (const StatusError& error) {
+    return {error.code(), error.what()};
+  } catch (const std::bad_alloc&) {
+    return {StatusCode::kResourceExhausted, "allocation failed"};
+  } catch (const std::invalid_argument& error) {
+    return {StatusCode::kInvalidArgument, error.what()};
+  } catch (const std::exception& error) {
+    return {StatusCode::kInternal, error.what()};
+  } catch (...) {
+    return {StatusCode::kInternal, "unknown error"};
+  }
+}
+
+}  // namespace are::core

@@ -1,0 +1,82 @@
+#pragma once
+
+// Structured error taxonomy — the failure-side counterpart of the engine's
+// bit-identity contract. Every failure that can cross the resident-service
+// boundary (src/service/) is classified here, so clients decide *what to do*
+// (retry, shrink the request, give up) from a stable code instead of parsing
+// exception text. Inside the engine, failures still travel as exceptions —
+// StatusError carries the code — and the service boundary converts them to
+// Status values; no exception escapes AnalysisService::quote().
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace are::core {
+
+/// Stable failure classification. Codes are ordered roughly by "whose fault"
+/// — caller, time, resources, storage, service lifecycle, then bugs.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,    ///< malformed request; retrying the same request cannot help
+  kDeadlineExceeded,   ///< the request's deadline expired; cancelled between trial blocks
+  kCancelled,          ///< explicitly cancelled via CancelToken
+  kResourceExhausted,  ///< allocation failure or admission capacity (queue/memory/cost)
+  kSpillFailure,       ///< out-of-core spill write failed (ENOSPC, injected fault)
+  kDataCorruption,     ///< checksum/magic mismatch in a binary stream or spill shard
+  kIoError,            ///< transient I/O failure (read/write/open) other than corruption
+  kUnavailable,        ///< service shutting down or socket-level failure
+  kInternal,           ///< unclassified engine failure — a bug until proven otherwise
+};
+
+/// Canonical wire name ("ok", "deadline-exceeded", ...) — what the service
+/// JSON and `are_cli quote` retry logic match on.
+std::string_view to_string(StatusCode code) noexcept;
+
+/// Whether a client may reasonably retry the identical request. Transient
+/// conditions (deadline, capacity, spill pressure, I/O, shutdown of one
+/// instance) are retryable; caller mistakes, corruption, and bugs are not.
+bool retryable(StatusCode code) noexcept;
+
+/// A code plus a human sentence. Default-constructed = ok.
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok_status() { return {}; }
+
+  bool ok() const noexcept { return code_ == StatusCode::kOk; }
+  StatusCode code() const noexcept { return code_; }
+  const std::string& message() const noexcept { return message_; }
+  bool retryable() const noexcept { return core::retryable(code_); }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Exception that carries a taxonomy code. Subsystems whose failures must
+/// cross the service boundary throw this (spill failures, corrupt shards,
+/// cancellation); it derives from std::runtime_error so pre-taxonomy catch
+/// sites and tests keep working unchanged.
+class StatusError : public std::runtime_error {
+ public:
+  StatusError(StatusCode code, const std::string& message)
+      : std::runtime_error(message), code_(code) {}
+
+  StatusCode code() const noexcept { return code_; }
+
+ private:
+  StatusCode code_;
+};
+
+/// Maps the in-flight exception to a Status — the service-boundary
+/// converter. Call only from inside a catch block. StatusError keeps its
+/// code; bad_alloc becomes kResourceExhausted, invalid_argument becomes
+/// kInvalidArgument, anything else kInternal.
+Status status_from_current_exception();
+
+}  // namespace are::core

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <exception>
+#include <mutex>
+#include <new>
 #include <optional>
 #include <stdexcept>
 #include <string>
@@ -13,6 +16,8 @@
 
 #include "core/direct_elt_view.hpp"
 #include "core/simd_terms.hpp"
+#include "core/status.hpp"
+#include "fault/fault_injection.hpp"
 #include "financial/trial_accumulator.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
@@ -188,6 +193,7 @@ class KernelImpl final : public TrialBlockKernel::Impl {
         instrument_(config.instrument),
         capture_(config.ground_up_capture),
         replay_(config.ground_up_replay),
+        cancel_(config.cancel),
         sink_(sink),
         sink_block_(sink != nullptr ? sink->block_trials() : 0) {
     if (config.window && !config.window->full_year()) {
@@ -223,7 +229,40 @@ class KernelImpl final : public TrialBlockKernel::Impl {
         telemetry ? &obs::TelemetryRegistry::global().histogram("kernel.block_ns") : nullptr;
     std::uint64_t blocks = 0;
 
+    // Completed work is flushed whether the range finishes or is cancelled
+    // mid-way — the per-block counters must never claim trials that did not
+    // run.
+    const auto flush_telemetry = [&](std::uint64_t up_to) {
+      if (!telemetry || blocks == 0) return;
+      obs::TelemetryRegistry& registry = obs::TelemetryRegistry::global();
+      registry.counter("kernel.blocks").add(blocks);
+      registry.counter("kernel.trials").add(up_to - first);
+      registry.counter("kernel.events").add(offsets[up_to] - offsets[first]);
+      if (replay_ != nullptr) {
+        registry.counter("kernel.ground_up.replayed_events")
+            .add(offsets[up_to] - offsets[first]);
+      }
+      if (capture_ != nullptr) {
+        registry.counter("kernel.ground_up.captured_events")
+            .add(offsets[up_to] - offsets[first]);
+      }
+    };
+
     for (std::uint64_t t0 = first, t1 = first; t0 < last; t0 = t1) {
+      if (cancel_ != nullptr && cancel_->cancelled()) {
+        // The cancellation checkpoint: charge the blocks this range will
+        // not run (sink clamps ignored — an upper-bound partition count is
+        // what the "work abandoned" counter is for), flush what did run,
+        // and surface the token's reason. Counted unconditionally: a
+        // cancelled quote must be attributable even on an untelemetered
+        // service.
+        const std::uint64_t remaining = (last - t0 + block_trials - 1) / block_trials;
+        obs::TelemetryRegistry::global().counter("kernel.cancelled_blocks").add(remaining);
+        flush_telemetry(t0);
+        const StatusCode reason = cancel_->reason();
+        throw StatusError(reason, "kernel: run cancelled between trial blocks (" +
+                                      std::string(to_string(reason)) + ")");
+      }
       t1 = std::min<std::uint64_t>(t0 + block_trials, last);
       if (sink_block_ != 0) {
         // Clamp the block at the next sink block (= shard) boundary.
@@ -254,20 +293,7 @@ class KernelImpl final : public TrialBlockKernel::Impl {
       ++blocks;
     }
 
-    if (telemetry && blocks != 0) {
-      obs::TelemetryRegistry& registry = obs::TelemetryRegistry::global();
-      registry.counter("kernel.blocks").add(blocks);
-      registry.counter("kernel.trials").add(last - first);
-      registry.counter("kernel.events").add(offsets[last] - offsets[first]);
-      if (replay_ != nullptr) {
-        registry.counter("kernel.ground_up.replayed_events")
-            .add(offsets[last] - offsets[first]);
-      }
-      if (capture_ != nullptr) {
-        registry.counter("kernel.ground_up.captured_events")
-            .add(offsets[last] - offsets[first]);
-      }
-    }
+    flush_telemetry(last);
   }
 
  private:
@@ -278,6 +304,7 @@ class KernelImpl final : public TrialBlockKernel::Impl {
     const yet::EventId* events = yet_->events().data() + ev0;
     const float* times = yet_->times().data() + ev0;
     const std::size_t num_block_trials = static_cast<std::size_t>(t1 - t0);
+    if (fault::should_inject(fault::sites::kKernelAlloc)) throw std::bad_alloc();
     scratch.combined.resize(count);
     if (sink_ != nullptr) scratch.block_losses.resize(plans_.size() * num_block_trials);
 
@@ -427,6 +454,7 @@ class KernelImpl final : public TrialBlockKernel::Impl {
   bool instrument_;
   GroundUpLossCache* capture_;        // null = no capture
   const GroundUpLossCache* replay_;   // null = full run
+  const CancelToken* cancel_;         // null = never cancelled
   YltSink* sink_;
   std::uint64_t sink_block_;
 };
@@ -539,7 +567,15 @@ void run_trial_kernel(const Portfolio& portfolio, const yet::YearEventTable& yet
                       const TrialKernelConfig& config, const KernelLaunch& launch,
                       YearLossTable* ylt, YltSink* sink, PhaseBreakdown* phases,
                       AccessCounts* accesses) {
-  const TrialBlockKernel kernel(portfolio, yet_table, config, ylt, sink);
+  // The kernel polls a driver-internal token chained to the caller's: a
+  // worker that fails (spill error, alloc, deadline) cancels it, and every
+  // other worker stops at its next block boundary instead of grinding out
+  // an answer nobody will read. The caller's token still supplies the
+  // reason when IT fires (chained tokens adopt the parent's reason).
+  CancelToken abort(config.cancel);
+  TrialKernelConfig kernel_config = config;
+  kernel_config.cancel = &abort;
+  const TrialBlockKernel kernel(portfolio, yet_table, kernel_config, ylt, sink);
   if (phases != nullptr) *phases = {};
   if (accesses != nullptr) *accesses = {};
   const std::uint64_t num_trials = yet_table.num_trials();
@@ -568,8 +604,22 @@ void run_trial_kernel(const Portfolio& portfolio, const yet::YearEventTable& yet
       parallel::ThreadPool& pool =
           launch.pool != nullptr ? *launch.pool : owned.emplace(launch.num_threads);
       parallel::TaskScratch<TrialKernelScratch> scratches(pool);
+      // Pool tasks must not throw (an escaping exception terminates, by
+      // pool design): the body catches everything, keeps the FIRST failure,
+      // cancels the shared token so sibling tasks wind down at their next
+      // block, and the driver rethrows once the launch has drained.
+      std::mutex failure_mutex;
+      std::exception_ptr failure;
       const auto body = [&](std::uint64_t first, std::uint64_t last) {
-        kernel.run_range(first, last, scratches.local());
+        try {
+          kernel.run_range(first, last, scratches.local());
+        } catch (...) {
+          {
+            std::lock_guard<std::mutex> guard(failure_mutex);
+            if (!failure) failure = std::current_exception();
+          }
+          abort.cancel();
+        }
       };
       if (schedule == KernelLaunch::Schedule::kPool) {
         parallel::parallel_for(pool, 0, num_trials, body, {launch.partition, launch.chunk});
@@ -583,6 +633,7 @@ void run_trial_kernel(const Portfolio& portfolio, const yet::YearEventTable& yet
         parallel::parallel_for_costed(pool, 0, num_trials, yet_table.offsets(), chunk_cost,
                                       body, launch.partition);
       }
+      if (failure) std::rethrow_exception(failure);
       scratches.for_each([&](const TrialKernelScratch& scratch) {
         TrialBlockKernel::collect(scratch, phases, accesses);
       });
@@ -594,17 +645,31 @@ void run_trial_kernel(const Portfolio& portfolio, const yet::YearEventTable& yet
       if (num_threads <= 0) num_threads = omp_get_max_threads();
       const std::uint64_t block = kernel.block_trials();
       const auto num_blocks = static_cast<std::int64_t>((num_trials + block - 1) / block);
+      // Exceptions may not escape an OpenMP region: same first-failure +
+      // shared-token protocol as the pool path, rethrown after the join.
+      std::mutex failure_mutex;
+      std::exception_ptr failure;
 #pragma omp parallel num_threads(num_threads)
       {
         TrialKernelScratch scratch;
 #pragma omp for schedule(static)
         for (std::int64_t b = 0; b < num_blocks; ++b) {
-          const std::uint64_t first = static_cast<std::uint64_t>(b) * block;
-          kernel.run_range(first, std::min<std::uint64_t>(first + block, num_trials), scratch);
+          try {
+            const std::uint64_t first = static_cast<std::uint64_t>(b) * block;
+            kernel.run_range(first, std::min<std::uint64_t>(first + block, num_trials),
+                             scratch);
+          } catch (...) {
+            {
+              std::lock_guard<std::mutex> guard(failure_mutex);
+              if (!failure) failure = std::current_exception();
+            }
+            abort.cancel();
+          }
         }
 #pragma omp critical(are_trial_kernel_collect)
         TrialBlockKernel::collect(scratch, phases, accesses);
       }
+      if (failure) std::rethrow_exception(failure);
 #endif
       break;
     }

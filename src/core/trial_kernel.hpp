@@ -30,6 +30,7 @@
 #include <memory>
 #include <optional>
 
+#include "core/cancel.hpp"
 #include "core/coverage_window.hpp"
 #include "core/engine.hpp"
 #include "core/simd_engine.hpp"
@@ -131,6 +132,16 @@ struct TrialKernelConfig {
   /// zero ELT lookups (`elt.*.lookups` and `kernel.phase.lookup_ns` stay 0).
   /// Mutually exclusive with ground_up_capture; shape-checked like it.
   const GroundUpLossCache* ground_up_replay = nullptr;
+
+  /// Cooperative cancellation: every run_range checks the token once per
+  /// block (the kernel's natural preemption quantum) and, when cancelled,
+  /// counts the blocks it will not run into `kernel.cancelled_blocks` and
+  /// throws StatusError carrying the token's reason (kDeadlineExceeded /
+  /// kCancelled). The resident service arms this with each quote's
+  /// deadline; run_trial_kernel additionally chains an internal token so
+  /// one worker's failure stops the others at their next block boundary.
+  /// Null = never cancelled, zero per-block cost beyond a pointer test.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Per-worker scratch, reused across every block a worker executes (via

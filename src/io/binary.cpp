@@ -7,7 +7,21 @@
 #include <string>
 #include <vector>
 
+#include "core/status.hpp"
+#include "fault/fault_injection.hpp"
+
 namespace are::io {
+
+namespace {
+
+// Corruption and I/O failures carry taxonomy codes so the service boundary
+// can classify them; StatusError derives from std::runtime_error, so
+// existing catch sites are unaffected.
+[[noreturn]] void throw_corrupt(const std::string& message) {
+  throw core::StatusError(core::StatusCode::kDataCorruption, message);
+}
+
+}  // namespace
 
 namespace {
 
@@ -25,7 +39,7 @@ template <typename T>
 T read_pod(std::istream& in) {
   T value;
   in.read(reinterpret_cast<char*>(&value), sizeof(T));
-  if (!in) throw std::runtime_error("truncated binary stream");
+  if (!in) throw_corrupt("truncated binary stream");
   return value;
 }
 
@@ -42,25 +56,25 @@ template <typename T>
 std::vector<T> read_vector(std::istream& in, std::uint64_t& hash) {
   const auto count = read_pod<std::uint64_t>(in);
   // Refuse absurd sizes before allocating (corrupt count field).
-  if (count > (1ULL << 33)) throw std::runtime_error("implausible vector size in binary stream");
+  if (count > (1ULL << 33)) throw_corrupt("implausible vector size in binary stream");
   std::vector<T> values(static_cast<std::size_t>(count));
   in.read(reinterpret_cast<char*>(values.data()),
           static_cast<std::streamsize>(values.size() * sizeof(T)));
-  if (!in) throw std::runtime_error("truncated binary stream");
+  if (!in) throw_corrupt("truncated binary stream");
   hash ^= fnv1a(values.data(), values.size() * sizeof(T));
   return values;
 }
 
 void check_header(std::istream& in, std::uint32_t magic) {
-  if (read_pod<std::uint32_t>(in) != magic) throw std::runtime_error("bad magic in binary stream");
+  if (read_pod<std::uint32_t>(in) != magic) throw_corrupt("bad magic in binary stream");
   if (read_pod<std::uint32_t>(in) != kVersion) {
-    throw std::runtime_error("unsupported binary format version");
+    throw_corrupt("unsupported binary format version");
   }
 }
 
 void check_footer(std::istream& in, std::uint64_t hash) {
   if (read_pod<std::uint64_t>(in) != hash) {
-    throw std::runtime_error("checksum mismatch: corrupt binary stream");
+    throw_corrupt("checksum mismatch: corrupt binary stream");
   }
 }
 
@@ -100,7 +114,7 @@ elt::EventLossTable read_elt_binary(std::istream& in) {
   const auto losses = read_vector<double>(in, hash);
   check_footer(in, hash);
   if (events.size() != losses.size()) {
-    throw std::runtime_error("ELT binary stream: event/loss length mismatch");
+    throw_corrupt("ELT binary stream: event/loss length mismatch");
   }
   std::vector<elt::EventLoss> records(events.size());
   for (std::size_t i = 0; i < events.size(); ++i) records[i] = {events[i], losses[i]};
@@ -121,6 +135,10 @@ void write_yet_binary(std::ostream& out, const yet::YearEventTable& table) {
 }
 
 void write_shard_binary(std::ostream& out, std::span<const double> values) {
+  if (fault::should_inject(fault::sites::kIoWrite)) {
+    throw core::StatusError(core::StatusCode::kIoError,
+                            "injected fault: io.write (shard binary write)");
+  }
   write_pod(out, kShardMagic);
   write_pod(out, kVersion);
   const auto count = static_cast<std::uint64_t>(values.size());
@@ -131,16 +149,24 @@ void write_shard_binary(std::ostream& out, std::span<const double> values) {
 }
 
 void read_shard_binary(std::istream& in, std::span<double> values) {
+  if (fault::should_inject(fault::sites::kIoRead)) {
+    throw core::StatusError(core::StatusCode::kIoError,
+                            "injected fault: io.read (shard binary read)");
+  }
   check_header(in, kShardMagic);
   const auto count = read_pod<std::uint64_t>(in);
   if (count != values.size()) {
-    throw std::runtime_error("shard binary stream: size mismatch (file has " +
-                             std::to_string(count) + " values, expected " +
-                             std::to_string(values.size()) + ")");
+    throw_corrupt("shard binary stream: size mismatch (file has " + std::to_string(count) +
+                  " values, expected " + std::to_string(values.size()) + ")");
   }
   in.read(reinterpret_cast<char*>(values.data()),
           static_cast<std::streamsize>(values.size() * sizeof(double)));
-  if (!in) throw std::runtime_error("truncated binary stream");
+  if (!in) throw_corrupt("truncated binary stream");
+  if (!values.empty() && fault::should_inject(fault::sites::kShardCorruptRead)) {
+    // Flip one payload bit before the checksum check — exercises the
+    // corruption-detection path exactly as a bad disk would.
+    values[0] = values[0] == 0.0 ? 1.0 : -values[0];
+  }
   check_footer(in, fnv1a(values.data(), values.size() * sizeof(double)));
 }
 

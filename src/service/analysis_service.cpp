@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "core/engine_registry.hpp"
+#include "shard/sharded_run.hpp"
 
 namespace are::service {
 
@@ -34,6 +35,21 @@ std::shared_ptr<const core::Portfolio> effective_portfolio(
   return copy;
 }
 
+/// The taxonomy code a broker rejection maps to on the wire. Retryability
+/// follows: queue/memory/shutdown pressure is transient, an oversized
+/// request is the caller's to fix.
+core::StatusCode status_code_of(RejectReason reason) noexcept {
+  switch (reason) {
+    case RejectReason::kNone: return core::StatusCode::kOk;
+    case RejectReason::kRequestCost: return core::StatusCode::kInvalidArgument;
+    case RejectReason::kQueueFull:
+    case RejectReason::kMemoryPressure: return core::StatusCode::kResourceExhausted;
+    case RejectReason::kShuttingDown: return core::StatusCode::kUnavailable;
+    case RejectReason::kSpillFailure: return core::StatusCode::kSpillFailure;
+  }
+  return core::StatusCode::kInternal;
+}
+
 }  // namespace
 
 std::string_view to_string(QuoteSource source) noexcept {
@@ -46,6 +62,8 @@ std::string_view to_string(QuoteSource source) noexcept {
       return "cached";
     case QuoteSource::kDelta:
       return "delta";
+    case QuoteSource::kFailed:
+      return "failed";
   }
   return "unknown";
 }
@@ -80,6 +98,7 @@ std::uint64_t AnalysisService::fingerprint_of(std::string_view portfolio_id,
     fp.mix_double(request.window->from).mix_double(request.window->to);
   }
   fp.mix(request.collect_phases ? 1u : 0u);
+  fp.mix(request.sharded ? 1u : 0u);
   for (const core::Layer& layer : effective.layers) {
     fp.mix(layer.id);
     fp.mix_double(layer.terms.occurrence_retention)
@@ -143,6 +162,8 @@ QuoteResponse AnalysisService::quote(const QuoteRequest& request) {
   response.admission = broker_.admit(cost);
   if (!response.admission.admitted()) {
     response.source = QuoteSource::kRejected;
+    response.status = {status_code_of(response.admission.reason),
+                       response.admission.message};
     return finish(std::move(response));
   }
 
@@ -176,13 +197,46 @@ QuoteResponse AnalysisService::quote(const QuoteRequest& request) {
     config.collect_phases = true;
   }
 
+  // Per-request deadline: the kernel polls the token between trial blocks,
+  // so an expired quote stops within one block of the deadline.
+  core::CancelToken deadline;
+  if (request.deadline_ms != 0) {
+    deadline.set_deadline_after(std::chrono::milliseconds(request.deadline_ms));
+    config.cancel = &deadline;
+  }
+
   auto outcome = std::make_shared<QuoteOutcome>();
   try {
-    outcome->ylt = core::run({*portfolio, session_.yet_table(), config});
-  } catch (...) {
+    if (request.sharded) {
+      config.output = core::OutputMode::kSharded;
+      config.sharding = config_.sharding;
+      shard::ShardedYearLossTable sharded =
+          shard::run_sharded({*portfolio, session_.yet_table(), config});
+      outcome->ylt = sharded.materialize();
+    } else {
+      outcome->ylt = core::run({*portfolio, session_.yet_table(), config});
+    }
+  } catch (const std::invalid_argument&) {
+    // Malformed request: the documented throwing path (nothing ran).
     broker_.release(cost);
     if (capture != nullptr) session_.abandon_capture(request.portfolio_id);
     throw;
+  } catch (...) {
+    // Execution failure — the hardened path. Unwind EVERYTHING the quote
+    // acquired (admitted cost, the claimed capture slot; the sharded table
+    // and its spill dir unwound with the stack) and convert to a structured
+    // kFailed response: the server connection lives on, the next quote
+    // starts from a clean slate, and bit-identity is unaffected because
+    // nothing partial is published or cached.
+    broker_.release(cost);
+    if (capture != nullptr) session_.abandon_capture(request.portfolio_id);
+    response.source = QuoteSource::kFailed;
+    response.status = core::status_from_current_exception();
+    if (response.status.code() == core::StatusCode::kSpillFailure) {
+      response.admission.reason = RejectReason::kSpillFailure;
+    }
+    registry.counter("service.failed").increment();
+    return finish(std::move(response));
   }
   broker_.release(cost);
   if (capture != nullptr) {

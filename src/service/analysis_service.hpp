@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "core/analysis.hpp"
+#include "core/status.hpp"
 #include "obs/telemetry.hpp"
 #include "pricing/pricing.hpp"
 #include "service/portfolio_session.hpp"
@@ -48,6 +49,10 @@ struct ServiceConfig {
   pricing::PricingAssumptions assumptions;
   /// Registry name used when a request does not name an engine.
   std::string default_engine = "fused";
+  /// Sharded-output knobs for quotes with QuoteRequest::sharded (shard
+  /// size, spill dir, memory budget). The tiny-budget + spill-dir
+  /// combination is how a server is driven into the out-of-core regime.
+  core::ShardingOptions sharding;
 };
 
 /// Per-request replacement of one layer's terms, applied on top of the
@@ -71,13 +76,29 @@ struct QuoteRequest {
   bool use_cache = true;
   /// false forbids ground-up replay *and* capture — forces the cold path.
   bool use_delta = true;
+  /// Wall-clock budget for this quote in milliseconds; 0 = none. The kernel
+  /// checks the deadline between trial blocks, so an expired quote stops
+  /// within one block and fails with status kDeadlineExceeded — admitted
+  /// broker cost released, no partial state, nothing cached.
+  std::uint64_t deadline_ms = 0;
+  /// Execute through the sharded out-of-core path (shard::run_sharded with
+  /// ServiceConfig::sharding) and materialize the result. Output bytes are
+  /// identical to the default path; what changes is the failure surface —
+  /// a spill failure under memory pressure fails THIS quote with
+  /// kSpillFailure instead of crashing the process.
+  bool sharded = false;
 };
 
-enum class QuoteSource { kRejected, kCold, kCached, kDelta };
+enum class QuoteSource { kRejected, kCold, kCached, kDelta, kFailed };
 std::string_view to_string(QuoteSource source) noexcept;
 
 struct QuoteResponse {
   QuoteSource source = QuoteSource::kRejected;
+  /// kOk for served quotes; the taxonomy code + message otherwise (both
+  /// rejections and kFailed executions). This is the ONE failure channel
+  /// crossing the service boundary — quote() throws only on malformed
+  /// requests (std::invalid_argument), never on execution failure.
+  core::Status status;
   AdmissionDecision admission;
   /// Null exactly when rejected. Shared with the cache: hits alias the
   /// original outcome.
@@ -107,7 +128,9 @@ class AnalysisService {
 
   /// The front door. Throws std::invalid_argument on malformed requests
   /// (unknown portfolio/layer/engine, bad window); admission refusals are
-  /// returned as kRejected responses, not exceptions.
+  /// returned as kRejected responses and execution failures (deadline,
+  /// cancellation, spill, corruption, allocation) as kFailed responses
+  /// carrying a structured core::Status — never exceptions.
   QuoteResponse quote(const QuoteRequest& request);
 
   PortfolioSession& session() noexcept { return session_; }

@@ -50,6 +50,10 @@ std::string_view to_string(RejectReason reason) noexcept {
       return "queue-full";
     case RejectReason::kMemoryPressure:
       return "memory-pressure";
+    case RejectReason::kShuttingDown:
+      return "shutting-down";
+    case RejectReason::kSpillFailure:
+      return "spill-failure";
   }
   return "unknown";
 }
@@ -105,6 +109,19 @@ AdmissionDecision RequestBroker::admit(std::uint64_t estimated_cost) {
 
   bool counted_as_queued = false;
   for (;;) {
+    // Checked on entry AND after every wakeup: shutdown() notifies the cv,
+    // and a waiter parked on capacity that will never free must leave with
+    // a structured rejection, not hang the connection thread forever.
+    if (shutting_down_) {
+      if (counted_as_queued) {
+        --waiting_;
+        instruments.queued_requests.add(-1);
+      }
+      decision.inflight_cost =
+          static_cast<std::uint64_t>(instruments.inflight_cost.value());
+      decision.resident_bytes = registry.gauge("shard.resident_bytes").value();
+      return reject(RejectReason::kShuttingDown, "service is shutting down");
+    }
     // Live load is read back from the registry gauges — the broker keeps no
     // separate tally, so exporters and admission always agree.
     const std::int64_t inflight_cost = instruments.inflight_cost.value();
@@ -167,6 +184,19 @@ AdmissionDecision RequestBroker::admit(std::uint64_t estimated_cost) {
                      std::to_string(decision.inflight_cost) + " + " +
                      format_cost(estimated_cost);
   return decision;
+}
+
+void RequestBroker::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  capacity_freed_.notify_all();
+}
+
+bool RequestBroker::shutting_down() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return shutting_down_;
 }
 
 void RequestBroker::release(std::uint64_t estimated_cost) {

@@ -44,10 +44,12 @@ struct BrokerConfig {
 enum class AdmissionOutcome { kAdmitted, kRejected };
 
 enum class RejectReason {
-  kNone,          ///< admitted
-  kRequestCost,   ///< the request alone exceeds a cost budget; retrying cannot help
-  kQueueFull,     ///< capacity exists but the wait queue is at max_queued
-  kMemoryPressure ///< shard.resident_bytes over budget with nothing in flight to drain
+  kNone,           ///< admitted
+  kRequestCost,    ///< the request alone exceeds a cost budget; retrying cannot help
+  kQueueFull,      ///< capacity exists but the wait queue is at max_queued
+  kMemoryPressure, ///< shard.resident_bytes over budget with nothing in flight to drain
+  kShuttingDown,   ///< the service is draining; queued waiters are woken with this
+  kSpillFailure,   ///< the admitted run failed spilling its sharded output (ENOSPC)
 };
 
 std::string_view to_string(AdmissionOutcome outcome) noexcept;
@@ -89,13 +91,21 @@ class RequestBroker {
 
   void release(std::uint64_t estimated_cost);
 
+  /// Begins shutdown: every queued waiter wakes and is rejected with
+  /// kShuttingDown, and every later admit() rejects immediately. In-flight
+  /// (already admitted) work is untouched — the caller drains it by pairing
+  /// the outstanding release() calls as usual. Idempotent.
+  void shutdown();
+  bool shutting_down() const;
+
   const BrokerConfig& config() const noexcept { return config_; }
 
  private:
   BrokerConfig config_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable capacity_freed_;
   std::size_t waiting_ = 0;  // guarded by mutex_; mirrored in the queued gauge
+  bool shutting_down_ = false;  // guarded by mutex_
 };
 
 }  // namespace are::service

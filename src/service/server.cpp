@@ -5,6 +5,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cmath>
 #include <cstdio>
@@ -17,6 +18,9 @@
 #include <thread>
 #include <vector>
 
+#include <mutex>
+
+#include "fault/fault_injection.hpp"
 #include "io/csv.hpp"
 #include "obs/export.hpp"
 
@@ -122,8 +126,17 @@ std::string json_double(double v) {
   return buf;
 }
 
+/// Protocol-level failure: status "error" plus the taxonomy code +
+/// retryability, so `are_cli quote --retries` and chaos CI match on
+/// structure, never on message text.
+std::string error_json(const core::Status& status) {
+  return "{\"status\":\"error\",\"code\":\"" + std::string(core::to_string(status.code())) +
+         "\",\"retryable\":" + (status.retryable() ? "true" : "false") +
+         ",\"message\":\"" + json_escape(status.message()) + "\"}";
+}
+
 std::string error_json(const std::string& message) {
-  return "{\"status\":\"error\",\"message\":\"" + json_escape(message) + "\"}";
+  return error_json(core::Status{core::StatusCode::kInternal, message});
 }
 
 std::string admission_json(const AdmissionDecision& decision) {
@@ -141,10 +154,20 @@ std::string admission_json(const AdmissionDecision& decision) {
 }
 
 std::string response_json(const QuoteResponse& response) {
+  // Three statuses on the wire: "ok" (quote served; bit-identity applies),
+  // "rejected" (admission refused), "error" (admitted but execution
+  // failed). The non-ok forms always carry code/retryable/message from the
+  // structured core::Status.
+  const bool rejected = response.source == QuoteSource::kRejected;
+  const bool failed = response.source == QuoteSource::kFailed;
   std::ostringstream out;
-  out << "{\"status\":\""
-      << (response.source == QuoteSource::kRejected ? "rejected" : "ok") << "\""
-      << ",\"source\":\"" << to_string(response.source) << "\""
+  out << "{\"status\":\"" << (rejected ? "rejected" : failed ? "error" : "ok") << "\"";
+  if (!response.status.ok()) {
+    out << ",\"code\":\"" << core::to_string(response.status.code()) << "\""
+        << ",\"retryable\":" << (response.status.retryable() ? "true" : "false")
+        << ",\"message\":\"" << json_escape(response.status.message()) << "\"";
+  }
+  out << ",\"source\":\"" << to_string(response.source) << "\""
       << ",\"engine\":\"" << json_escape(response.engine) << "\"";
   {
     char fp[24];
@@ -287,6 +310,10 @@ std::string Server::handle_quote(const std::string& line) {
   request.collect_phases = parse_flag(fields, "phases", false);
   request.use_cache = parse_flag(fields, "cache", true);
   request.use_delta = parse_flag(fields, "delta", true);
+  request.sharded = parse_flag(fields, "sharded", false);
+  if (const auto it = fields.find("deadline-ms"); it != fields.end()) {
+    request.deadline_ms = std::stoull(it->second);
+  }
 
   const QuoteResponse response = service_.quote(request);
 
@@ -349,6 +376,10 @@ std::string Server::handle_line(const std::string& line) {
     if (verb.empty()) return error_json("empty request");
     if (verb == "PING") return "{\"status\":\"ok\",\"pong\":true}";
     if (verb == "SHUTDOWN") {
+      // Wake broker queue waiters first (they answer their clients with a
+      // structured shutting-down rejection), then stop the accept loop;
+      // serve() drains in-flight quotes before joining.
+      service_.broker().shutdown();
       request_stop();
       return "{\"status\":\"ok\",\"shutdown\":true}";
     }
@@ -363,6 +394,9 @@ std::string Server::handle_line(const std::string& line) {
 int Server::serve() {
   const int listen_fd = make_listen_socket(options_.socket_path);
   std::vector<std::thread> connections;
+  // Open connection fds, so shutdown can unblock threads parked in read().
+  std::mutex conns_mutex;
+  std::vector<int> open_conns;
   while (!stop_requested()) {
     pollfd pfd{listen_fd, POLLIN, 0};
     const int ready = ::poll(&pfd, 1, 200);
@@ -370,7 +404,18 @@ int Server::serve() {
     if (ready <= 0 || (pfd.revents & POLLIN) == 0) continue;
     const int conn = ::accept(listen_fd, nullptr, nullptr);
     if (conn < 0) continue;
-    connections.emplace_back([this, conn] {
+    if (fault::should_inject(fault::sites::kServiceSocket)) {
+      // Simulated accept-side failure (fd exhaustion, peer reset before
+      // handshake): the connection is dropped, the accept loop lives on —
+      // clients see a closed socket, never a dead server.
+      ::close(conn);
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> guard(conns_mutex);
+      open_conns.push_back(conn);
+    }
+    connections.emplace_back([this, conn, &conns_mutex, &open_conns] {
       std::string pending;
       char buf[4096];
       for (;;) {
@@ -386,8 +431,23 @@ int Server::serve() {
         }
         if (stop_requested()) break;
       }
+      {
+        std::lock_guard<std::mutex> guard(conns_mutex);
+        open_conns.erase(std::find(open_conns.begin(), open_conns.end(), conn));
+      }
       ::close(conn);
     });
+  }
+  // Shutdown drain. Order matters: wake broker queue waiters (their
+  // connection threads answer with structured rejections), then half-close
+  // every idle connection so threads parked in read() wake with EOF —
+  // in-flight responses still flow out the write side — and only then
+  // join. Before this, a client that kept its connection open hung the
+  // join forever.
+  service_.broker().shutdown();
+  {
+    std::lock_guard<std::mutex> guard(conns_mutex);
+    for (const int conn : open_conns) ::shutdown(conn, SHUT_RD);
   }
   for (std::thread& connection : connections) connection.join();
   ::close(listen_fd);

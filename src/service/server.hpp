@@ -10,10 +10,19 @@
 //   PING
 //   QUOTE portfolio=<id> [layer=<id>] [occ-retention=] [occ-limit=]
 //         [agg-retention=] [agg-limit=] [engine=<name>] [window=<from:to>]
-//         [phases=1] [cache=0] [delta=0] [csv=<path>]
+//         [phases=1] [cache=0] [delta=0] [csv=<path>] [deadline-ms=<n>]
+//         [sharded=1]
 //   UPDATE portfolio=<id> layer=<id> [occ-retention=] [occ-limit=]
 //         [agg-retention=] [agg-limit=]
 //   SHUTDOWN
+//
+// Responses carry "status":"ok" | "rejected" | "error"; the non-ok forms
+// add the structured failure triple "code" (core::StatusCode wire name),
+// "retryable", and "message" — see README "Failure model". Bit-identity
+// guarantees apply to "ok" responses only. deadline-ms bounds the quote's
+// wall clock (cancelled between trial blocks → code "deadline-exceeded");
+// sharded=1 executes out-of-core under ServiceConfig::sharding, where
+// spill failure fails the quote ("spill-failure"), never the process.
 //
 // QUOTE term keys build a per-request TermsOverride (the book is not
 // mutated); UPDATE mutates the book durably (terms-only, so the ground-up

@@ -1,5 +1,6 @@
 #include "shard/shard_store.hpp"
 
+#include <fcntl.h>
 #include <unistd.h>
 
 #include <atomic>
@@ -10,6 +11,8 @@
 #include <system_error>
 #include <utility>
 
+#include "core/status.hpp"
+#include "fault/fault_injection.hpp"
 #include "io/binary.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
@@ -26,6 +29,7 @@ std::size_t bytes_of(std::size_t doubles) { return doubles * sizeof(double); }
 struct StoreCounters {
   obs::Counter& spills;
   obs::Counter& faults;
+  obs::Counter& quarantined;
   obs::Counter& bytes_spilled;
   obs::Counter& bytes_faulted;
   obs::Gauge& resident_bytes;
@@ -35,6 +39,7 @@ struct StoreCounters {
     static StoreCounters counters{
         obs::TelemetryRegistry::global().counter("shard.spills"),
         obs::TelemetryRegistry::global().counter("shard.faults"),
+        obs::TelemetryRegistry::global().counter("shard.quarantined"),
         obs::TelemetryRegistry::global().counter("shard.bytes_spilled"),
         obs::TelemetryRegistry::global().counter("shard.bytes_faulted"),
         obs::TelemetryRegistry::global().gauge("shard.resident_bytes"),
@@ -53,6 +58,52 @@ std::string unique_spill_dir_name() {
          std::to_string(counter.fetch_add(1));
 }
 
+[[noreturn]] void throw_spill(const std::string& message) {
+  throw core::StatusError(core::StatusCode::kSpillFailure, message);
+}
+
+/// Crash-safe shard write: the payload lands in `<path>.tmp`, is fsynced,
+/// and only then renamed over `path`. A crash or write failure at any point
+/// leaves either the previous complete file or removable *.tmp debris —
+/// never a truncated shard_<i>.bin that a later fault-in would half-read.
+void write_shard_durable(const std::filesystem::path& path, std::span<const double> values,
+                         std::size_t shard_index, const std::filesystem::path& spill_dir) {
+  if (fault::should_inject(fault::sites::kShardSpillWrite)) {
+    throw_spill("injected fault: shard.spill_write (shard " + std::to_string(shard_index) + ")");
+  }
+  const std::filesystem::path tmp = path.string() + ".tmp";
+  std::error_code discard_error;
+  try {
+    {
+      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+      if (!out) {
+        throw_spill("shard store: cannot open spill file for shard " +
+                    std::to_string(shard_index) + " under " + spill_dir.string());
+      }
+      io::write_shard_binary(out, values);
+      out.flush();
+      if (!out) {
+        throw_spill("shard store: short write spilling shard " + std::to_string(shard_index));
+      }
+    }
+    const int fd = ::open(tmp.c_str(), O_WRONLY);
+    if (fd < 0) throw_spill("shard store: cannot reopen spill tmp for fsync: " + tmp.string());
+    const int synced = ::fsync(fd);
+    ::close(fd);
+    if (synced != 0) throw_spill("shard store: fsync failed spilling shard " +
+                                 std::to_string(shard_index));
+    std::error_code error;
+    std::filesystem::rename(tmp, path, error);
+    if (error) {
+      throw_spill("shard store: cannot commit spill file for shard " +
+                  std::to_string(shard_index) + ": " + error.message());
+    }
+  } catch (...) {
+    std::filesystem::remove(tmp, discard_error);
+    throw;
+  }
+}
+
 }  // namespace
 
 ShardStore::ShardStore(std::vector<std::size_t> shard_doubles, ShardStoreConfig config)
@@ -62,15 +113,42 @@ ShardStore::ShardStore(std::vector<std::size_t> shard_doubles, ShardStoreConfig 
     shards_[i].size_doubles = shard_doubles[i];
   }
   // The spill directory is resolved lazily in ensure_spill_dir(): a store
-  // that never spills must not touch the filesystem at all.
+  // that never spills must not touch the filesystem at all. A *configured*
+  // base dir is the exception: it is where a crashed predecessor's *.tmp
+  // debris would live, so sweep it now (stores on the default system temp
+  // dir keep the no-touch invariant — their debris is pid-scoped anyway).
+  if (!config_.spill_dir.empty()) sweep_orphaned_tmp(config_.spill_dir);
+}
+
+void ShardStore::sweep_orphaned_tmp(const std::filesystem::path& base) noexcept {
+  std::error_code error;
+  std::filesystem::recursive_directory_iterator it(
+      base, std::filesystem::directory_options::skip_permission_denied, error);
+  if (error) return;
+  for (std::filesystem::recursive_directory_iterator end; it != end; it.increment(error)) {
+    if (error) return;
+    const std::filesystem::path& path = it->path();
+    const std::string name = path.filename().string();
+    if (name.rfind("shard_", 0) == 0 && name.size() > 8 &&
+        name.compare(name.size() - 8, 8, ".bin.tmp") == 0) {
+      std::filesystem::remove(path, error);
+    }
+  }
 }
 
 ShardStore::~ShardStore() {
   std::error_code ignored;
-  for (std::size_t i = 0; i < shards_.size(); ++i) {
-    std::filesystem::remove(shard_path(i), ignored);
+  if (owns_spill_dir_) {
+    // remove_all, not per-file remove: a spill that died mid-write or a
+    // quarantined corrupt shard leaves *.tmp / *.quarantined files beside
+    // the shard_<i>.bin set, and a plain remove of a non-empty directory
+    // would silently leak the whole tree.
+    std::filesystem::remove_all(spill_dir_, ignored);
+  } else {
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      std::filesystem::remove(shard_path(i), ignored);
+    }
   }
-  if (owns_spill_dir_) std::filesystem::remove(spill_dir_, ignored);
 }
 
 std::span<double> ShardStore::Pin::data() const noexcept {
@@ -90,6 +168,11 @@ ShardStore::Pin ShardStore::pin(std::size_t shard_index) {
   // Wait out any in-flight spill or fault of THIS shard by another thread;
   // I/O on other shards proceeds concurrently (that is the point).
   io_done_.wait(lock, [&] { return !shards_[shard_index].io_in_progress; });
+  if (shards_[shard_index].quarantined) {
+    throw core::StatusError(core::StatusCode::kDataCorruption,
+                            "shard store: shard " + std::to_string(shard_index) +
+                                " is quarantined after a checksum failure; discard() to recompute");
+  }
   fault_in(lock, shard_index);
   Shard& shard = shards_[shard_index];
   // Incremented before eviction so the target stays protected while the
@@ -111,6 +194,31 @@ ShardStoreStats ShardStore::stats() const {
   return stats_;
 }
 
+void ShardStore::discard(std::size_t shard_index) {
+  std::unique_lock<std::mutex> lock(lock_);
+  io_done_.wait(lock, [&] { return !shards_[shard_index].io_in_progress; });
+  Shard& shard = shards_[shard_index];
+  if (shard.pins != 0) {
+    throw std::logic_error("shard store: discard of pinned shard " + std::to_string(shard_index));
+  }
+  if (shard.state == State::kResident) {
+    stats_.resident_bytes -= bytes_of(shard.size_doubles);
+    if (obs::enabled()) {
+      StoreCounters::get().resident_bytes.add(
+          -static_cast<std::int64_t>(bytes_of(shard.size_doubles)));
+    }
+  }
+  shard.buffer.reset();
+  shard.state = State::kZero;
+  shard.quarantined = false;
+  const std::filesystem::path path = shard_path(shard_index);
+  if (!path.empty()) {
+    std::error_code ignored;
+    std::filesystem::remove(path, ignored);
+    std::filesystem::remove(path.string() + ".quarantined", ignored);
+  }
+}
+
 void ShardStore::fault_in(std::unique_lock<std::mutex>& lock, std::size_t shard_index) {
   Shard& shard = shards_[shard_index];
   if (shard.state == State::kResident) return;
@@ -130,20 +238,30 @@ void ShardStore::fault_in(std::unique_lock<std::mutex>& lock, std::size_t shard_
   // of this shard would park on io_done_ forever.
   std::unique_ptr<double[]> buffer;
   std::exception_ptr failure;
+  bool corrupt = false;
   try {
     if (prior == State::kSpilled) {
       obs::Span span("shard.fault", "shard");
+      if (fault::should_inject(fault::sites::kShardFaultRead)) {
+        throw core::StatusError(core::StatusCode::kIoError,
+                                "injected fault: shard.fault_read (shard " +
+                                    std::to_string(shard_index) + ")");
+      }
       // The read fills every byte, so the buffer is allocated uninitialised.
       buffer = std::make_unique_for_overwrite<double[]>(doubles);
       std::ifstream in(path, std::ios::binary);
       if (!in) {
-        throw std::runtime_error("shard store: cannot reopen spill file for shard " +
-                                 std::to_string(shard_index));
+        throw core::StatusError(core::StatusCode::kIoError,
+                                "shard store: cannot reopen spill file for shard " +
+                                    std::to_string(shard_index));
       }
       io::read_shard_binary(in, {buffer.get(), doubles});
     } else {
       buffer = std::make_unique<double[]>(doubles);  // first touch: zeros
     }
+  } catch (const core::StatusError& error) {
+    corrupt = error.code() == core::StatusCode::kDataCorruption;
+    failure = std::current_exception();
   } catch (...) {
     failure = std::current_exception();
   }
@@ -151,7 +269,20 @@ void ShardStore::fault_in(std::unique_lock<std::mutex>& lock, std::size_t shard_
   lock.lock();
   shard.io_in_progress = false;
   io_done_.notify_all();
-  if (failure) std::rethrow_exception(failure);
+  if (failure) {
+    if (corrupt) {
+      // The spill file is provably bad (checksum/framing). Set it aside
+      // under a name no fault-in will ever open — post-mortem evidence, not
+      // a landmine — and flag the shard so later pins reject immediately
+      // instead of re-reading garbage. discard() is the way back.
+      std::error_code ignored;
+      std::filesystem::rename(path, path.string() + ".quarantined", ignored);
+      shard.quarantined = true;
+      ++stats_.quarantined;
+      if (obs::enabled()) StoreCounters::get().quarantined.increment();
+    }
+    std::rethrow_exception(failure);
+  }
   shard.buffer = std::move(buffer);
   if (prior == State::kSpilled) ++stats_.faults;
   shard.state = State::kResident;
@@ -210,17 +341,7 @@ void ShardStore::evict_over_budget(std::unique_lock<std::mutex>& lock,
     std::exception_ptr failure;
     try {
       obs::Span span("shard.spill", "shard");
-      std::ofstream out(path, std::ios::binary | std::ios::trunc);
-      if (!out) {
-        throw std::runtime_error("shard store: cannot open spill file for shard " +
-                                 std::to_string(victim) + " under " + spill_dir_.string());
-      }
-      io::write_shard_binary(out, {buffer.get(), doubles});
-      out.flush();
-      if (!out) {
-        throw std::runtime_error("shard store: short write spilling shard " +
-                                 std::to_string(victim));
-      }
+      write_shard_durable(path, {buffer.get(), doubles}, victim, spill_dir_);
     } catch (...) {
       failure = std::current_exception();
     }

@@ -31,8 +31,9 @@ struct ShardStoreConfig {
 
 /// Observability counters, stable across pin/release cycles.
 struct ShardStoreStats {
-  std::uint64_t spills = 0;  ///< shard buffers written out to disk
-  std::uint64_t faults = 0;  ///< shard buffers restored from disk
+  std::uint64_t spills = 0;       ///< shard buffers written out to disk
+  std::uint64_t faults = 0;       ///< shard buffers restored from disk
+  std::uint64_t quarantined = 0;  ///< spill files set aside after checksum failure
   std::size_t resident_bytes = 0;
   std::size_t peak_resident_bytes = 0;
 };
@@ -91,8 +92,25 @@ class ShardStore {
   /// reads) happen with the store mutex *released* — the shard in
   /// transition is marked and other threads pin other shards concurrently,
   /// so worker emits no longer serialise on a neighbour's I/O under memory
-  /// pressure. Throws std::runtime_error on spill I/O failure.
+  /// pressure.
+  ///
+  /// Failure taxonomy (all derive from std::runtime_error):
+  ///   core::StatusError(kSpillFailure)    an eviction's spill write failed
+  ///                                       (ENOSPC, injected fault); the
+  ///                                       victim is rolled back to residency
+  ///   core::StatusError(kDataCorruption)  this shard's spill file failed its
+  ///                                       checksum — the file is quarantined
+  ///                                       (renamed *.quarantined) and every
+  ///                                       later pin() throws the same code
+  ///                                       until discard() resets the shard
   Pin pin(std::size_t shard_index);
+
+  /// Drops a shard back to the virtually-zero state: buffer freed, spill
+  /// and quarantine files removed, quarantine flag cleared. The recompute
+  /// half of the corrupt-shard fallback — the owner re-runs the trial
+  /// ranges that produced the shard, or rejects the request. Requires the
+  /// shard to be unpinned.
+  void discard(std::size_t shard_index);
 
   std::size_t num_shards() const noexcept { return shards_.size(); }
   std::size_t shard_doubles(std::size_t shard_index) const noexcept {
@@ -124,6 +142,9 @@ class ShardStore {
     /// While set the shard is untouchable: pin() waits on io_done_, and
     /// eviction never selects it (it is not kResident during the window).
     bool io_in_progress = false;
+    /// The spill file failed its checksum; pin() rejects with
+    /// kDataCorruption until discard() clears the flag.
+    bool quarantined = false;
   };
 
   // Both require lock_ held on entry and may release it around disk I/O
@@ -133,6 +154,11 @@ class ShardStore {
   // Require lock_ held throughout.
   std::filesystem::path shard_path(std::size_t shard_index) const;
   void ensure_spill_dir();
+  /// Removes shard_*.bin.tmp debris a crashed predecessor left under
+  /// `base` (spill writes land in a tmp file until renamed, so a *.tmp is
+  /// by definition incomplete). Called from the constructor for configured
+  /// spill dirs; best-effort, never throws.
+  static void sweep_orphaned_tmp(const std::filesystem::path& base) noexcept;
 
   mutable std::mutex lock_;
   std::condition_variable io_done_;

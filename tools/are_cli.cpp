@@ -43,13 +43,18 @@
 // Engine selection goes through core::run(AnalysisRequest) and the
 // EngineRegistry, so a backend registered there is immediately reachable
 // here by name — this file has no per-engine dispatch ladder.
+#include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <random>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "args.hpp"
@@ -57,6 +62,7 @@
 #include "core/analysis.hpp"
 #include "core/engine_registry.hpp"
 #include "core/openmp_engine.hpp"
+#include "fault/fault_injection.hpp"
 #include "obs/export.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
@@ -97,10 +103,15 @@ commands:
                      --max-request-cost N --max-inflight-cost N --queue-limit N
                      --admission-memory-budget-mb M --ground-up-budget-mb M
                      --cache-entries N --engine NAME (default engine, default fused)
+                     --shard-trials N --spill-dir PATH --memory-budget-mb M
+                     (out-of-core config used by sharded=1 quotes)
                      --verbose (per-request telemetry lines to stderr)
   quote              client for a running serve          (--socket PATH [terms...])
                      --portfolio NAME --layer N --engine NAME --window FROM:TO
                      --phases --csv PATH (server-side YLT CSV) --no-cache --no-delta
+                     --sharded (out-of-core quote) --deadline-ms N (bound wall clock)
+                     --retries N --retry-base-ms M (exponential backoff + jitter on
+                     retryable failures and connect errors)
                      --ping --shutdown; prints the JSON response, exit 0 iff ok
 
 common options:
@@ -118,6 +129,9 @@ common options:
                 exported after the run; Chrome-trace JSON loads in chrome://tracing)
                 --telemetry-out PATH  (default: stderr)
                 --verbose  (human-readable summaries from the telemetry registry)
+  faults        --fault SITE=SPEC[,SITE=SPEC...]  (arm fault-injection sites for
+                this process; SPEC = always|never|once|every:N|after:N|prob:P[:SEED];
+                the ARE_FAULT env var takes the same list — see README "Failure model")
   run 'are_cli <command> --help' is not needed: every option has a default.
 )";
   return 2;
@@ -678,6 +692,11 @@ int cmd_serve(const Args& args) {
   config.cache_entries = static_cast<std::size_t>(args.get_u64("cache-entries", 64));
   config.default_engine = args.get("engine", "fused");
   core::EngineRegistry::global().require(config.default_engine);  // fail fast on typos
+  // Out-of-core execution for sharded=1 quotes (same flag names as `run`).
+  config.sharding.shard_trials = args.get_u64("shard-trials", 4096);
+  config.sharding.memory_budget_bytes =
+      static_cast<std::size_t>(args.get_u64("memory-budget-mb", 0)) << 20;
+  config.sharding.spill_dir = args.get("spill-dir", "");
 
   const std::string book = args.get("portfolio", "book");
   service::AnalysisService analysis_service(std::move(yet_table), config);
@@ -724,8 +743,40 @@ int cmd_quote(const Args& args) {
     if (args.has("no-cache")) line << " cache=0";
     if (args.has("no-delta")) line << " delta=0";
     if (args.has("csv")) line << " csv=" << args.require("csv");
+    if (args.has("sharded")) line << " sharded=1";
+    if (args.has("deadline-ms")) line << " deadline-ms=" << args.get_u64("deadline-ms", 0);
   }
-  const std::string response = service::Server::round_trip(socket_path, line.str());
+
+  // Retry loop: exponential backoff with jitter, but only for failures the
+  // server marks "retryable":true (deadline, resource exhaustion, spill,
+  // I/O, shutdown races) and for transport errors (server not up yet).
+  // Malformed requests and other terminal statuses return immediately.
+  const std::uint64_t max_retries = args.get_u64("retries", 0);
+  const std::uint64_t base_ms = args.get_u64("retry-base-ms", 100);
+  std::mt19937_64 jitter_rng(std::random_device{}());
+  std::string response;
+  for (std::uint64_t attempt = 0;; ++attempt) {
+    bool transport_error = false;
+    try {
+      response = service::Server::round_trip(socket_path, line.str());
+    } catch (const std::exception& error) {
+      if (attempt >= max_retries) throw;
+      transport_error = true;
+      std::cerr << "quote attempt " << (attempt + 1) << ": " << error.what() << "\n";
+    }
+    if (!transport_error) {
+      const bool ok = response.find("\"status\":\"ok\"") != std::string::npos;
+      const bool retryable = response.find("\"retryable\":true") != std::string::npos;
+      if (ok || !retryable || attempt >= max_retries) break;
+      std::cerr << "quote attempt " << (attempt + 1) << ": retryable failure: " << response
+                << "\n";
+    }
+    const std::uint64_t backoff = base_ms << std::min<std::uint64_t>(attempt, 10);
+    const std::uint64_t jitter =
+        backoff > 1 ? std::uniform_int_distribution<std::uint64_t>(0, backoff / 2)(jitter_rng)
+                    : 0;
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff + jitter));
+  }
   std::cout << response << "\n";
   return response.find("\"status\":\"ok\"") != std::string::npos ? 0 : 1;
 }
@@ -754,6 +805,15 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   const Args args(argc, argv, 2);
   try {
+    // Fault-injection arming is process-wide and applies to every command:
+    // ARE_FAULT first, then --fault (the flag can re-arm or "never" out an
+    // env-armed site).
+    if (const char* env = std::getenv("ARE_FAULT"); env != nullptr && *env != '\0') {
+      fault::FaultRegistry::global().arm_from_list(env);
+    }
+    if (args.has("fault")) {
+      fault::FaultRegistry::global().arm_from_list(args.require("fault"));
+    }
     if (command == "gen-elt") return cmd_gen_elt(args);
     if (command == "gen-elt-catmodel") return cmd_gen_elt_catmodel(args);
     if (command == "gen-yet") return cmd_gen_yet(args);
