@@ -47,6 +47,35 @@ void Histogram::reset() noexcept {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
 }
 
+std::uint64_t Snapshot::HistogramSample::quantile_ns(double q) const noexcept {
+  if (count == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank in [1, count] of the sample the quantile falls on.
+  const double target = q * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    if (buckets[b] == 0) continue;
+    const std::uint64_t before = cumulative;
+    cumulative += buckets[b];
+    if (static_cast<double>(cumulative) < target) continue;
+    const std::uint64_t lower = Histogram::bucket_lower_ns(b);
+    // The top bucket absorbs everything past its nominal range; the
+    // observed max is the honest upper bound there (and a tighter one
+    // everywhere, since samples never exceed it).
+    std::uint64_t upper = Histogram::bucket_upper_ns(b);
+    if (b + 1 == buckets.size() || upper > max_ns) upper = max_ns;
+    const double within =
+        (target - static_cast<double>(before)) / static_cast<double>(buckets[b]);
+    std::uint64_t estimate =
+        lower + static_cast<std::uint64_t>(within * static_cast<double>(upper - lower));
+    if (estimate < min_ns) estimate = min_ns;
+    if (estimate > max_ns) estimate = max_ns;
+    return estimate;
+  }
+  return max_ns;
+}
+
 std::uint64_t Snapshot::counter_value(std::string_view name) const noexcept {
   for (const CounterSample& c : counters) {
     if (c.name == name) return c.value;
@@ -76,6 +105,12 @@ Snapshot Snapshot::diff(const Snapshot& earlier) const {
       if (e.name != h.name) continue;
       sample.count = h.count >= e.count ? h.count - e.count : h.count;
       sample.sum_ns = h.sum_ns >= e.sum_ns ? h.sum_ns - e.sum_ns : h.sum_ns;
+      if (h.count >= e.count) {
+        for (std::size_t b = 0; b < sample.buckets.size(); ++b) {
+          sample.buckets[b] =
+              h.buckets[b] >= e.buckets[b] ? h.buckets[b] - e.buckets[b] : h.buckets[b];
+        }
+      }
       break;
     }
     delta.histograms.push_back(sample);
@@ -133,8 +168,16 @@ Snapshot TelemetryRegistry::snapshot() const {
     for (const auto& g : gauges_) snap.gauges.push_back({g.name, g.instrument->value()});
     snap.histograms.reserve(histograms_.size());
     for (const auto& h : histograms_) {
-      snap.histograms.push_back({h.name, h.instrument->count(), h.instrument->sum_ns(),
-                                 h.instrument->min_ns(), h.instrument->max_ns()});
+      Snapshot::HistogramSample sample;
+      sample.name = h.name;
+      sample.count = h.instrument->count();
+      sample.sum_ns = h.instrument->sum_ns();
+      sample.min_ns = h.instrument->min_ns();
+      sample.max_ns = h.instrument->max_ns();
+      for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+        sample.buckets[b] = h.instrument->bucket(b);
+      }
+      snap.histograms.push_back(std::move(sample));
     }
   }
   auto by_name = [](const auto& a, const auto& b) { return a.name < b.name; };

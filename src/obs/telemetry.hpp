@@ -27,6 +27,7 @@
 // chunks). Exporters for the registry live in obs/export.hpp; the
 // Chrome-trace span side lives in obs/trace.hpp.
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -90,6 +91,17 @@ class Histogram {
  public:
   static constexpr std::size_t kBuckets = 40;  // up to ~2^39 ns ~ 9 minutes
 
+  /// Inclusive value range of bucket b: [lower, upper]. Bucket 0 holds only
+  /// ns == 0; bucket b >= 1 holds ns with bit_width(ns) == b, i.e.
+  /// [2^(b-1), 2^b - 1]. The last bucket additionally absorbs everything
+  /// past 2^(kBuckets-1) - 1 (its upper bound is open in practice).
+  static constexpr std::uint64_t bucket_lower_ns(std::size_t b) noexcept {
+    return b == 0 ? 0 : std::uint64_t{1} << (b - 1);
+  }
+  static constexpr std::uint64_t bucket_upper_ns(std::size_t b) noexcept {
+    return b == 0 ? 0 : (std::uint64_t{1} << b) - 1;
+  }
+
   void record_ns(std::uint64_t ns) noexcept;
 
   std::uint64_t count() const noexcept { return count_.load(std::memory_order_relaxed); }
@@ -148,10 +160,19 @@ struct Snapshot {
   };
   struct HistogramSample {
     std::string name;
-    std::uint64_t count;
-    std::uint64_t sum_ns;
-    std::uint64_t min_ns;
-    std::uint64_t max_ns;
+    std::uint64_t count = 0;
+    std::uint64_t sum_ns = 0;
+    std::uint64_t min_ns = 0;
+    std::uint64_t max_ns = 0;
+    /// Per-bucket counts (Histogram's power-of-two ns buckets) — what the
+    /// Prometheus exposition's cumulative `_bucket{le=...}` lines and the
+    /// derived quantiles are computed from.
+    std::array<std::uint64_t, Histogram::kBuckets> buckets{};
+
+    /// Estimated q-quantile (q in [0,1]) in nanoseconds, by linear
+    /// interpolation inside the bucket holding the quantile rank, clamped
+    /// to the observed [min_ns, max_ns]. 0 when the histogram is empty.
+    std::uint64_t quantile_ns(double q) const noexcept;
   };
   std::vector<CounterSample> counters;
   std::vector<GaugeSample> gauges;

@@ -32,14 +32,18 @@ TraceBuffer::ThreadLog& TraceBuffer::log_for_this_thread() {
   return *tls_log;
 }
 
-void TraceBuffer::append(const char* name, const char* category, char phase) {
+void TraceBuffer::append(const char* name, const char* category, char phase, std::string args) {
   ThreadLog& log = log_for_this_thread();
   const std::uint64_t now_ns = static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() -
                                                            epoch_)
           .count());
   std::lock_guard<std::mutex> guard(log.mutex);
-  log.events.push_back({name, category, phase, log.tid, now_ns});
+  log.events.push_back({name, category, phase, log.tid, now_ns, std::move(args)});
+}
+
+void TraceBuffer::append_instant(const char* name, const char* category, std::string args) {
+  append(name, category, 'i', std::move(args));
 }
 
 void TraceBuffer::write_chrome_json(std::ostream& out) const {
@@ -58,7 +62,10 @@ void TraceBuffer::write_chrome_json(std::ostream& out) const {
       out << "\n{\"name\":\"" << e.name << "\",\"cat\":\"" << e.category << "\",\"ph\":\""
           << e.phase << "\",\"pid\":1,\"tid\":" << e.tid << ",\"ts\":" << whole_us << ".";
       out << static_cast<char>('0' + frac_ns / 100) << static_cast<char>('0' + frac_ns / 10 % 10)
-          << static_cast<char>('0' + frac_ns % 10) << "}";
+          << static_cast<char>('0' + frac_ns % 10);
+      if (e.phase == 'i') out << ",\"s\":\"t\"";  // thread-scoped instant
+      if (!e.args.empty()) out << ",\"args\":" << e.args;
+      out << "}";
     }
   }
   out << "\n]}\n";

@@ -23,6 +23,7 @@
 #include <iosfwd>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 namespace are::obs {
@@ -47,16 +48,22 @@ class TraceBuffer {
   struct Event {
     const char* name;       // string literal; not owned
     const char* category;   // string literal; not owned
-    char phase;             // 'B' or 'E'
+    char phase;             // 'B', 'E', or 'i' (instant)
     std::uint32_t tid;      // registration-order thread id (stable, small)
     std::uint64_t time_ns;  // steady_clock since process trace epoch
+    std::string args;       // pre-rendered JSON object ("{...}"); empty = none
   };
 
   TraceBuffer();
   TraceBuffer(const TraceBuffer&) = delete;
   TraceBuffer& operator=(const TraceBuffer&) = delete;
 
-  void append(const char* name, const char* category, char phase);
+  void append(const char* name, const char* category, char phase, std::string args = {});
+
+  /// A zero-duration marker (Chrome-trace 'i' phase, thread scope) — how a
+  /// quote's request id lands on the timeline so it is findable by search.
+  /// `args` is a pre-rendered JSON object or empty.
+  void append_instant(const char* name, const char* category, std::string args = {});
 
   /// Writes `{"traceEvents":[...]}` with timestamps in microseconds
   /// (fractional, so distinct nanosecond stamps stay distinct and
@@ -91,6 +98,13 @@ class Span {
   Span(const char* name, const char* category) noexcept
       : name_(name), category_(category), active_(trace_enabled()) {
     if (active_) TraceBuffer::global().append(name_, category_, 'B');
+  }
+  /// Annotated span: `args` (a pre-rendered JSON object, e.g.
+  /// `{"request_id":"q-000001"}`) rides on the 'B' event, so the
+  /// annotation is visible when the span is selected in the viewer.
+  Span(const char* name, const char* category, std::string args)
+      : name_(name), category_(category), active_(trace_enabled()) {
+    if (active_) TraceBuffer::global().append(name_, category_, 'B', std::move(args));
   }
   ~Span() {
     if (active_) TraceBuffer::global().append(name_, category_, 'E');

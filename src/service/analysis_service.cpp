@@ -1,10 +1,14 @@
 #include "service/analysis_service.hpp"
 
 #include <chrono>
+#include <cstdio>
 #include <stdexcept>
 #include <utility>
 
 #include "core/engine_registry.hpp"
+#include "obs/metrics_server.hpp"
+#include "obs/trace.hpp"
+#include "service/access_log.hpp"
 #include "shard/sharded_run.hpp"
 
 namespace are::service {
@@ -72,7 +76,25 @@ AnalysisService::AnalysisService(yet::YearEventTable yet_table, ServiceConfig co
     : config_(std::move(config)),
       session_(std::move(yet_table), config_.session),
       broker_(config_.broker),
-      cache_(config_.cache_entries) {}
+      cache_(config_.cache_entries) {
+  if (!config_.access_log_path.empty()) {
+    access_log_ = std::make_unique<AccessLog>(config_.access_log_path);
+  }
+  if (config_.metrics_port >= 0) {
+    obs::MetricsServerOptions options;
+    options.bind_address = config_.metrics_bind;
+    options.port = config_.metrics_port;
+    options.healthy = [this] { return !broker_.shutting_down(); };
+    options.extra_status = [this] {
+      return "{\"cached_results\":" + std::to_string(cache_.size()) +
+             ",\"default_engine\":\"" + config_.default_engine + "\"}";
+    };
+    metrics_server_ = std::make_unique<obs::MetricsServer>(std::move(options));
+    metrics_server_->start();
+  }
+}
+
+AnalysisService::~AnalysisService() = default;
 
 void AnalysisService::register_portfolio(std::string id, core::Portfolio portfolio) {
   cache_.invalidate(id);
@@ -123,6 +145,21 @@ QuoteResponse AnalysisService::quote(const QuoteRequest& request) {
   registry.counter("service.requests").increment();
   const auto wall_start = std::chrono::steady_clock::now();
 
+  // The correlation key across the wire response, access log, and trace.
+  std::string request_id;
+  {
+    char id[16];
+    std::snprintf(id, sizeof id, "q-%06llu",
+                  static_cast<unsigned long long>(
+                      next_request_id_.fetch_add(1, std::memory_order_relaxed) + 1));
+    request_id = id;
+  }
+  obs::Span quote_span("service.quote", "service",
+                       obs::trace_enabled()
+                           ? "{\"request_id\":\"" + request_id + "\",\"portfolio\":\"" +
+                                 request.portfolio_id + "\"}"
+                           : std::string{});
+
   if (request.window.has_value()) request.window->validate();
   const PortfolioSession::BookSnapshot book = session_.snapshot(request.portfolio_id);
   const std::shared_ptr<const core::Portfolio> portfolio =
@@ -133,6 +170,7 @@ QuoteResponse AnalysisService::quote(const QuoteRequest& request) {
       core::EngineRegistry::global().require(engine_name);
 
   QuoteResponse response;
+  response.request_id = request_id;
   response.engine = engine_name;
   response.fingerprint =
       fingerprint_of(request.portfolio_id, book.generation, *portfolio, engine_name,
@@ -143,6 +181,24 @@ QuoteResponse AnalysisService::quote(const QuoteRequest& request) {
         std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start)
             .count();
     if (telemetry_on) done.telemetry = registry.snapshot().diff(before);
+    // Per-source latency histogram. Updated unconditionally at request
+    // granularity (the same discipline as the broker gauges — this is the
+    // scrape surface's data, far off the per-event hot path the zero-cost
+    // contract protects).
+    const auto wall_ns = static_cast<std::uint64_t>(done.wall_seconds * 1e9);
+    registry
+        .histogram("service.quote_ns{source=" + std::string(to_string(done.source)) + "}")
+        .record_ns(wall_ns);
+    if (obs::trace_enabled()) {
+      // Instant event carrying the request id: a slow quote found in the
+      // access log is findable on the trace timeline by the same id.
+      obs::TraceBuffer::global().append_instant(
+          "service.quote.done", "service",
+          "{\"request_id\":\"" + done.request_id + "\",\"source\":\"" +
+              std::string(to_string(done.source)) + "\",\"wall_ns\":" +
+              std::to_string(wall_ns) + "}");
+    }
+    if (access_log_ != nullptr) access_log_->write(make_log_entry(request, done));
     return std::move(done);
   };
 

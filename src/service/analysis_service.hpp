@@ -25,6 +25,7 @@
 //            (claim/publish protocol, budget-gated) so the *next* terms
 //            tweak is a delta.
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -40,7 +41,13 @@
 #include "service/request_broker.hpp"
 #include "service/result_cache.hpp"
 
+namespace are::obs {
+class MetricsServer;
+}  // namespace are::obs
+
 namespace are::service {
+
+class AccessLog;
 
 struct ServiceConfig {
   SessionConfig session;
@@ -53,6 +60,15 @@ struct ServiceConfig {
   /// size, spill dir, memory budget). The tiny-budget + spill-dir
   /// combination is how a server is driven into the out-of-core regime.
   core::ShardingOptions sharding;
+  /// TCP port for the embedded scrape endpoint (obs::MetricsServer:
+  /// /metrics, /healthz, /statusz). -1 = no server (the default); 0 =
+  /// ephemeral port, read back via metrics_server()->port().
+  int metrics_port = -1;
+  std::string metrics_bind = "127.0.0.1";
+  /// Append-only JSONL access log (one line per quote); empty = off.
+  /// The constructor throws std::runtime_error when the path cannot be
+  /// opened.
+  std::string access_log_path;
 };
 
 /// Per-request replacement of one layer's terms, applied on top of the
@@ -93,6 +109,11 @@ enum class QuoteSource { kRejected, kCold, kCached, kDelta, kFailed };
 std::string_view to_string(QuoteSource source) noexcept;
 
 struct QuoteResponse {
+  /// Service-assigned id ("q-000001", unique per service instance) — the
+  /// correlation key across the wire response, the access log, and the
+  /// trace (instant event + span args). Assigned before anything can
+  /// fail, so every response carries one.
+  std::string request_id;
   QuoteSource source = QuoteSource::kRejected;
   /// kOk for served quotes; the taxonomy code + message otherwise (both
   /// rejections and kFailed executions). This is the ONE failure channel
@@ -115,7 +136,11 @@ struct QuoteResponse {
 
 class AnalysisService {
  public:
+  /// Starts the embedded metrics server and opens the access log when the
+  /// config asks for them (throws std::runtime_error when either cannot
+  /// bind/open — fail at startup, not on the first quote).
   AnalysisService(yet::YearEventTable yet_table, ServiceConfig config = {});
+  ~AnalysisService();
 
   /// Registers/replaces a book and drops its cached quotes.
   void register_portfolio(std::string id, core::Portfolio portfolio);
@@ -138,6 +163,11 @@ class AnalysisService {
   ResultCache& cache() noexcept { return cache_; }
   const ServiceConfig& config() const noexcept { return config_; }
 
+  /// Null unless ServiceConfig::metrics_port >= 0.
+  obs::MetricsServer* metrics_server() noexcept { return metrics_server_.get(); }
+  /// Null unless ServiceConfig::access_log_path is set.
+  AccessLog* access_log() noexcept { return access_log_.get(); }
+
  private:
   std::uint64_t fingerprint_of(std::string_view portfolio_id, std::uint64_t generation,
                                const core::Portfolio& effective,
@@ -148,6 +178,9 @@ class AnalysisService {
   PortfolioSession session_;
   RequestBroker broker_;
   ResultCache cache_;
+  std::atomic<std::uint64_t> next_request_id_{0};
+  std::unique_ptr<obs::MetricsServer> metrics_server_;
+  std::unique_ptr<AccessLog> access_log_;
 };
 
 }  // namespace are::service

@@ -60,6 +60,14 @@ std::string_view to_string(RejectReason reason) noexcept {
 
 RequestBroker::RequestBroker(BrokerConfig config) : config_(config) {
   BrokerInstruments::get();  // pre-register the gauges so snapshots list them
+  // The configured limits as gauges, so the scrape surface (and `are_cli
+  // top`) can render load as inflight-vs-budget without knowing the config.
+  obs::TelemetryRegistry::global()
+      .gauge("service.inflight_cost_budget")
+      .set(static_cast<std::int64_t>(config_.max_inflight_cost));
+  obs::TelemetryRegistry::global()
+      .gauge("service.queue_limit")
+      .set(static_cast<std::int64_t>(config_.max_queued));
 }
 
 std::uint64_t RequestBroker::estimate_cost(const core::Portfolio& portfolio,

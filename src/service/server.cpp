@@ -23,6 +23,7 @@
 #include "fault/fault_injection.hpp"
 #include "io/csv.hpp"
 #include "obs/export.hpp"
+#include "service/access_log.hpp"
 
 namespace are::service {
 
@@ -161,7 +162,8 @@ std::string response_json(const QuoteResponse& response) {
   const bool rejected = response.source == QuoteSource::kRejected;
   const bool failed = response.source == QuoteSource::kFailed;
   std::ostringstream out;
-  out << "{\"status\":\"" << (rejected ? "rejected" : failed ? "error" : "ok") << "\"";
+  out << "{\"status\":\"" << (rejected ? "rejected" : failed ? "error" : "ok") << "\""
+      << ",\"request_id\":\"" << json_escape(response.request_id) << "\"";
   if (!response.status.ok()) {
     out << ",\"code\":\"" << core::to_string(response.status.code()) << "\""
         << ",\"retryable\":" << (response.status.retryable() ? "true" : "false")
@@ -205,20 +207,6 @@ std::string response_json(const QuoteResponse& response) {
   }
   out << '}';
   return out.str();
-}
-
-std::uint64_t sum_counters_matching(const obs::Snapshot& snapshot,
-                                    std::string_view prefix, std::string_view suffix) {
-  std::uint64_t total = 0;
-  for (const auto& counter : snapshot.counters) {
-    if (counter.name.size() >= prefix.size() + suffix.size() &&
-        counter.name.compare(0, prefix.size(), prefix) == 0 &&
-        counter.name.compare(counter.name.size() - suffix.size(), suffix.size(),
-                             suffix) == 0) {
-      total += counter.value;
-    }
-  }
-  return total;
 }
 
 // ---- socket plumbing --------------------------------------------------------
@@ -325,15 +313,9 @@ std::string Server::handle_quote(const std::string& line) {
   }
 
   if (options_.verbose) {
-    std::ostringstream note;
-    note << "[serve] " << request.portfolio_id << " source=" << to_string(response.source)
-         << " engine=" << response.engine << " wall_ms=" << response.wall_seconds * 1e3;
-    if (response.telemetry.has_value()) {
-      note << " elt_lookups=" << sum_counters_matching(*response.telemetry, "elt.", ".lookups")
-           << " lookup_ns=" << response.telemetry->counter_value("kernel.phase.lookup_ns")
-           << " events=" << response.telemetry->counter_value("kernel.events");
-    }
-    std::cerr << note.str() << '\n';
+    // Same RequestLogEntry the access log serializes — the two surfaces
+    // render one extraction and cannot drift apart.
+    std::cerr << access_log_human(make_log_entry(request, response)) << '\n';
   }
   return response_json(response);
 }
@@ -452,6 +434,24 @@ int Server::serve() {
   for (std::thread& connection : connections) connection.join();
   ::close(listen_fd);
   ::unlink(options_.socket_path.c_str());
+  if (options_.verbose) {
+    // Lifetime summary, with the fault-injection fire tallies so a chaos
+    // run's stderr says exactly what was provoked.
+    const obs::Snapshot snapshot = obs::TelemetryRegistry::global().snapshot();
+    std::ostringstream note;
+    note << "[serve] shutdown requests=" << snapshot.counter_value("service.requests")
+         << " cold=" << snapshot.counter_value("service.cold_runs")
+         << " delta=" << snapshot.counter_value("service.delta_runs")
+         << " cached=" << snapshot.counter_value("service.cache_hits")
+         << " rejected=" << snapshot.counter_value("service.rejected")
+         << " failed=" << snapshot.counter_value("service.failed");
+    for (const auto& counter : snapshot.counters) {
+      if (counter.value != 0 && counter.name.rfind("fault.injected.", 0) == 0) {
+        note << " " << counter.name << "=" << counter.value;
+      }
+    }
+    std::cerr << note.str() << '\n';
+  }
   return 0;
 }
 

@@ -555,13 +555,17 @@ TEST_F(Telemetry, ExportersRenderKnownSnapshotExactly) {
   histogram.record_ns(100);
   const obs::Snapshot snapshot = registry.snapshot();
 
+  // Quantiles for samples {50, 100}: p50 lands on the first sample's
+  // bucket [32,63] interpolated to its top (63); p95/p99 interpolate into
+  // [64,127], clamped-upper to the observed max 100 -> 96 / 99.
   std::ostringstream json;
   obs::write_snapshot_json(json, snapshot);
   EXPECT_EQ(json.str(),
             "{\"counters\":{\"kernel.trials\":6},"
             "\"gauges\":{\"shard.resident_bytes\":-8},"
             "\"histograms\":{\"pool.task_ns\":{\"count\":2,\"sum_ns\":150,"
-            "\"min_ns\":50,\"max_ns\":100}}}\n");
+            "\"min_ns\":50,\"max_ns\":100,"
+            "\"p50_ns\":63,\"p95_ns\":96,\"p99_ns\":99}}}\n");
 
   std::ostringstream csv;
   obs::write_snapshot_csv(csv, snapshot);
@@ -572,7 +576,10 @@ TEST_F(Telemetry, ExportersRenderKnownSnapshotExactly) {
             "histogram,pool.task_ns.count,2\n"
             "histogram,pool.task_ns.sum_ns,150\n"
             "histogram,pool.task_ns.min_ns,50\n"
-            "histogram,pool.task_ns.max_ns,100\n");
+            "histogram,pool.task_ns.max_ns,100\n"
+            "histogram,pool.task_ns.p50_ns,63\n"
+            "histogram,pool.task_ns.p95_ns,96\n"
+            "histogram,pool.task_ns.p99_ns,99\n");
 
   std::ostringstream prom;
   obs::write_snapshot_prometheus(prom, snapshot);
@@ -584,7 +591,63 @@ TEST_F(Telemetry, ExportersRenderKnownSnapshotExactly) {
   EXPECT_NE(text.find("# TYPE are_shard_resident_bytes gauge\n"
                       "are_shard_resident_bytes -8\n"),
             std::string::npos);
-  EXPECT_NE(text.find("are_pool_task_ns_sum_ns 150\n"), std::string::npos);
+  // A real Prometheus histogram family: cumulative le buckets over the
+  // power-of-two bounds up to the highest non-empty bucket, then +Inf ==
+  // _count, then _sum/_count, with min/max and derived quantiles as
+  // gauge families.
+  EXPECT_NE(text.find("# TYPE are_pool_task_ns histogram\n"), std::string::npos);
+  EXPECT_NE(text.find("are_pool_task_ns_bucket{le=\"31\"} 0\n"), std::string::npos);
+  EXPECT_NE(text.find("are_pool_task_ns_bucket{le=\"63\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("are_pool_task_ns_bucket{le=\"127\"} 2\n"
+                      "are_pool_task_ns_bucket{le=\"+Inf\"} 2\n"
+                      "are_pool_task_ns_sum 150\n"
+                      "are_pool_task_ns_count 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE are_pool_task_ns_p50_ns gauge\n"
+                      "are_pool_task_ns_p50_ns 63\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("are_pool_task_ns_p99_ns 99\n"), std::string::npos);
+  EXPECT_NE(text.find("are_pool_task_ns_min_ns 50\n"), std::string::npos);
+  EXPECT_NE(text.find("are_pool_task_ns_max_ns 100\n"), std::string::npos);
+  // Buckets past the highest non-empty one collapse into +Inf.
+  EXPECT_EQ(text.find("are_pool_task_ns_bucket{le=\"255\"}"), std::string::npos);
+}
+
+TEST_F(Telemetry, PrometheusRendersLabelledInstrumentFamilies) {
+  // The `base{key=value}` instrument-name convention: JSON/CSV keep the
+  // flat name verbatim; the Prometheus exporter splits it into a family
+  // plus labels, groups the family under ONE TYPE line, and appends the
+  // le label after the instrument's own labels.
+  TelemetryRegistry registry;
+  registry.histogram("service.quote_ns{source=cached}").record_ns(100);
+  registry.histogram("service.quote_ns{source=cold}").record_ns(1000);
+  registry.counter("service.outcome{kind=ok}").add(3);
+  const obs::Snapshot snapshot = registry.snapshot();
+
+  std::ostringstream prom;
+  obs::write_snapshot_prometheus(prom, snapshot);
+  const std::string text = prom.str();
+  EXPECT_NE(text.find("# TYPE are_service_outcome_total counter\n"
+                      "are_service_outcome_total{kind=\"ok\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("are_service_quote_ns_bucket{source=\"cached\",le=\"127\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("are_service_quote_ns_bucket{source=\"cold\",le=\"+Inf\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("are_service_quote_ns_sum{source=\"cold\"} 1000\n"), std::string::npos);
+  EXPECT_NE(text.find("are_service_quote_ns_p50_ns{source=\"cached\"}"), std::string::npos);
+  // One TYPE line covers both labelled members of the family.
+  std::size_t type_lines = 0;
+  for (std::size_t at = text.find("# TYPE are_service_quote_ns histogram");
+       at != std::string::npos;
+       at = text.find("# TYPE are_service_quote_ns histogram", at + 1)) {
+    ++type_lines;
+  }
+  EXPECT_EQ(type_lines, 1u);
+
+  // JSON keeps the dotted+labelled name as an opaque key.
+  const std::string json = obs::snapshot_json_object(snapshot);
+  EXPECT_NE(json.find("\"service.quote_ns{source=cold}\":{\"count\":1"), std::string::npos);
 }
 
 // --- Thread safety ------------------------------------------------------------

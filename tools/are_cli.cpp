@@ -19,6 +19,10 @@
 //                     control, result caching, and delta re-pricing)
 //   are_cli quote     --socket are.sock [terms...] [--csv ylt.csv] [--shutdown]
 //                     (client for a running serve; prints the JSON response line)
+//   are_cli top       --connect 127.0.0.1:9464 [--interval-ms N] [--iterations N]
+//                     (refreshing operator dashboard polled from a serve's
+//                     --metrics-port HTTP endpoint: QPS, per-source latency
+//                     quantiles, inflight vs budget, cache, shard, faults)
 //
 // Layer terms: --occ-retention --occ-limit --agg-retention --agg-limit
 // Engine:      --engine NAME (any name in `are_cli list-engines`)
@@ -64,6 +68,7 @@
 #include "core/openmp_engine.hpp"
 #include "fault/fault_injection.hpp"
 #include "obs/export.hpp"
+#include "obs/metrics_server.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "elt/synthetic.hpp"
@@ -105,7 +110,16 @@ commands:
                      --cache-entries N --engine NAME (default engine, default fused)
                      --shard-trials N --spill-dir PATH --memory-budget-mb M
                      (out-of-core config used by sharded=1 quotes)
-                     --verbose (per-request telemetry lines to stderr)
+                     --verbose (per-request lines + shutdown summary to stderr)
+                     --metrics-port N (HTTP /metrics /healthz /statusz; 0 = ephemeral)
+                     --metrics-bind ADDR (default 127.0.0.1)
+                     --access-log PATH (JSONL, one line per quote)
+                     --trace-out PATH (Chrome-trace JSON written at shutdown;
+                     request ids ride on service.quote spans + instant events)
+  top                live operator view of a running serve's metrics endpoint
+                     --connect HOST:PORT (default 127.0.0.1:9464)
+                     --interval-ms N (default 1000) --iterations N (0 = forever)
+                     --no-clear (append refreshes instead of redrawing)
   quote              client for a running serve          (--socket PATH [terms...])
                      --portfolio NAME --layer N --engine NAME --window FROM:TO
                      --phases --csv PATH (server-side YLT CSV) --no-cache --no-delta
@@ -697,6 +711,13 @@ int cmd_serve(const Args& args) {
   config.sharding.memory_budget_bytes =
       static_cast<std::size_t>(args.get_u64("memory-budget-mb", 0)) << 20;
   config.sharding.spill_dir = args.get("spill-dir", "");
+  if (args.has("metrics-port")) {
+    config.metrics_port = static_cast<int>(args.get_u64("metrics-port", 0));
+    config.metrics_bind = args.get("metrics-bind", "127.0.0.1");
+  }
+  config.access_log_path = args.get("access-log", "");
+  const std::string trace_out = args.get("trace-out", "");
+  if (!trace_out.empty()) obs::set_trace_enabled(true);
 
   const std::string book = args.get("portfolio", "book");
   service::AnalysisService analysis_service(std::move(yet_table), config);
@@ -708,9 +729,19 @@ int cmd_serve(const Args& args) {
   service::Server server(analysis_service, options);
   std::cout << "serving portfolio '" << book << "' on " << options.socket_path
             << " (engine " << config.default_engine << ", "
-            << analysis_service.session().yet_table().num_trials() << " trials)\n"
-            << std::flush;
-  return server.serve();
+            << analysis_service.session().yet_table().num_trials() << " trials)";
+  if (analysis_service.metrics_server() != nullptr) {
+    std::cout << " metrics on http://" << config.metrics_bind << ":"
+              << analysis_service.metrics_server()->port();
+  }
+  std::cout << "\n" << std::flush;
+  const int rc = server.serve();
+  if (!trace_out.empty()) {
+    std::ofstream out(trace_out);
+    if (!out) throw std::runtime_error("cannot write " + trace_out);
+    obs::TraceBuffer::global().write_chrome_json(out);
+  }
+  return rc;
 }
 
 /// `are_cli quote`: one protocol line to a running serve, response to
@@ -781,6 +812,130 @@ int cmd_quote(const Args& args) {
   return response.find("\"status\":\"ok\"") != std::string::npos ? 0 : 1;
 }
 
+/// Parses Prometheus text exposition into exact-key samples:
+/// "are_service_inflight_cost 42" and
+/// "are_service_quote_ns_p50_ns{source=\"cold\"} 9000" keep their full
+/// series name (labels included) as the key. Comment/TYPE lines skipped.
+std::vector<std::pair<std::string, double>> parse_prometheus_text(const std::string& body) {
+  std::vector<std::pair<std::string, double>> samples;
+  std::istringstream in(body);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t space = line.rfind(' ');
+    if (space == std::string::npos || space + 1 >= line.size()) continue;
+    try {
+      samples.emplace_back(line.substr(0, space), std::stod(line.substr(space + 1)));
+    } catch (const std::exception&) {
+      // +Inf etc. in a value position — not a series top cares about.
+    }
+  }
+  return samples;
+}
+
+double metric_value(const std::vector<std::pair<std::string, double>>& samples,
+                    const std::string& key) {
+  for (const auto& [name, value] : samples) {
+    if (name == key) return value;
+  }
+  return 0.0;
+}
+
+std::string format_bytes(double bytes) {
+  char buf[32];
+  if (bytes >= 1 << 20) {
+    std::snprintf(buf, sizeof buf, "%.1f MiB", bytes / (1 << 20));
+  } else if (bytes >= 1 << 10) {
+    std::snprintf(buf, sizeof buf, "%.1f KiB", bytes / (1 << 10));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.0f B", bytes);
+  }
+  return buf;
+}
+
+/// `are_cli top`: poll a running serve's /metrics endpoint and render a
+/// refreshing terminal dashboard. Pure scrape client — everything shown is
+/// derivable from the Prometheus text, so anything top displays is also
+/// available to a real scraper.
+int cmd_top(const Args& args) {
+  const std::string connect = args.get("connect", "127.0.0.1:9464");
+  const std::size_t colon = connect.rfind(':');
+  if (colon == std::string::npos || colon + 1 >= connect.size()) {
+    throw std::runtime_error("--connect needs HOST:PORT");
+  }
+  const std::string host = connect.substr(0, colon);
+  const int port = static_cast<int>(std::stoul(connect.substr(colon + 1)));
+  const std::uint64_t interval_ms = args.get_u64("interval-ms", 1000);
+  const std::uint64_t iterations = args.get_u64("iterations", 0);  // 0 = until ^C
+  const bool clear = !args.has("no-clear");
+
+  double prev_requests = -1.0;
+  for (std::uint64_t tick = 0; iterations == 0 || tick < iterations; ++tick) {
+    if (tick != 0) std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    const auto m = parse_prometheus_text(obs::http_get(host, port, "/metrics"));
+
+    const double requests = metric_value(m, "are_service_requests_total");
+    const double qps = prev_requests >= 0.0
+                           ? (requests - prev_requests) * 1e3 /
+                                 static_cast<double>(interval_ms)
+                           : 0.0;
+    prev_requests = requests;
+
+    std::ostringstream out;
+    out << "are_cli top — " << connect << "  up "
+        << metric_value(m, "are_uptime_seconds") << "s\n";
+    {
+      const double inflight = metric_value(m, "are_service_inflight_requests");
+      const double cost = metric_value(m, "are_service_inflight_cost");
+      const double budget = metric_value(m, "are_service_inflight_cost_budget");
+      const double queued = metric_value(m, "are_service_queued_requests");
+      const double queue_limit = metric_value(m, "are_service_queue_limit");
+      out << "requests " << requests << " (" << qps << " qps)  inflight " << inflight
+          << " cost " << cost << "/"
+          << (budget > 0 ? std::to_string(static_cast<long long>(budget)) : "inf")
+          << "  queued " << queued << "/" << queue_limit << "\n";
+    }
+    out << "source       count     p50 ms     p99 ms\n";
+    for (const char* source : {"cold", "delta", "cached", "rejected", "failed"}) {
+      const std::string labels = "{source=\"" + std::string(source) + "\"}";
+      const double count = metric_value(m, "are_service_quote_ns_count" + labels);
+      char row[96];
+      std::snprintf(row, sizeof row, "%-10s %7.0f %10.2f %10.2f\n", source, count,
+                    metric_value(m, "are_service_quote_ns_p50_ns" + labels) / 1e6,
+                    metric_value(m, "are_service_quote_ns_p99_ns" + labels) / 1e6);
+      out << row;
+    }
+    {
+      const double hits = metric_value(m, "are_service_cache_hits_total");
+      const double misses = metric_value(m, "are_service_cache_misses_total");
+      const double probes = hits + misses;
+      out << "cache hits " << hits << " misses " << misses << " ("
+          << (probes > 0 ? 100.0 * hits / probes : 0.0) << "% hit)  evictions "
+          << metric_value(m, "are_service_cache_evictions_total") << "\n";
+      out << "shard resident " << format_bytes(metric_value(m, "are_shard_resident_bytes"))
+          << " peak " << format_bytes(metric_value(m, "are_shard_peak_resident_bytes"))
+          << " spills " << metric_value(m, "are_shard_spills_total") << " faults "
+          << metric_value(m, "are_shard_faults_total") << "\n";
+    }
+    {
+      std::ostringstream faults;
+      constexpr std::string_view prefix = "are_fault_injected_";
+      for (const auto& [name, value] : m) {
+        if (value == 0.0 || name.rfind(prefix, 0) != 0) continue;
+        std::string site = name.substr(prefix.size());
+        if (site.size() > 6 && site.compare(site.size() - 6, 6, "_total") == 0) {
+          site.resize(site.size() - 6);
+        }
+        faults << " " << site << "=" << value;
+      }
+      out << "fault fires:" << (faults.str().empty() ? " none" : faults.str()) << "\n";
+    }
+    if (clear) std::cout << "\033[H\033[2J";
+    std::cout << out.str() << std::flush;
+  }
+  return 0;
+}
+
 int cmd_info(const Args& args) {
   if (args.has("yet")) {
     const auto table = load_yet(args.require("yet"));
@@ -823,6 +978,7 @@ int main(int argc, char** argv) {
     if (command == "info") return cmd_info(args);
     if (command == "serve") return cmd_serve(args);
     if (command == "quote") return cmd_quote(args);
+    if (command == "top") return cmd_top(args);
     if (command == "list-engines" || command == "--list-engines") return cmd_list_engines(args);
     std::cerr << "unknown command '" << command << "'\n";
     return usage();

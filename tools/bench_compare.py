@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json files and flag wall-time regressions.
+
+The bench binaries (bench/bench_*.cpp) write {"meta": {...}, "records":
+[...]} with one record per (workload, engine) point.  CI uploads them as
+artifacts; this tool turns two of them into a verdict:
+
+    bench_compare.py BASELINE.json CURRENT.json [--threshold-pct 20]
+
+A record regresses when its wall_seconds grew by more than the threshold
+over the baseline record with the same (workload, engine) key.  Records
+present on only one side are reported but never fail the comparison (the
+bench set is allowed to grow).  Exit status: 0 = no regressions, 1 =
+at least one regression, 2 = usage/file errors.
+
+--self-check runs the comparator against synthetic in-memory reports
+(one clear regression, one improvement, one disjoint record) and verifies
+its own verdicts — CI runs it on every build, so the comparator cannot
+silently rot between the occasions where a real baseline is available.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_records(path):
+    """Returns {(workload, engine): record_dict} from a BENCH json file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        report = json.load(handle)
+    records = {}
+    for record in report.get("records", []):
+        key = (record.get("workload", "?"), record.get("engine", "?"))
+        records[key] = record
+    return records
+
+
+def compare(baseline, current, threshold_pct):
+    """Returns (regressions, improvements, only_baseline, only_current).
+
+    regressions/improvements are lists of (key, baseline_wall, current_wall,
+    delta_pct); a regression is a wall-time growth beyond threshold_pct.
+    """
+    regressions, improvements = [], []
+    for key, record in sorted(current.items()):
+        if key not in baseline:
+            continue
+        base_wall = baseline[key].get("wall_seconds", 0.0)
+        cur_wall = record.get("wall_seconds", 0.0)
+        if base_wall <= 0.0:
+            continue
+        delta_pct = 100.0 * (cur_wall - base_wall) / base_wall
+        if delta_pct > threshold_pct:
+            regressions.append((key, base_wall, cur_wall, delta_pct))
+        elif delta_pct < -threshold_pct:
+            improvements.append((key, base_wall, cur_wall, delta_pct))
+    only_baseline = sorted(set(baseline) - set(current))
+    only_current = sorted(set(current) - set(baseline))
+    return regressions, improvements, only_baseline, only_current
+
+
+def report(regressions, improvements, only_baseline, only_current, threshold_pct, out=sys.stdout):
+    def fmt(key, base, cur, delta):
+        return "%s/%s: %.6fs -> %.6fs (%+.1f%%)" % (key[0], key[1], base, cur, delta)
+
+    for key, base, cur, delta in regressions:
+        print("REGRESSION  " + fmt(key, base, cur, delta), file=out)
+    for key, base, cur, delta in improvements:
+        print("improvement " + fmt(key, base, cur, delta), file=out)
+    for key in only_baseline:
+        print("note: record %s/%s only in baseline" % key, file=out)
+    for key in only_current:
+        print("note: record %s/%s only in current" % key, file=out)
+    if regressions:
+        print("%d record(s) regressed beyond %.0f%%" % (len(regressions), threshold_pct), file=out)
+    else:
+        print("no regressions beyond %.0f%%" % threshold_pct, file=out)
+
+
+def self_check():
+    baseline = {
+        ("w1", "fused"): {"wall_seconds": 1.0},
+        ("w2", "fused"): {"wall_seconds": 1.0},
+        ("w3", "seq"): {"wall_seconds": 2.0},
+        ("gone", "seq"): {"wall_seconds": 1.0},
+    }
+    current = {
+        ("w1", "fused"): {"wall_seconds": 1.5},   # +50% -> regression at 20%
+        ("w2", "fused"): {"wall_seconds": 0.5},   # -50% -> improvement
+        ("w3", "seq"): {"wall_seconds": 2.1},     # +5%  -> within threshold
+        ("new", "simd"): {"wall_seconds": 1.0},   # disjoint -> note only
+    }
+    regressions, improvements, only_baseline, only_current = compare(baseline, current, 20.0)
+    assert [key for key, *_ in regressions] == [("w1", "fused")], regressions
+    assert [key for key, *_ in improvements] == [("w2", "fused")], improvements
+    assert only_baseline == [("gone", "seq")], only_baseline
+    assert only_current == [("new", "simd")], only_current
+    # Zero-wall baseline records never divide by zero or regress.
+    regressions, _, _, _ = compare({("z", "e"): {"wall_seconds": 0.0}},
+                                   {("z", "e"): {"wall_seconds": 5.0}}, 20.0)
+    assert regressions == [], regressions
+    print("bench_compare.py self-check passed")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", nargs="?", help="baseline BENCH_*.json")
+    parser.add_argument("current", nargs="?", help="current BENCH_*.json")
+    parser.add_argument("--threshold-pct", type=float, default=20.0,
+                        help="wall-time growth beyond this %% is a regression (default 20)")
+    parser.add_argument("--self-check", action="store_true",
+                        help="verify the comparator against synthetic reports and exit")
+    args = parser.parse_args()
+
+    if args.self_check:
+        return self_check()
+    if args.baseline is None or args.current is None:
+        parser.error("baseline and current files are required (or use --self-check)")
+    try:
+        baseline = load_records(args.baseline)
+        current = load_records(args.current)
+    except (OSError, json.JSONDecodeError) as error:
+        print("bench_compare.py: %s" % error, file=sys.stderr)
+        return 2
+    regressions, improvements, only_baseline, only_current = compare(
+        baseline, current, args.threshold_pct)
+    report(regressions, improvements, only_baseline, only_current, args.threshold_pct)
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,163 @@
+#!/usr/bin/env python3
+"""Validate Prometheus text exposition (the /metrics scrape surface).
+
+    check_prometheus.py [FILE] [--require REGEX ...]
+
+Reads the exposition from FILE (or stdin) and checks, structurally:
+
+  * every non-comment line is `name[{labels}] value` with a parseable value
+  * metric and label names are legal ([a-zA-Z_:][a-zA-Z0-9_:]*), label
+    values are quoted
+  * every series is preceded by a # TYPE for its family, each family is
+    TYPE'd exactly once, and counter families end in _total
+  * histogram families are well-formed per label set: cumulative
+    non-decreasing _bucket values, a le="+Inf" bucket, +Inf == _count,
+    and _sum/_count present
+
+--require REGEX fails the check unless some series line matches (used by
+CI to pin down e.g. are_service_quote_ns series per source).  Exit 0 when
+valid, 1 with one line per problem otherwise.
+"""
+
+import argparse
+import re
+import sys
+from collections import defaultdict
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SERIES_RE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(\S+)$")
+LABEL_RE = re.compile(r'^([a-zA-Z_][a-zA-Z0-9_]*)="([^"]*)"$')
+
+
+def family_of(name, metric_type):
+    """The family a series name belongs to (strips histogram suffixes)."""
+    if metric_type == "histogram":
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix):
+                return name[: -len(suffix)]
+    return name
+
+
+def parse_value(text):
+    if text in ("+Inf", "-Inf", "NaN"):
+        return float(text.replace("Inf", "inf").replace("NaN", "nan"))
+    return float(text)
+
+
+def check(lines, require=()):
+    problems = []
+    types = {}          # family -> type
+    seen_series = []    # raw series lines, for --require
+    # histogram family -> label-set(frozenset minus le) -> {"buckets": [(le, v)], "sum": v, "count": v}
+    histograms = defaultdict(lambda: defaultdict(lambda: {"buckets": [], "sum": None, "count": None}))
+
+    for number, line in enumerate(lines, start=1):
+        line = line.rstrip("\n")
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 2 and parts[1] == "TYPE":
+                if len(parts) != 4 or parts[3] not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                    problems.append("line %d: malformed TYPE line: %s" % (number, line))
+                    continue
+                family = parts[2]
+                if family in types:
+                    problems.append("line %d: duplicate TYPE for family %s" % (number, family))
+                types[family] = parts[3]
+                if parts[3] == "counter" and not family.endswith("_total"):
+                    problems.append("line %d: counter family %s lacks _total suffix" % (number, family))
+            continue
+
+        match = SERIES_RE.match(line)
+        if not match:
+            problems.append("line %d: unparseable series line: %s" % (number, line))
+            continue
+        name, labels_text, value_text = match.groups()
+        seen_series.append(line)
+        try:
+            value = parse_value(value_text)
+        except ValueError:
+            problems.append("line %d: unparseable value %r" % (number, value_text))
+            continue
+
+        labels = {}
+        if labels_text:
+            for pair in labels_text[1:-1].split(","):
+                label_match = LABEL_RE.match(pair)
+                if not label_match:
+                    problems.append("line %d: malformed label %r" % (number, pair))
+                    break
+                labels[label_match.group(1)] = label_match.group(2)
+
+        metric_type = None
+        for candidate_type in ("histogram",):
+            family = family_of(name, candidate_type)
+            if types.get(family) == candidate_type:
+                metric_type = candidate_type
+                break
+        if metric_type is None:
+            family = name
+            metric_type = types.get(name)
+        if metric_type is None:
+            problems.append("line %d: series %s has no preceding TYPE" % (number, name))
+            continue
+
+        if metric_type == "histogram":
+            key = frozenset((k, v) for k, v in labels.items() if k != "le")
+            entry = histograms[family][key]
+            if name.endswith("_bucket"):
+                if "le" not in labels:
+                    problems.append("line %d: histogram bucket without le label" % number)
+                else:
+                    entry["buckets"].append((labels["le"], value))
+            elif name.endswith("_sum"):
+                entry["sum"] = value
+            elif name.endswith("_count"):
+                entry["count"] = value
+
+    for family, by_labels in histograms.items():
+        for key, entry in by_labels.items():
+            where = "%s{%s}" % (family, ",".join("%s=%s" % kv for kv in sorted(key)))
+            les = [le for le, _ in entry["buckets"]]
+            values = [v for _, v in entry["buckets"]]
+            if "+Inf" not in les:
+                problems.append("histogram %s: no le=\"+Inf\" bucket" % where)
+            if any(b > a for a, b in zip(values[1:], values[:-1])):
+                problems.append("histogram %s: bucket counts not cumulative" % where)
+            if entry["count"] is None or entry["sum"] is None:
+                problems.append("histogram %s: missing _sum or _count" % where)
+            elif "+Inf" in les and values[les.index("+Inf")] != entry["count"]:
+                problems.append("histogram %s: +Inf bucket %g != _count %g"
+                                % (where, values[les.index("+Inf")], entry["count"]))
+
+    for pattern in require:
+        if not any(re.search(pattern, line) for line in seen_series):
+            problems.append("required series /%s/ not found" % pattern)
+
+    return problems
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("file", nargs="?", help="exposition file (default stdin)")
+    parser.add_argument("--require", action="append", default=[],
+                        help="regex that must match at least one series line")
+    args = parser.parse_args()
+
+    if args.file:
+        with open(args.file, "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+    else:
+        lines = sys.stdin.readlines()
+
+    problems = check(lines, args.require)
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if not problems:
+        print("prometheus exposition valid (%d lines)" % len(lines))
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
