@@ -59,9 +59,16 @@ struct InstrumentationSink {
   /// The legacy run_openmp hid this; the registry surfaces it.
   std::optional<bool> openmp_used;
 
-  /// kSimd only: the extension that actually executed after kAuto
-  /// resolution (including the memory-bound narrowing to SSE2).
+  /// kSimd and kFused: the extension that actually executed after kAuto
+  /// resolution — the runtime dispatch decision (cpuid ∩ compiled-in,
+  /// ARE_SIMD_EXT override) plus the memory-bound narrowing to SSE2.
   std::optional<SimdExtension> simd_extension_used;
+
+  /// kSimd and kFused: WHY that extension ran — explicit request, the env
+  /// override, the cpuid / compiled-in cap, or the cache-regime narrowing
+  /// with the footprint that triggered it. Mirrors
+  /// core::resolve_simd_extension_ex().note; --verbose prints it.
+  std::optional<std::string> simd_resolution_note;
 
   /// Fig-6b phase attribution and memory-access counters (kInstrumented).
   std::optional<PhaseBreakdown> phases;

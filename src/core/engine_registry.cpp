@@ -6,6 +6,7 @@
 #include "core/fused_engine.hpp"
 #include "core/openmp_engine.hpp"
 #include "core/trial_kernel.hpp"
+#include "simd/dispatch.hpp"
 
 namespace are::core {
 
@@ -21,10 +22,13 @@ namespace {
 // every builtin applies windows, fills the Fig-6b breakdown, and emits into
 // a YltSink.
 
-/// The two halves of an engine definition, resolved from the request.
+/// The two halves of an engine definition, resolved from the request —
+/// plus, for the lane-parallel engines, why that lane type was chosen
+/// (surfaced through InstrumentationSink::simd_resolution_note).
 struct ResolvedExecution {
   TrialKernelConfig config;
   KernelLaunch launch;
+  std::string simd_note;
 };
 
 ResolvedExecution resolve_execution(const AnalysisRequest& request, EngineKind kind) {
@@ -61,17 +65,27 @@ ResolvedExecution resolve_execution(const AnalysisRequest& request, EngineKind k
     case EngineKind::kOpenMp:
       resolved.launch.schedule = KernelLaunch::Schedule::kOpenMp;
       break;
-    case EngineKind::kSimd:
+    case EngineKind::kSimd: {
       resolved.launch.schedule = KernelLaunch::Schedule::kPool;
-      resolved.config.extension =
-          resolve_simd_extension(request.portfolio, {config.num_threads, config.simd_extension});
+      const SimdResolution simd = resolve_simd_extension_ex(
+          request.portfolio, {config.num_threads, config.simd_extension});
+      resolved.config.extension = simd.extension;
+      resolved.simd_note = simd.note;
       break;
-    case EngineKind::kFused:
+    }
+    case EngineKind::kFused: {
       resolved.launch.schedule = KernelLaunch::Schedule::kCosted;
       resolved.launch.partition = config.partition;
-      resolved.config.extension = best_simd_extension();
+      // Full kAuto resolution, not just the widest runnable extension: the
+      // fused engine gathers from the same direct tables, so the cache-
+      // regime narrowing applies to it identically.
+      const SimdResolution simd = resolve_simd_extension_ex(
+          request.portfolio, {config.num_threads, config.simd_extension});
+      resolved.config.extension = simd.extension;
+      resolved.simd_note = simd.note;
       resolved.config.block_trials = config.tile_trials;
       break;
+    }
   }
   return resolved;
 }
@@ -91,8 +105,9 @@ void execute(const AnalysisRequest& request, EngineKind kind, YearLossTable* ylt
     }
   }
   const ResolvedExecution resolved = resolve_execution(request, kind);
-  if (facts != nullptr && kind == EngineKind::kSimd) {
+  if (facts != nullptr && (kind == EngineKind::kSimd || kind == EngineKind::kFused)) {
     facts->simd_extension_used = resolved.config.extension;
+    facts->simd_resolution_note = resolved.simd_note;
   }
   const bool deliver = resolved.config.instrument && facts != nullptr;
   PhaseBreakdown phases;
@@ -117,16 +132,15 @@ void adapt_run_to_sink(const AnalysisRequest& request, YltSink& sink) {
   execute(request, K, nullptr, &sink);
 }
 
-std::string compiled_simd_extensions() {
-  std::string names;
-  for (const SimdExtension extension :
-       {SimdExtension::kScalar, SimdExtension::kSse2, SimdExtension::kAvx2,
-        SimdExtension::kAvx512, SimdExtension::kNeon}) {
-    if (!simd_extension_available(extension)) continue;
-    if (!names.empty()) names += ",";
-    names += to_string(extension);
-  }
-  return names;
+/// The runtime-dispatch facts for this (binary, host) pair: which kernel
+/// TUs the build linked, what this host's cpuid reports, and which of them
+/// kAuto therefore executes — the note CI greps to prove a baseline
+/// (-DARE_MARCH_NATIVE=OFF) binary still runs the wide kernels.
+std::string simd_dispatch_note() {
+  return "compiled: " + simd::describe_mask(simd::compiled_extensions()) +
+         "; cpuid: " + simd::describe_mask(simd::detected_extensions()) +
+         "; auto runs " + std::string(simd::name_of(simd::best_extension())) + " (" +
+         simd::best_extension_reason() + ")";
 }
 
 }  // namespace
@@ -245,8 +259,7 @@ EngineRegistry make_builtin_registry() {
       .supports_instrumentation = true,
       .supports_pool_reuse = true,
       .bit_identical_to_sequential = true,
-      .availability_note = "compiled extensions: " + compiled_simd_extensions() +
-                           "; auto resolves to " + std::string(to_string(best_simd_extension())),
+      .availability_note = simd_dispatch_note(),
       .run = &adapt_run<EngineKind::kSimd>,
       .run_to_sink = &adapt_run_to_sink<EngineKind::kSimd>,
   });
@@ -274,7 +287,8 @@ EngineRegistry make_builtin_registry() {
       // real mid-year window intentionally changes the YLT — it matches
       // run_windowed for the same window instead.
       .bit_identical_to_sequential = true,
-      .availability_note = "a non-full-year --window changes the YLT by design "
+      .availability_note = simd_dispatch_note() +
+                           "; a non-full-year --window changes the YLT by design "
                            "(same semantics as the windowed engine)",
       .run = &adapt_run<EngineKind::kFused>,
       .run_to_sink = &adapt_run_to_sink<EngineKind::kFused>,

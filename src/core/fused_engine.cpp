@@ -12,9 +12,11 @@ void run_fused_impl(const Portfolio& portfolio, const yet::YearEventTable& yet_t
                     parallel::ThreadPool& pool, const FusedOptions& options, YearLossTable* ylt,
                     YltSink* sink) {
   TrialKernelConfig config;
-  // Element-wise vertical math over contiguous buffers: the widest compiled
-  // lane type always pays here (no trial-per-lane gather-width trade-off to
-  // narrow for).
+  // Widest RUNNABLE lanes — a load-time cpuid decision since the runtime
+  // dispatch layer landed (simd/dispatch.hpp), so a baseline build still
+  // runs AVX2 tiles on an AVX2 host. The registry's fused adapter
+  // additionally applies the cache-regime narrowing; this legacy entry
+  // point keeps the simple policy (identical bytes either way).
   config.extension = best_simd_extension();
   config.window = options.window;
   config.block_trials = options.tile_trials;

@@ -1,0 +1,43 @@
+#pragma once
+
+// Per-extension kernel factories — the seam between the runtime dispatch
+// table in trial_kernel.cpp and the per-ISA translation units.
+//
+// Each factory is defined in exactly one src/core/kernel_ext_<ext>.cpp,
+// compiled with exactly that extension's -m flags (and never
+// -march=native), and returns the KernelImpl<Ext> instantiation from
+// trial_kernel_body.hpp. trial_kernel.cpp references a factory only when
+// CMake defines the matching ARE_KERNEL_TU_* macro, which it does iff the
+// translation unit is in the build — so a binary never links a factory it
+// does not carry, and simd::compiled_extensions() (driven by the same
+// macros) is truthful by construction.
+//
+// Deliberately plain non-inline functions with unique names: no static
+// registrar objects (a static library's unreferenced members get dropped
+// by the linker) and no shared inline symbols (comdat selection across TUs
+// compiled with different -m flags could leak wide instructions into
+// narrow paths).
+
+#include <memory>
+
+#include "core/trial_kernel.hpp"
+
+namespace are::core::detail {
+
+std::unique_ptr<TrialBlockKernel::Impl> make_kernel_impl_sse2(
+    const Portfolio& portfolio, const yet::YearEventTable& yet_table,
+    const TrialKernelConfig& config, YearLossTable* ylt, YltSink* sink);
+
+std::unique_ptr<TrialBlockKernel::Impl> make_kernel_impl_avx2(
+    const Portfolio& portfolio, const yet::YearEventTable& yet_table,
+    const TrialKernelConfig& config, YearLossTable* ylt, YltSink* sink);
+
+std::unique_ptr<TrialBlockKernel::Impl> make_kernel_impl_avx512(
+    const Portfolio& portfolio, const yet::YearEventTable& yet_table,
+    const TrialKernelConfig& config, YearLossTable* ylt, YltSink* sink);
+
+std::unique_ptr<TrialBlockKernel::Impl> make_kernel_impl_neon(
+    const Portfolio& portfolio, const yet::YearEventTable& yet_table,
+    const TrialKernelConfig& config, YearLossTable* ylt, YltSink* sink);
+
+}  // namespace are::core::detail

@@ -8,11 +8,34 @@
 
 #include "core/trial_kernel.hpp"
 #include "elt/direct_access_table.hpp"
+#include "simd/dispatch.hpp"
 #include "simd/vec.hpp"
 
 namespace are::core {
 
 namespace {
+
+/// core::SimdExtension (with kAuto) ↔ simd::Extension (dispatchable only).
+simd::Extension to_dispatch(SimdExtension extension) noexcept {
+  switch (extension) {
+    case SimdExtension::kSse2: return simd::Extension::kSse2;
+    case SimdExtension::kAvx2: return simd::Extension::kAvx2;
+    case SimdExtension::kAvx512: return simd::Extension::kAvx512;
+    case SimdExtension::kNeon: return simd::Extension::kNeon;
+    default: return simd::Extension::kScalar;
+  }
+}
+
+SimdExtension from_dispatch(simd::Extension extension) noexcept {
+  switch (extension) {
+    case simd::Extension::kSse2: return SimdExtension::kSse2;
+    case simd::Extension::kAvx2: return SimdExtension::kAvx2;
+    case simd::Extension::kAvx512: return SimdExtension::kAvx512;
+    case simd::Extension::kNeon: return SimdExtension::kNeon;
+    case simd::Extension::kScalar: break;
+  }
+  return SimdExtension::kScalar;
+}
 
 /// Direct-table bytes a layer's lookups touch. Above this, gathers lose to
 /// the cache hierarchy (lookups miss whatever the lane width, and wide
@@ -62,67 +85,64 @@ bool simd_extension_available(SimdExtension extension) noexcept {
   switch (extension) {
     case SimdExtension::kAuto:
     case SimdExtension::kScalar: return true;
-    case SimdExtension::kSse2: return ARE_SIMD_HAVE_SSE2 != 0;
-    case SimdExtension::kAvx2: return ARE_SIMD_HAVE_AVX2 != 0;
-    case SimdExtension::kAvx512: return ARE_SIMD_HAVE_AVX512 != 0;
-    case SimdExtension::kNeon: return ARE_SIMD_HAVE_NEON != 0;
+    default:
+      return simd::mask_has(simd::runnable_extensions(), to_dispatch(extension));
   }
-  return false;
 }
 
 SimdExtension best_simd_extension() noexcept {
-  if constexpr (std::is_same_v<simd::best_ext, simd::avx512_ext>) {
-    return SimdExtension::kAvx512;
-  } else if constexpr (std::is_same_v<simd::best_ext, simd::avx2_ext>) {
-    return SimdExtension::kAvx2;
-  } else if constexpr (std::is_same_v<simd::best_ext, simd::sse2_ext>) {
-    return SimdExtension::kSse2;
-  } else if constexpr (std::is_same_v<simd::best_ext, simd::neon_ext>) {
-    return SimdExtension::kNeon;
-  } else {
-    return SimdExtension::kScalar;
-  }
+  return from_dispatch(simd::best_extension());
 }
 
 std::size_t simd_lane_width(SimdExtension extension) {
-  switch (extension) {
-    case SimdExtension::kAuto: return simd::kBestLanes;
-    case SimdExtension::kScalar: return simd::VecD<simd::scalar_ext>::kLanes;
-#if ARE_SIMD_HAVE_SSE2
-    case SimdExtension::kSse2: return simd::VecD<simd::sse2_ext>::kLanes;
-#endif
-#if ARE_SIMD_HAVE_AVX2
-    case SimdExtension::kAvx2: return simd::VecD<simd::avx2_ext>::kLanes;
-#endif
-#if ARE_SIMD_HAVE_AVX512
-    case SimdExtension::kAvx512: return simd::VecD<simd::avx512_ext>::kLanes;
-#endif
-#if ARE_SIMD_HAVE_NEON
-    case SimdExtension::kNeon: return simd::VecD<simd::neon_ext>::kLanes;
-#endif
-    default: break;
+  if (extension == SimdExtension::kAuto) return simd::lanes_of(simd::best_extension());
+  if (!simd_extension_available(extension)) {
+    throw std::invalid_argument("simd extension '" + std::string(to_string(extension)) +
+                                "' is not compiled into this binary or not supported by this "
+                                "host's cpu");
   }
-  throw std::invalid_argument("simd extension '" + std::string(to_string(extension)) +
-                              "' is not compiled into this build");
+  return simd::lanes_of(to_dispatch(extension));
 }
 
 SimdExtension resolve_simd_extension(const Portfolio& portfolio, const SimdOptions& options) {
-  SimdExtension extension = options.extension;
-  if (extension == SimdExtension::kAuto) {
-    extension = best_simd_extension();
+  return resolve_simd_extension_ex(portfolio, options).extension;
+}
+
+SimdResolution resolve_simd_extension_ex(const Portfolio& portfolio,
+                                         const SimdOptions& options) {
+  SimdResolution resolved;
+  resolved.extension = options.extension;
+  if (resolved.extension == SimdExtension::kAuto) {
+    resolved.extension = best_simd_extension();
+    resolved.note = simd::best_extension_reason();
     // Memory-bound portfolios: narrow to SSE2 when wide gathers stop
     // paying (see kWideLaneFootprintBytes). Never changes results — every
-    // extension is bit-identical — only the lane type.
-    if ((extension == SimdExtension::kAvx2 || extension == SimdExtension::kAvx512) &&
-        max_layer_direct_footprint(portfolio) > kWideLaneFootprintBytes) {
-      extension = SimdExtension::kSse2;
+    // extension is bit-identical — only the lane type. An explicit
+    // ARE_SIMD_EXT override wins over the heuristic: an operator pinning
+    // the extension is usually measuring exactly this trade-off.
+    if (!simd::env_override() &&
+        (resolved.extension == SimdExtension::kAvx2 ||
+         resolved.extension == SimdExtension::kAvx512) &&
+        max_layer_direct_footprint(portfolio) > kWideLaneFootprintBytes &&
+        simd_extension_available(SimdExtension::kSse2)) {
+      resolved.note =
+          "narrowed " + std::string(to_string(resolved.extension)) +
+          " -> sse2: direct-table footprint " +
+          std::to_string(max_layer_direct_footprint(portfolio) >> 20) + " MB > " +
+          std::to_string(kWideLaneFootprintBytes >> 20) +
+          " MB (wide gathers stop paying once every lookup misses)";
+      resolved.extension = SimdExtension::kSse2;
     }
+  } else {
+    resolved.note = "requested explicitly";
   }
-  if (!simd_extension_available(extension)) {
-    throw std::invalid_argument("simd extension '" + std::string(to_string(extension)) +
-                                "' is not compiled into this build");
+  if (!simd_extension_available(resolved.extension)) {
+    throw std::invalid_argument("simd extension '" +
+                                std::string(to_string(resolved.extension)) +
+                                "' is not compiled into this binary or not supported by this "
+                                "host's cpu");
   }
-  return extension;
+  return resolved;
 }
 
 YearLossTable run_simd(const Portfolio& portfolio, const yet::YearEventTable& yet_table,

@@ -2,14 +2,17 @@
 
 #include <cstddef>
 #include <optional>
+#include <string>
 #include <string_view>
 
 #include "core/engine.hpp"
 
 namespace are::core {
 
-/// Runtime-selectable instruction-set extension for run_simd. kAuto picks
-/// the widest extension this build was compiled for (see simd/vec.hpp),
+/// Runtime-selectable instruction-set extension for run_simd. kAuto is a
+/// true load-time decision since the per-extension kernel TUs landed (see
+/// simd/dispatch.hpp): the widest extension that is BOTH compiled into this
+/// binary AND reported by this host's cpuid (ARE_SIMD_EXT overrides),
 /// narrowing to SSE2 for portfolios whose direct tables far outgrow the
 /// cache (wide hardware gathers stop paying once every lookup misses).
 /// Narrower extensions remain selectable so equivalence tests can assert
@@ -29,20 +32,22 @@ std::string_view to_string(SimdExtension extension) noexcept;
 /// "avx2", "avx512", "neon"); std::nullopt for unknown names.
 std::optional<SimdExtension> simd_extension_from_string(std::string_view name) noexcept;
 
-/// True when the extension's lane type was compiled into this build
-/// (kScalar and kAuto are always available).
+/// True when the extension is RUNNABLE here: its kernel translation unit
+/// is linked into this binary and this host's cpu executes it (kScalar and
+/// kAuto are always available). A runtime property of (binary, host) — the
+/// same binary answers differently on different machines.
 bool simd_extension_available(SimdExtension extension) noexcept;
 
-/// The widest compiled extension (what kAuto resolves to for
-/// cache-resident portfolios).
+/// The extension kAuto executes before cache-regime narrowing: the runtime
+/// dispatch decision (detected ∩ compiled, ARE_SIMD_EXT override honored).
 SimdExtension best_simd_extension() noexcept;
 
-/// Lane width (doubles per vector register) of the given extension as
-/// compiled; the kernel's vectorized term phases process this many events
-/// at once. For kAuto this is the widest compiled width — the width a
-/// particular run actually uses can be narrower (kAuto is
-/// portfolio-dependent); resolve with resolve_simd_extension() first when
-/// reporting a real run.
+/// Lane width (doubles per vector register) of the given extension — the
+/// kernel's vectorized term phases process this many events at once.
+/// Throws for extensions not runnable here. For kAuto this is
+/// best_simd_extension()'s width — the width a particular run actually
+/// uses can be narrower (kAuto is portfolio-dependent); resolve with
+/// resolve_simd_extension() first when reporting a real run.
 std::size_t simd_lane_width(SimdExtension extension);
 
 struct SimdOptions {
@@ -57,9 +62,19 @@ struct SimdOptions {
 };
 
 /// The extension run_simd will actually execute for this portfolio and
-/// options: resolves kAuto (including the footprint narrowing) and throws
-/// std::invalid_argument for extensions not compiled into this build.
+/// options: resolves kAuto (runtime dispatch + the footprint narrowing)
+/// and throws std::invalid_argument for extensions not runnable here.
 SimdExtension resolve_simd_extension(const Portfolio& portfolio, const SimdOptions& options);
+
+/// resolve_simd_extension plus WHY — the one-sentence rationale the
+/// instrumentation note and --verbose surface: explicit request, the
+/// ARE_SIMD_EXT override, the cpuid / compiled-in cap, or the cache-regime
+/// narrowing (with the footprint that triggered it).
+struct SimdResolution {
+  SimdExtension extension = SimdExtension::kScalar;
+  std::string note;
+};
+SimdResolution resolve_simd_extension_ex(const Portfolio& portfolio, const SimdOptions& options);
 
 /// Lane-parallel batch engine: the shared trial-block kernel
 /// (core/trial_kernel.hpp) driven at the resolved vector width. The hot

@@ -1,464 +1,34 @@
 #include "core/trial_kernel.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <exception>
 #include <mutex>
-#include <new>
 #include <optional>
 #include <stdexcept>
 #include <string>
-#include <vector>
 
 #ifdef _OPENMP
 #include <omp.h>
 #endif
 
-#include "core/direct_elt_view.hpp"
-#include "core/simd_terms.hpp"
-#include "core/status.hpp"
-#include "fault/fault_injection.hpp"
-#include "financial/trial_accumulator.hpp"
+#include "core/kernel_ext.hpp"
+#include "core/trial_kernel_body.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "parallel/task_scratch.hpp"
-#include "simd/prefetch.hpp"
-#include "simd/vec.hpp"
 
 namespace are::core {
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
-
-using detail::DirectElt;
-using detail::direct_view;
-
-double seconds_between(Clock::time_point a, Clock::time_point b) noexcept {
-  return std::chrono::duration<double>(b - a).count();
-}
-
-/// Immutable per-layer execution state hoisted out of the block loop: the
-/// direct-table view (when eligible), the ELT/layer terms broadcast into
-/// registers once, and the layer's YLT row (empty in sink mode, where block
-/// rows are staged and emitted instead).
-template <typename V>
-struct LayerPlan {
-  const Layer* layer;
-  std::vector<DirectElt> direct;  // empty unless Layer::all_direct_access()
-  std::vector<detail::EltTermsV<V>> elt_terms;
-  detail::LayerTermsV<V> terms;
-  std::span<double> losses;
-};
-
-/// Combined ELT loss per event over the staged span, direct-table fast
-/// path: guarded gathers straight out of the (untransposed) YET event
-/// slice. The first ELT writes, later ELTs accumulate — same per-event
-/// summation order as the scalar reference (0.0 + x == x exactly for the
-/// engine's domain).
-template <typename V>
-void combine_elts_direct(const LayerPlan<V>& plan, const yet::EventId* events, std::size_t count,
-                         double* combined) noexcept {
-  constexpr std::size_t kW = V::kLanes;
-  for (std::size_t e = 0; e < plan.direct.size(); ++e) {
-    const DirectElt& direct = plan.direct[e];
-    const detail::EltTermsV<V>& terms_v = plan.elt_terms[e];
-    const financial::FinancialTerms& terms = direct.terms;
-    std::size_t i = 0;
-    if (e == 0) {
-      for (; i + kW <= count; i += kW) {
-        const typename V::ivec idx = V::load_index(events + i);
-        const typename V::reg loss = V::gather_guarded(direct.data, idx, direct.universe);
-        V::store(combined + i, detail::apply_financial_v<V>(loss, terms_v));
-      }
-      for (; i < count; ++i) {
-        const yet::EventId event = events[i];
-        combined[i] = terms.apply(event < direct.universe ? direct.data[event] : 0.0);
-      }
-    } else {
-      for (; i + kW <= count; i += kW) {
-        const typename V::ivec idx = V::load_index(events + i);
-        const typename V::reg loss = V::gather_guarded(direct.data, idx, direct.universe);
-        V::store(combined + i,
-                 V::add(V::load(combined + i), detail::apply_financial_v<V>(loss, terms_v)));
-      }
-      for (; i < count; ++i) {
-        const yet::EventId event = events[i];
-        combined[i] += terms.apply(event < direct.universe ? direct.data[event] : 0.0);
-      }
-    }
-  }
-}
-
-/// One ELT's staged raw losses folded into the combined buffer with the
-/// vectorized financial terms; shared by the generic and the instrumented
-/// paths (identical arithmetic, hence identical bytes).
-template <typename V>
-void fold_raw_losses(const LayerPlan<V>& plan, std::size_t e, const double* raw,
-                     std::size_t count, double* combined) noexcept {
-  constexpr std::size_t kW = V::kLanes;
-  const detail::EltTermsV<V>& terms_v = plan.elt_terms[e];
-  const financial::FinancialTerms& terms = plan.layer->elts[e].terms;
-  std::size_t i = 0;
-  if (e == 0) {
-    for (; i + kW <= count; i += kW) {
-      V::store(combined + i, detail::apply_financial_v<V>(V::load(raw + i), terms_v));
-    }
-    for (; i < count; ++i) combined[i] = terms.apply(raw[i]);
-  } else {
-    for (; i + kW <= count; i += kW) {
-      V::store(combined + i, V::add(V::load(combined + i),
-                                    detail::apply_financial_v<V>(V::load(raw + i), terms_v)));
-    }
-    for (; i < count; ++i) combined[i] += terms.apply(raw[i]);
-  }
-}
-
-/// Generic path: one lookup_many batch call per ELT (the prefetching
-/// overrides in src/elt/), then the vectorized financial terms over the
-/// staged raw losses.
-template <typename V>
-void combine_elts_generic(const LayerPlan<V>& plan, const yet::EventId* events,
-                          std::size_t count, double* combined, std::vector<double>& raw) {
-  raw.resize(count);
-  const std::vector<LayerElt>& elts = plan.layer->elts;
-  for (std::size_t e = 0; e < elts.size(); ++e) {
-    {
-      obs::Span span("elt.lookup_many", "elt");
-      elts[e].lookup->lookup_many(events, count, raw.data());
-    }
-    fold_raw_losses(plan, e, raw.data(), count, combined);
-  }
-}
-
-/// Occurrence terms, vectorized in place.
-template <typename V>
-void apply_occurrence_terms(const LayerPlan<V>& plan, double* combined,
-                            std::size_t count) noexcept {
-  constexpr std::size_t kW = V::kLanes;
-  std::size_t i = 0;
-  for (; i + kW <= count; i += kW) {
-    V::store(combined + i, detail::excess_v<V>(V::load(combined + i), plan.terms.occ_retention,
-                                               plan.terms.occ_limit));
-  }
-  for (; i < count; ++i) combined[i] = plan.layer->terms.apply_occurrence(combined[i]);
-}
-
-/// The path-dependent aggregate recurrence, per trial, writing
-/// row[trial - t0]. Windowed semantics: out-of-window occurrences are
-/// skipped entirely, so they do not advance the recurrence.
-void aggregate_trials(const financial::LayerTerms& terms, const double* combined,
-                      const float* times, const CoverageWindow* window,
-                      std::span<const std::uint64_t> offsets, std::uint64_t t0, std::uint64_t t1,
-                      std::uint64_t ev0, double* row) noexcept {
-  for (std::uint64_t trial = t0; trial < t1; ++trial) {
-    financial::TrialAccumulator accumulator(terms);
-    const std::size_t begin = static_cast<std::size_t>(offsets[trial] - ev0);
-    const std::size_t end = static_cast<std::size_t>(offsets[trial + 1] - ev0);
-    if (window == nullptr) {
-      for (std::size_t k = begin; k < end; ++k) accumulator.add_occurrence(combined[k]);
-    } else {
-      for (std::size_t k = begin; k < end; ++k) {
-        if (window->covers(times[k])) accumulator.add_occurrence(combined[k]);
-      }
-    }
-    row[trial - t0] = accumulator.trial_loss();
-  }
-}
-
-}  // namespace
-
-// --- Kernel impl -------------------------------------------------------------
-
-/// Lane-width erasure: the templated body behind a tiny virtual interface,
-/// instantiated once per compiled extension and selected at construction.
-struct TrialBlockKernel::Impl {
-  virtual ~Impl() = default;
-  virtual void run_range(std::uint64_t first, std::uint64_t last,
-                         TrialKernelScratch& scratch) const = 0;
-  std::size_t block_trials = 0;
-};
-
-namespace {
-
-template <typename Ext>
-class KernelImpl final : public TrialBlockKernel::Impl {
-  using V = simd::VecD<Ext>;
-
- public:
-  KernelImpl(const Portfolio& portfolio, const yet::YearEventTable& yet_table,
-             const TrialKernelConfig& config, YearLossTable* ylt, YltSink* sink)
-      : yet_(&yet_table),
-        event_chunk_(config.event_chunk),
-        instrument_(config.instrument),
-        capture_(config.ground_up_capture),
-        replay_(config.ground_up_replay),
-        cancel_(config.cancel),
-        sink_(sink),
-        sink_block_(sink != nullptr ? sink->block_trials() : 0) {
-    if (config.window && !config.window->full_year()) {
-      window_storage_ = *config.window;
-      window_ = &window_storage_;
-    }
-    plans_.reserve(portfolio.layers.size());
-    for (std::size_t layer_index = 0; layer_index < portfolio.layers.size(); ++layer_index) {
-      const Layer& layer = portfolio.layers[layer_index];
-      LayerPlan<V> plan;
-      plan.layer = &layer;
-      if (layer.all_direct_access()) plan.direct = direct_view(layer);
-      plan.elt_terms.reserve(layer.elts.size());
-      for (const LayerElt& layer_elt : layer.elts) {
-        plan.elt_terms.push_back(detail::EltTermsV<V>::from(layer_elt.terms));
-      }
-      plan.terms = detail::LayerTermsV<V>::from(layer.terms);
-      if (ylt != nullptr) plan.losses = ylt->layer_losses(layer_index);
-      plans_.push_back(std::move(plan));
-    }
-  }
-
-  void run_range(std::uint64_t first, std::uint64_t last,
-                 TrialKernelScratch& scratch) const override {
-    const std::span<const std::uint64_t> offsets = yet_->offsets();
-    const yet::EventId* all_events = yet_->events().data();
-
-    // Telemetry is flushed once per run_range call (= one task / launch
-    // slice), never per block or per event: the flag is sampled here and
-    // the hot loop below is untouched when disabled.
-    const bool telemetry = obs::enabled();
-    obs::Histogram* block_hist =
-        telemetry ? &obs::TelemetryRegistry::global().histogram("kernel.block_ns") : nullptr;
-    std::uint64_t blocks = 0;
-
-    // Completed work is flushed whether the range finishes or is cancelled
-    // mid-way — the per-block counters must never claim trials that did not
-    // run.
-    const auto flush_telemetry = [&](std::uint64_t up_to) {
-      if (!telemetry || blocks == 0) return;
-      obs::TelemetryRegistry& registry = obs::TelemetryRegistry::global();
-      registry.counter("kernel.blocks").add(blocks);
-      registry.counter("kernel.trials").add(up_to - first);
-      registry.counter("kernel.events").add(offsets[up_to] - offsets[first]);
-      if (replay_ != nullptr) {
-        registry.counter("kernel.ground_up.replayed_events")
-            .add(offsets[up_to] - offsets[first]);
-      }
-      if (capture_ != nullptr) {
-        registry.counter("kernel.ground_up.captured_events")
-            .add(offsets[up_to] - offsets[first]);
-      }
-    };
-
-    for (std::uint64_t t0 = first, t1 = first; t0 < last; t0 = t1) {
-      if (cancel_ != nullptr && cancel_->cancelled()) {
-        // The cancellation checkpoint: charge the blocks this range will
-        // not run (sink clamps ignored — an upper-bound partition count is
-        // what the "work abandoned" counter is for), flush what did run,
-        // and surface the token's reason. Counted unconditionally: a
-        // cancelled quote must be attributable even on an untelemetered
-        // service.
-        const std::uint64_t remaining = (last - t0 + block_trials - 1) / block_trials;
-        obs::TelemetryRegistry::global().counter("kernel.cancelled_blocks").add(remaining);
-        flush_telemetry(t0);
-        const StatusCode reason = cancel_->reason();
-        throw StatusError(reason, "kernel: run cancelled between trial blocks (" +
-                                      std::string(to_string(reason)) + ")");
-      }
-      t1 = std::min<std::uint64_t>(t0 + block_trials, last);
-      if (sink_block_ != 0) {
-        // Clamp the block at the next sink block (= shard) boundary.
-        const std::uint64_t boundary = (t0 / sink_block_ + 1) * sink_block_;
-        t1 = std::min<std::uint64_t>(t1, boundary);
-      }
-
-      // Stream the head of the NEXT block's event ids toward the cache while
-      // this block computes (16 u32 ids per 64-byte line). The burst is
-      // capped: past ~4 KB the lines would be evicted again before the
-      // multi-layer compute reaches them. A replay block never reads event
-      // ids (combined losses come from the ground-up cache), so the
-      // prefetch is skipped.
-      if (replay_ == nullptr) {
-        constexpr std::uint64_t kPrefetchIds = 1024;  // 64 cache lines
-        const std::uint64_t n1 = std::min<std::uint64_t>(t1 + block_trials, last);
-        const std::uint64_t next_end =
-            std::min<std::uint64_t>(offsets[n1], offsets[t1] + kPrefetchIds);
-        for (std::uint64_t p = offsets[t1]; p < next_end; p += 16) {
-          simd::prefetch_read(all_events + p);
-        }
-      }
-
-      {
-        obs::ScopedTimer block_timer(block_hist);
-        run_block(t0, t1, scratch);
-      }
-      ++blocks;
-    }
-
-    flush_telemetry(last);
-  }
-
- private:
-  void run_block(std::uint64_t t0, std::uint64_t t1, TrialKernelScratch& scratch) const {
-    const std::span<const std::uint64_t> offsets = yet_->offsets();
-    const std::uint64_t ev0 = offsets[t0];
-    const std::size_t count = static_cast<std::size_t>(offsets[t1] - ev0);
-    const yet::EventId* events = yet_->events().data() + ev0;
-    const float* times = yet_->times().data() + ev0;
-    const std::size_t num_block_trials = static_cast<std::size_t>(t1 - t0);
-    if (fault::should_inject(fault::sites::kKernelAlloc)) throw std::bad_alloc();
-    scratch.combined.resize(count);
-    if (sink_ != nullptr) scratch.block_losses.resize(plans_.size() * num_block_trials);
-
-    if (instrument_) {
-      run_block_instrumented(t0, t1, ev0, count, events, times, offsets, scratch);
-    } else {
-      const std::size_t chunk = event_chunk_ != 0 ? event_chunk_ : count;
-      for (std::size_t layer_index = 0; layer_index < plans_.size(); ++layer_index) {
-        const LayerPlan<V>& plan = plans_[layer_index];
-        double* combined = scratch.combined.data();
-        if (replay_ != nullptr) {
-          // Delta execution: the combined pre-occurrence losses were
-          // captured by an earlier full run; copy them in and skip the
-          // fetch/lookup/financial phases entirely. The copied doubles are
-          // the very values the full run computed, and occurrence terms are
-          // elementwise (min/max/sub, no cross-lane or cross-chunk state),
-          // so the bytes below match a cold run exactly.
-          const double* cached =
-              replay_->layer_values(layer_index) + static_cast<std::size_t>(ev0);
-          std::copy(cached, cached + count, combined);
-          apply_occurrence_terms<V>(plan, combined, count);
-        } else {
-          // Phase 1+2: batch ELT lookups + financial terms across ELTs, then
-          // occurrence terms — staged in event_chunk-bounded spans (the whole
-          // block when unconstrained).
-          for (std::size_t c0 = 0; c0 < count; c0 += chunk) {
-            const std::size_t n = std::min(chunk, count - c0);
-            if (!plan.direct.empty()) {
-              combine_elts_direct<V>(plan, events + c0, n, combined + c0);
-            } else {
-              combine_elts_generic<V>(plan, events + c0, n, combined + c0, scratch.raw);
-            }
-            if (capture_ != nullptr) {
-              // Capture between combine and the in-place occurrence terms:
-              // this chunk's slice is final combined losses right here.
-              // Concurrent blocks write disjoint [ev0, ev0+count) ranges.
-              std::copy(combined + c0, combined + c0 + n,
-                        capture_->layer_values(layer_index) +
-                            static_cast<std::size_t>(ev0) + c0);
-            }
-            apply_occurrence_terms<V>(plan, combined + c0, n);
-          }
-        }
-        double* row = sink_ != nullptr
-                          ? scratch.block_losses.data() + layer_index * num_block_trials
-                          : plan.losses.data() + t0;
-        aggregate_trials(plan.layer->terms, combined, times, window_, offsets, t0, t1, ev0, row);
-      }
-    }
-
-    if (sink_ != nullptr) {
-      // The output phase: sink emission (a memcpy for a materialized sink,
-      // a shard pin + scatter — possibly faulting — for a sharded one) was
-      // previously unattributed on instrumented runs.
-      const auto emit_start = instrument_ ? Clock::now() : Clock::time_point{};
-      for (std::size_t layer_index = 0; layer_index < plans_.size(); ++layer_index) {
-        sink_->emit(layer_index, t0,
-                    {scratch.block_losses.data() + layer_index * num_block_trials,
-                     num_block_trials});
-      }
-      if (instrument_) {
-        scratch.phases.output_seconds += seconds_between(emit_start, Clock::now());
-      }
-    }
-  }
-
-  /// Instrumented block: the same arithmetic as the fast path (the YLT
-  /// bytes do not change — direct layers route through their lookup_many
-  /// overrides, which read the same table cells the gathers do) with the
-  /// block's YET slice explicitly staged once (timed as the fetch phase)
-  /// and per-phase timers around the batched lookup / financial / layer
-  /// sweeps. Access counters follow the paper's algorithmic counts (one
-  /// event fetch per layer per event, as the un-fused algorithm performs
-  /// them), matching predict_access_counts.
-  void run_block_instrumented(std::uint64_t t0, std::uint64_t t1, std::uint64_t ev0,
-                              std::size_t count, const yet::EventId* events, const float* times,
-                              std::span<const std::uint64_t> offsets,
-                              TrialKernelScratch& scratch) const {
-    PhaseBreakdown& phases = scratch.phases;
-
-    auto stamp = Clock::now();
-    // A replay block never reads the event ids (combined losses come from
-    // the ground-up cache) — only the timestamps the aggregate recurrence
-    // filters on. Its fetch phase is the staging of those plus, per layer
-    // below, the cached-loss copy; lookup/financial stay exactly zero.
-    if (replay_ == nullptr) scratch.staged_events.assign(events, events + count);
-    scratch.staged_times.assign(times, times + count);
-    auto now = Clock::now();
-    phases.fetch_seconds += seconds_between(stamp, now);
-    stamp = now;
-
-    double* combined = scratch.combined.data();
-    if (replay_ == nullptr) scratch.raw.resize(count);
-    const std::size_t num_block_trials = static_cast<std::size_t>(t1 - t0);
-
-    for (std::size_t layer_index = 0; layer_index < plans_.size(); ++layer_index) {
-      const LayerPlan<V>& plan = plans_[layer_index];
-      const std::vector<LayerElt>& elts = plan.layer->elts;
-      scratch.accesses.events_fetched += count;
-      if (replay_ != nullptr) {
-        stamp = Clock::now();
-        const double* cached =
-            replay_->layer_values(layer_index) + static_cast<std::size_t>(ev0);
-        std::copy(cached, cached + count, combined);
-        phases.fetch_seconds += seconds_between(stamp, Clock::now());
-      } else {
-        for (std::size_t e = 0; e < elts.size(); ++e) {
-          stamp = Clock::now();
-          {
-            obs::Span span("elt.lookup_many", "elt");
-            elts[e].lookup->lookup_many(scratch.staged_events.data(), count, scratch.raw.data());
-          }
-          now = Clock::now();
-          phases.lookup_seconds += seconds_between(stamp, now);
-          fold_raw_losses<V>(plan, e, scratch.raw.data(), count, combined);
-          phases.financial_seconds += seconds_between(now, Clock::now());
-        }
-        scratch.accesses.elt_lookups += elts.size() * count;
-        scratch.accesses.financial_applications += elts.size() * count;
-        if (capture_ != nullptr) {
-          // The combined buffer is final pre-occurrence right here; the
-          // capture copy is data placement, so it lands in the output phase.
-          stamp = Clock::now();
-          std::copy(combined, combined + count,
-                    capture_->layer_values(layer_index) + static_cast<std::size_t>(ev0));
-          phases.output_seconds += seconds_between(stamp, Clock::now());
-        }
-      }
-
-      stamp = Clock::now();
-      apply_occurrence_terms<V>(plan, combined, count);
-      double* row = sink_ != nullptr
-                        ? scratch.block_losses.data() + layer_index * num_block_trials
-                        : plan.losses.data() + t0;
-      aggregate_trials(plan.layer->terms, combined, scratch.staged_times.data(), window_,
-                       offsets, t0, t1, ev0, row);
-      phases.layer_seconds += seconds_between(stamp, Clock::now());
-      scratch.accesses.layer_term_applications += 2 * count;  // occurrence + aggregate
-    }
-  }
-
-  std::vector<LayerPlan<V>> plans_;
-  const yet::YearEventTable* yet_;
-  CoverageWindow window_storage_;
-  const CoverageWindow* window_ = nullptr;  // null = full year
-  std::size_t event_chunk_;
-  bool instrument_;
-  GroundUpLossCache* capture_;        // null = no capture
-  const GroundUpLossCache* replay_;   // null = full run
-  const CancelToken* cancel_;         // null = never cancelled
-  YltSink* sink_;
-  std::uint64_t sink_block_;
-};
-
+/// The runtime dispatch table behind kernel construction. The scalar
+/// instantiation lives in THIS translation unit (compiled with the default
+/// flags — it must run anywhere the binary loads); every wider extension
+/// routes to the factory in its own src/core/kernel_ext_*.cpp TU, present
+/// exactly when CMake defined the matching ARE_KERNEL_TU_* macro. Callers
+/// reach a wide factory only for extensions simd_extension_available()
+/// reports runnable (the constructor and resolve_simd_extension guard), so
+/// a host never executes instructions its cpuid did not report.
 std::unique_ptr<TrialBlockKernel::Impl> make_impl(SimdExtension extension,
                                                   const Portfolio& portfolio,
                                                   const yet::YearEventTable& yet_table,
@@ -468,30 +38,26 @@ std::unique_ptr<TrialBlockKernel::Impl> make_impl(SimdExtension extension,
     case SimdExtension::kScalar:
       return std::make_unique<KernelImpl<simd::scalar_ext>>(portfolio, yet_table, config, ylt,
                                                             sink);
-#if ARE_SIMD_HAVE_SSE2
+#if defined(ARE_KERNEL_TU_SSE2)
     case SimdExtension::kSse2:
-      return std::make_unique<KernelImpl<simd::sse2_ext>>(portfolio, yet_table, config, ylt,
-                                                          sink);
+      return detail::make_kernel_impl_sse2(portfolio, yet_table, config, ylt, sink);
 #endif
-#if ARE_SIMD_HAVE_AVX2
+#if defined(ARE_KERNEL_TU_AVX2)
     case SimdExtension::kAvx2:
-      return std::make_unique<KernelImpl<simd::avx2_ext>>(portfolio, yet_table, config, ylt,
-                                                          sink);
+      return detail::make_kernel_impl_avx2(portfolio, yet_table, config, ylt, sink);
 #endif
-#if ARE_SIMD_HAVE_AVX512
+#if defined(ARE_KERNEL_TU_AVX512)
     case SimdExtension::kAvx512:
-      return std::make_unique<KernelImpl<simd::avx512_ext>>(portfolio, yet_table, config, ylt,
-                                                            sink);
+      return detail::make_kernel_impl_avx512(portfolio, yet_table, config, ylt, sink);
 #endif
-#if ARE_SIMD_HAVE_NEON
+#if defined(ARE_KERNEL_TU_NEON)
     case SimdExtension::kNeon:
-      return std::make_unique<KernelImpl<simd::neon_ext>>(portfolio, yet_table, config, ylt,
-                                                          sink);
+      return detail::make_kernel_impl_neon(portfolio, yet_table, config, ylt, sink);
 #endif
     default:
       throw std::invalid_argument("trial kernel: simd extension '" +
                                   std::string(to_string(extension)) +
-                                  "' is not compiled into this build");
+                                  "' is not compiled into this binary");
   }
 }
 
@@ -528,7 +94,18 @@ TrialBlockKernel::TrialBlockKernel(const Portfolio& portfolio,
     check_cache_shape(*config.ground_up_replay, "ground-up replay");
   }
   SimdExtension extension = config.extension;
-  if (extension == SimdExtension::kAuto) extension = best_simd_extension();
+  if (extension == SimdExtension::kAuto) {
+    extension = best_simd_extension();
+  } else if (!simd_extension_available(extension)) {
+    // Explicit requests are checked against the RUNTIME capability (cpuid ∩
+    // compiled-in) before any wide factory runs — an unrunnable extension
+    // must fail with a diagnosable error, never an illegal instruction.
+    throw std::invalid_argument("trial kernel: simd extension '" +
+                                std::string(to_string(extension)) +
+                                "' is not compiled into this binary or not supported by this "
+                                "host's cpu");
+  }
+  extension_ = extension;
   impl_ = make_impl(extension, portfolio, yet_table, config, ylt, sink);
   impl_->block_trials = config.block_trials != 0 ? config.block_trials
                                                  : default_tile_trials(portfolio, yet_table);
@@ -582,7 +159,16 @@ void run_trial_kernel(const Portfolio& portfolio, const yet::YearEventTable& yet
   if (num_trials == 0) return;
 
   obs::Span launch_span("kernel.launch", "kernel");
-  if (obs::enabled()) obs::TelemetryRegistry::global().counter("kernel.launches").increment();
+  if (obs::enabled()) {
+    obs::TelemetryRegistry& registry = obs::TelemetryRegistry::global();
+    registry.counter("kernel.launches").increment();
+    // Which extension actually executed, per launch — the runtime dispatch
+    // decision made observable (exported to /metrics and --telemetry like
+    // every other name-embedded label family).
+    registry
+        .counter("kernel.simd_ext{ext=" + std::string(to_string(kernel.extension())) + "}")
+        .increment();
+  }
 
   KernelLaunch::Schedule schedule = launch.schedule;
 #ifndef _OPENMP

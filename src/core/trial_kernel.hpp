@@ -186,6 +186,11 @@ class TrialBlockKernel {
   /// heuristic when that was 0).
   std::size_t block_trials() const noexcept;
 
+  /// The extension this kernel actually executes: config.extension, or —
+  /// for kAuto — the runtime dispatch decision (cpuid ∩ compiled-in, env
+  /// override honored; see simd/dispatch.hpp). Never kAuto.
+  SimdExtension extension() const noexcept { return extension_; }
+
   /// Adds an instrumented scratch's phase timers and access counts into the
   /// given accumulators (either may be null) — the post-run merge step for
   /// parallel drivers.
@@ -198,6 +203,7 @@ class TrialBlockKernel {
 
  private:
   std::unique_ptr<Impl> impl_;
+  SimdExtension extension_ = SimdExtension::kScalar;
 };
 
 /// How a driver schedules kernel blocks onto threads — together with

@@ -40,12 +40,15 @@ class CuckooTable final : public ILossLookup {
   /// diagnostic for the paper's "implementation complexity" claim).
   int rebuild_count() const noexcept { return rebuilds_; }
 
- private:
+  /// Slot layout and raw accessors are public for the gathered probe
+  /// kernels (src/elt/probe_dispatch.hpp), which read slots as three
+  /// 64-bit gathers — the 24-byte qword-aligned layout is load-bearing.
   struct Slot {
     EventId event = 0;
     double loss = 0.0;
     bool occupied = false;
   };
+  static_assert(sizeof(Slot) == 24, "probe kernels gather slots as 3 qwords");
 
   std::uint64_t hash0(EventId event) const noexcept {
     std::uint64_t x = event + seed0_;
@@ -61,6 +64,10 @@ class CuckooTable final : public ILossLookup {
     return x ^ (x >> 33);
   }
 
+  const Slot* bucket_data(int side) const noexcept { return buckets_[side].data(); }
+  std::size_t slot_mask() const noexcept { return mask_; }
+
+ private:
   /// Inserts with displacement; returns false when a cycle is detected and
   /// a rehash with fresh seeds is required.
   bool try_insert(EventId event, double loss);

@@ -1,0 +1,49 @@
+#include "elt/probe_dispatch.hpp"
+
+#include <atomic>
+
+namespace are::elt::probe {
+
+namespace {
+
+const ProbeKernels& kernels_for(simd::Extension extension) noexcept {
+  static const ProbeKernels scalar{};
+  switch (extension) {
+#if defined(ARE_KERNEL_TU_AVX2)
+    case simd::Extension::kAvx2: {
+      static const ProbeKernels avx2{&robin_hood_probe_avx2, &cuckoo_probe_avx2, "avx2"};
+      return avx2;
+    }
+#endif
+#if defined(ARE_KERNEL_TU_AVX512)
+    case simd::Extension::kAvx512: {
+      static const ProbeKernels avx512{&robin_hood_probe_avx512, &cuckoo_probe_avx512,
+                                       "avx512"};
+      return avx512;
+    }
+#endif
+    default: return scalar;
+  }
+}
+
+// Null = unresolved; active() resolves from the dispatch state and caches.
+std::atomic<const ProbeKernels*> g_active{nullptr};
+
+}  // namespace
+
+const ProbeKernels& active() noexcept {
+  const ProbeKernels* kernels = g_active.load(std::memory_order_acquire);
+  if (kernels == nullptr) {
+    // best_extension() is runnable by construction (detected ∩ compiled),
+    // so wide gathers are only ever selected on hosts that execute them.
+    kernels = &kernels_for(simd::best_extension());
+    g_active.store(kernels, std::memory_order_release);
+  }
+  return *kernels;
+}
+
+void force_extension(std::optional<simd::Extension> extension) noexcept {
+  g_active.store(extension ? &kernels_for(*extension) : nullptr, std::memory_order_release);
+}
+
+}  // namespace are::elt::probe

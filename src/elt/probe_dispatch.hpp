@@ -1,0 +1,68 @@
+#pragma once
+
+// Runtime-dispatched vectorized hash probing for the robin-hood and cuckoo
+// tables' lookup_many — the hash-table counterpart of the trial kernel's
+// per-extension dispatch (simd/dispatch.hpp), modeled on SIMDOperators'
+// vectorized linear probing.
+//
+// Both tables' 24-byte slots are read as three 64-bit gathers per probe
+// round (event|distance, loss, occupied) across all lanes in lockstep,
+// with a per-lane active mask retiring lanes as their probe chain ends and
+// a scalar tail for the last count % lanes keys. Results are the exact
+// slot values the scalar probe loop reads, so the output — and the probe
+// telemetry (one counted read per active lane per round) — is identical
+// byte-for-byte to the scalar path on every extension.
+//
+// Only extensions with a hardware gather participate (AVX2, AVX-512);
+// SSE2/NEON hosts keep the scalar prefetch-ring loops in tables.cpp. The
+// per-extension entry points are defined in the same per-ISA translation
+// units as the trial kernel (src/core/kernel_ext_{avx2,avx512}.cpp), so
+// they exist exactly when the matching ARE_KERNEL_TU_* macro says so.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+
+#include "elt/cuckoo_table.hpp"
+#include "elt/robin_hood_table.hpp"
+#include "simd/dispatch.hpp"
+
+namespace are::elt::probe {
+
+/// The per-extension batch-probe entry points a table's lookup_many can
+/// run. Null members mean "no vectorized path — use the scalar loop".
+/// Each function fills out[0, count) and returns the number of slot/bucket
+/// reads performed (the tables' probe telemetry), matching the scalar
+/// loops' counting exactly.
+struct ProbeKernels {
+  using RobinHoodFn = std::uint64_t (*)(const RobinHoodTable& table, const EventId* events,
+                                        std::size_t count, double* out);
+  using CuckooFn = std::uint64_t (*)(const CuckooTable& table, const EventId* events,
+                                     std::size_t count, double* out);
+  RobinHoodFn robin_hood = nullptr;
+  CuckooFn cuckoo = nullptr;
+  const char* name = "scalar";
+};
+
+/// The kernels lookup_many dispatches through, resolved once from
+/// simd::best_extension() (so ARE_SIMD_EXT steers probing too) and cached.
+const ProbeKernels& active() noexcept;
+
+/// Bench/test hook: pin the probe path to one extension (which must be
+/// compiled in AND runnable on this host, or the scalar kernels are
+/// returned), or std::nullopt to drop the pin and re-resolve from the
+/// dispatch state on next use. Not for concurrent use with live lookups.
+void force_extension(std::optional<simd::Extension> extension) noexcept;
+
+// Per-ISA entry points, defined in src/core/kernel_ext_{avx2,avx512}.cpp.
+// Referenced only under the matching ARE_KERNEL_TU_* macro.
+std::uint64_t robin_hood_probe_avx2(const RobinHoodTable& table, const EventId* events,
+                                    std::size_t count, double* out);
+std::uint64_t cuckoo_probe_avx2(const CuckooTable& table, const EventId* events,
+                                std::size_t count, double* out);
+std::uint64_t robin_hood_probe_avx512(const RobinHoodTable& table, const EventId* events,
+                                      std::size_t count, double* out);
+std::uint64_t cuckoo_probe_avx512(const CuckooTable& table, const EventId* events,
+                                  std::size_t count, double* out);
+
+}  // namespace are::elt::probe

@@ -1,0 +1,376 @@
+#pragma once
+
+// Gathered hash-probe kernel bodies, included ONLY by the per-ISA
+// translation units (src/core/kernel_ext_{avx2,avx512}.cpp). The includer
+// defines ARE_PROBE_BODY_AVX2 or ARE_PROBE_BODY_AVX512 to request the
+// matching body; everything here is in an anonymous namespace for the same
+// reason trial_kernel_body.hpp is (each ISA TU keeps private copies — no
+// cross-TU comdat can leak wide instructions into narrow paths). The
+// external entry points wrapping these bodies are declared in
+// probe_dispatch.hpp and defined by the including TU.
+//
+// Algorithm (SIMDOperators-style lockstep probing): W keys are hashed
+// scalar (64-bit multiplies have no AVX2 lane form), their 24-byte slots
+// read as three 64-bit gathers — qword 0 is event|distance (robin hood) or
+// event|padding (cuckoo), qword 1 the loss, qword 2 the occupied byte —
+// and a per-lane active mask retires lanes as their probe chain ends.
+// While one group resolves, the next group's home slots are hashed and
+// prefetched (the vector analogue of the scalar paths' lookahead rings).
+// Every lane performs exactly the reads the scalar probe loop performs, in
+// the same order, so results AND probe counts are identical to tables.cpp.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "elt/cuckoo_table.hpp"
+#include "elt/robin_hood_table.hpp"
+#include "simd/prefetch.hpp"
+
+#if defined(ARE_PROBE_BODY_AVX2) || defined(ARE_PROBE_BODY_AVX512)
+#include <immintrin.h>
+#endif
+
+namespace are::elt::probe {
+namespace {
+
+/// Scalar probe chains for the vector kernels' tails (count % lanes keys)
+/// — the same chain as RobinHoodTable::lookup / tables.cpp, counting one
+/// read per slot touched.
+[[maybe_unused]] std::uint64_t robin_hood_probe_tail(const RobinHoodTable& table,
+                                                     const EventId* events, std::size_t count,
+                                                     double* out) noexcept {
+  const RobinHoodTable::Slot* slots = table.slot_data();
+  const std::size_t mask = table.slot_mask();
+  std::uint64_t reads = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const EventId event = events[i];
+    std::size_t index = RobinHoodTable::hash(event) & mask;
+    double result = 0.0;
+    std::uint32_t distance = 0;
+    for (;;) {
+      ++reads;
+      const RobinHoodTable::Slot& slot = slots[index];
+      if (!slot.occupied) break;
+      if (slot.event == event) {
+        result = slot.loss;
+        break;
+      }
+      if (distance > slot.distance) break;
+      index = (index + 1) & mask;
+      ++distance;
+    }
+    out[i] = result;
+  }
+  return reads;
+}
+
+[[maybe_unused]] std::uint64_t cuckoo_probe_tail(const CuckooTable& table, const EventId* events,
+                                                 std::size_t count, double* out) noexcept {
+  const CuckooTable::Slot* b0 = table.bucket_data(0);
+  const CuckooTable::Slot* b1 = table.bucket_data(1);
+  const std::size_t mask = table.slot_mask();
+  std::uint64_t reads = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const EventId event = events[i];
+    const CuckooTable::Slot& first = b0[table.hash0(event) & mask];
+    ++reads;
+    if (first.occupied && first.event == event) {
+      out[i] = first.loss;
+      continue;
+    }
+    const CuckooTable::Slot& second = b1[table.hash1(event) & mask];
+    ++reads;
+    out[i] = (second.occupied && second.event == event) ? second.loss : 0.0;
+  }
+  return reads;
+}
+
+#if defined(ARE_PROBE_BODY_AVX2)
+
+std::uint64_t robin_hood_probe_avx2_body(const RobinHoodTable& table, const EventId* events,
+                                         std::size_t count, double* out) noexcept {
+  constexpr std::size_t kW = 4;
+  const RobinHoodTable::Slot* slots = table.slot_data();
+  const auto* qwords = reinterpret_cast<const long long*>(slots);
+  const std::uint64_t mask = table.slot_mask();
+  const std::size_t groups = count / kW;
+  std::uint64_t reads = 0;
+
+  // Double-buffered home slots: group g+1 is hashed and prefetched while
+  // group g's gathers resolve.
+  alignas(32) std::uint64_t home[2][kW];
+  for (std::size_t l = 0; l < kW && groups != 0; ++l) {
+    home[0][l] = RobinHoodTable::hash(events[l]) & mask;
+    simd::prefetch_read(slots + home[0][l]);
+  }
+
+  const __m256i vall = _mm256_set1_epi64x(-1);
+  const __m256i vzero = _mm256_setzero_si256();
+  const __m256i vone = _mm256_set1_epi64x(1);
+  const __m256i vlow32 = _mm256_set1_epi64x(0xffffffffLL);
+  const __m256i vbyte = _mm256_set1_epi64x(0xffLL);
+  const __m256i vmaskv = _mm256_set1_epi64x(static_cast<long long>(mask));
+
+  for (std::size_t g = 0; g < groups; ++g) {
+    if (g + 1 < groups) {
+      std::uint64_t* next = home[(g + 1) & 1];
+      const EventId* ahead = events + (g + 1) * kW;
+      for (std::size_t l = 0; l < kW; ++l) {
+        next[l] = RobinHoodTable::hash(ahead[l]) & mask;
+        simd::prefetch_read(slots + next[l]);
+      }
+    }
+    const __m256i vkey = _mm256_cvtepu32_epi64(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(events + g * kW)));
+    __m256i vidx = _mm256_load_si256(reinterpret_cast<const __m256i*>(home[g & 1]));
+    __m256i vdist = vzero;
+    __m256i vactive = vall;
+    __m256d vresult = _mm256_setzero_pd();
+    for (;;) {
+      const int lanes = _mm256_movemask_pd(_mm256_castsi256_pd(vactive));
+      if (lanes == 0) break;
+      reads += static_cast<unsigned>(__builtin_popcount(static_cast<unsigned>(lanes)));
+      const __m256i vq = _mm256_add_epi64(_mm256_add_epi64(vidx, vidx), vidx);  // slot * 3
+      const __m256i q0 = _mm256_mask_i64gather_epi64(vzero, qwords, vq, vactive, 8);
+      const __m256i q2 = _mm256_mask_i64gather_epi64(vzero, qwords + 2, vq, vactive, 8);
+      const __m256i vocc =
+          _mm256_andnot_si256(_mm256_cmpeq_epi64(_mm256_and_si256(q2, vbyte), vzero), vall);
+      const __m256i vmatch = _mm256_cmpeq_epi64(_mm256_and_si256(q0, vlow32), vkey);
+      const __m256i vfound = _mm256_and_si256(_mm256_and_si256(vocc, vmatch), vactive);
+      vresult = _mm256_mask_i64gather_pd(vresult, reinterpret_cast<const double*>(qwords + 1),
+                                         vq, _mm256_castsi256_pd(vfound), 8);
+      // Continue only while: occupied, not this key, and the Robin Hood
+      // invariant still allows the key further along (distance <=
+      // slot.distance). Everything else retires with result 0 (or the
+      // gathered loss for found lanes).
+      const __m256i vrich = _mm256_cmpgt_epi64(vdist, _mm256_srli_epi64(q0, 32));
+      const __m256i vcontinue = _mm256_andnot_si256(
+          vmatch, _mm256_andnot_si256(vrich, vocc));
+      vactive = _mm256_and_si256(vactive, vcontinue);
+      vidx = _mm256_and_si256(_mm256_add_epi64(vidx, vone), vmaskv);
+      vdist = _mm256_add_epi64(vdist, vone);
+    }
+    _mm256_storeu_pd(out + g * kW, vresult);
+  }
+
+  reads += robin_hood_probe_tail(table, events + groups * kW, count - groups * kW,
+                                 out + groups * kW);
+  return reads;
+}
+
+std::uint64_t cuckoo_probe_avx2_body(const CuckooTable& table, const EventId* events,
+                                     std::size_t count, double* out) noexcept {
+  constexpr std::size_t kW = 4;
+  const CuckooTable::Slot* b0 = table.bucket_data(0);
+  const CuckooTable::Slot* b1 = table.bucket_data(1);
+  const auto* qwords0 = reinterpret_cast<const long long*>(b0);
+  const auto* qwords1 = reinterpret_cast<const long long*>(b1);
+  const std::uint64_t mask = table.slot_mask();
+  const std::size_t groups = count / kW;
+  std::uint64_t reads = 0;
+
+  alignas(32) std::uint64_t home0[2][kW];
+  alignas(32) std::uint64_t home1[2][kW];
+  for (std::size_t l = 0; l < kW && groups != 0; ++l) {
+    home0[0][l] = table.hash0(events[l]) & mask;
+    home1[0][l] = table.hash1(events[l]) & mask;
+    simd::prefetch_read(b0 + home0[0][l]);
+    simd::prefetch_read(b1 + home1[0][l]);
+  }
+
+  const __m256i vall = _mm256_set1_epi64x(-1);
+  const __m256i vzero = _mm256_setzero_si256();
+  const __m256i vlow32 = _mm256_set1_epi64x(0xffffffffLL);
+  const __m256i vbyte = _mm256_set1_epi64x(0xffLL);
+
+  for (std::size_t g = 0; g < groups; ++g) {
+    if (g + 1 < groups) {
+      const std::size_t next = (g + 1) & 1;
+      const EventId* ahead = events + (g + 1) * kW;
+      for (std::size_t l = 0; l < kW; ++l) {
+        home0[next][l] = table.hash0(ahead[l]) & mask;
+        home1[next][l] = table.hash1(ahead[l]) & mask;
+        simd::prefetch_read(b0 + home0[next][l]);
+        simd::prefetch_read(b1 + home1[next][l]);
+      }
+    }
+    const __m256i vkey = _mm256_cvtepu32_epi64(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(events + g * kW)));
+    const __m256i vq0 = [&] {
+      const __m256i v = _mm256_load_si256(reinterpret_cast<const __m256i*>(home0[g & 1]));
+      return _mm256_add_epi64(_mm256_add_epi64(v, v), v);
+    }();
+    // First bucket: every lane reads (as the scalar loop does).
+    reads += kW;
+    const __m256i q0 = _mm256_mask_i64gather_epi64(vzero, qwords0, vq0, vall, 8);
+    const __m256i q2 = _mm256_mask_i64gather_epi64(vzero, qwords0 + 2, vq0, vall, 8);
+    const __m256i vocc0 =
+        _mm256_andnot_si256(_mm256_cmpeq_epi64(_mm256_and_si256(q2, vbyte), vzero), vall);
+    const __m256i vfound0 =
+        _mm256_and_si256(vocc0, _mm256_cmpeq_epi64(_mm256_and_si256(q0, vlow32), vkey));
+    __m256d vresult =
+        _mm256_mask_i64gather_pd(_mm256_setzero_pd(), reinterpret_cast<const double*>(qwords0 + 1),
+                                 vq0, _mm256_castsi256_pd(vfound0), 8);
+    // Second bucket: only lanes the first bucket did not resolve.
+    const __m256i vneed = _mm256_andnot_si256(vfound0, vall);
+    const int need_lanes = _mm256_movemask_pd(_mm256_castsi256_pd(vneed));
+    if (need_lanes != 0) {
+      reads += static_cast<unsigned>(__builtin_popcount(static_cast<unsigned>(need_lanes)));
+      const __m256i vq1 = [&] {
+        const __m256i v = _mm256_load_si256(reinterpret_cast<const __m256i*>(home1[g & 1]));
+        return _mm256_add_epi64(_mm256_add_epi64(v, v), v);
+      }();
+      const __m256i q0b = _mm256_mask_i64gather_epi64(vzero, qwords1, vq1, vneed, 8);
+      const __m256i q2b = _mm256_mask_i64gather_epi64(vzero, qwords1 + 2, vq1, vneed, 8);
+      const __m256i vocc1 =
+          _mm256_andnot_si256(_mm256_cmpeq_epi64(_mm256_and_si256(q2b, vbyte), vzero), vall);
+      const __m256i vfound1 = _mm256_and_si256(
+          vneed,
+          _mm256_and_si256(vocc1, _mm256_cmpeq_epi64(_mm256_and_si256(q0b, vlow32), vkey)));
+      vresult = _mm256_mask_i64gather_pd(vresult, reinterpret_cast<const double*>(qwords1 + 1),
+                                         vq1, _mm256_castsi256_pd(vfound1), 8);
+    }
+    _mm256_storeu_pd(out + g * kW, vresult);
+  }
+
+  reads += cuckoo_probe_tail(table, events + groups * kW, count - groups * kW,
+                             out + groups * kW);
+  return reads;
+}
+
+#endif  // ARE_PROBE_BODY_AVX2
+
+#if defined(ARE_PROBE_BODY_AVX512)
+
+std::uint64_t robin_hood_probe_avx512_body(const RobinHoodTable& table, const EventId* events,
+                                           std::size_t count, double* out) noexcept {
+  constexpr std::size_t kW = 8;
+  const RobinHoodTable::Slot* slots = table.slot_data();
+  const auto* qwords = reinterpret_cast<const long long*>(slots);
+  const std::uint64_t mask = table.slot_mask();
+  const std::size_t groups = count / kW;
+  std::uint64_t reads = 0;
+
+  alignas(64) std::uint64_t home[2][kW];
+  for (std::size_t l = 0; l < kW && groups != 0; ++l) {
+    home[0][l] = RobinHoodTable::hash(events[l]) & mask;
+    simd::prefetch_read(slots + home[0][l]);
+  }
+
+  const __m512i vzero = _mm512_setzero_si512();
+  const __m512i vone = _mm512_set1_epi64(1);
+  const __m512i vlow32 = _mm512_set1_epi64(0xffffffffLL);
+  const __m512i vbyte = _mm512_set1_epi64(0xffLL);
+  const __m512i vmaskv = _mm512_set1_epi64(static_cast<long long>(mask));
+
+  for (std::size_t g = 0; g < groups; ++g) {
+    if (g + 1 < groups) {
+      std::uint64_t* next = home[(g + 1) & 1];
+      const EventId* ahead = events + (g + 1) * kW;
+      for (std::size_t l = 0; l < kW; ++l) {
+        next[l] = RobinHoodTable::hash(ahead[l]) & mask;
+        simd::prefetch_read(slots + next[l]);
+      }
+    }
+    const __m512i vkey = _mm512_cvtepu32_epi64(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(events + g * kW)));
+    __m512i vidx = _mm512_load_si512(home[g & 1]);
+    __m512i vdist = vzero;
+    __mmask8 kactive = 0xff;
+    __m512d vresult = _mm512_setzero_pd();
+    while (kactive != 0) {
+      reads += static_cast<unsigned>(__builtin_popcount(kactive));
+      const __m512i vq = _mm512_add_epi64(_mm512_add_epi64(vidx, vidx), vidx);
+      const __m512i q0 = _mm512_mask_i64gather_epi64(vzero, kactive, vq, qwords, 8);
+      const __m512i q2 = _mm512_mask_i64gather_epi64(vzero, kactive, vq, qwords + 2, 8);
+      const __mmask8 kocc = _mm512_test_epi64_mask(q2, vbyte);
+      const __mmask8 kmatch =
+          _mm512_cmpeq_epi64_mask(_mm512_and_si512(q0, vlow32), vkey);
+      const __mmask8 kfound = kactive & kocc & kmatch;
+      vresult = _mm512_mask_i64gather_pd(vresult, kfound, vq,
+                                         reinterpret_cast<const double*>(qwords + 1), 8);
+      const __mmask8 krich = _mm512_cmpgt_epi64_mask(vdist, _mm512_srli_epi64(q0, 32));
+      kactive &= kocc & static_cast<__mmask8>(~kmatch) & static_cast<__mmask8>(~krich);
+      vidx = _mm512_and_si512(_mm512_add_epi64(vidx, vone), vmaskv);
+      vdist = _mm512_add_epi64(vdist, vone);
+    }
+    _mm512_storeu_pd(out + g * kW, vresult);
+  }
+
+  reads += robin_hood_probe_tail(table, events + groups * kW, count - groups * kW,
+                                 out + groups * kW);
+  return reads;
+}
+
+std::uint64_t cuckoo_probe_avx512_body(const CuckooTable& table, const EventId* events,
+                                       std::size_t count, double* out) noexcept {
+  constexpr std::size_t kW = 8;
+  const CuckooTable::Slot* b0 = table.bucket_data(0);
+  const CuckooTable::Slot* b1 = table.bucket_data(1);
+  const auto* qwords0 = reinterpret_cast<const long long*>(b0);
+  const auto* qwords1 = reinterpret_cast<const long long*>(b1);
+  const std::uint64_t mask = table.slot_mask();
+  const std::size_t groups = count / kW;
+  std::uint64_t reads = 0;
+
+  alignas(64) std::uint64_t home0[2][kW];
+  alignas(64) std::uint64_t home1[2][kW];
+  for (std::size_t l = 0; l < kW && groups != 0; ++l) {
+    home0[0][l] = table.hash0(events[l]) & mask;
+    home1[0][l] = table.hash1(events[l]) & mask;
+    simd::prefetch_read(b0 + home0[0][l]);
+    simd::prefetch_read(b1 + home1[0][l]);
+  }
+
+  const __m512i vzero = _mm512_setzero_si512();
+  const __m512i vlow32 = _mm512_set1_epi64(0xffffffffLL);
+  const __m512i vbyte = _mm512_set1_epi64(0xffLL);
+
+  for (std::size_t g = 0; g < groups; ++g) {
+    if (g + 1 < groups) {
+      const std::size_t next = (g + 1) & 1;
+      const EventId* ahead = events + (g + 1) * kW;
+      for (std::size_t l = 0; l < kW; ++l) {
+        home0[next][l] = table.hash0(ahead[l]) & mask;
+        home1[next][l] = table.hash1(ahead[l]) & mask;
+        simd::prefetch_read(b0 + home0[next][l]);
+        simd::prefetch_read(b1 + home1[next][l]);
+      }
+    }
+    const __m512i vkey = _mm512_cvtepu32_epi64(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(events + g * kW)));
+    const __m512i vidx0 = _mm512_load_si512(home0[g & 1]);
+    const __m512i vq0 = _mm512_add_epi64(_mm512_add_epi64(vidx0, vidx0), vidx0);
+    reads += kW;
+    const __m512i q0 = _mm512_mask_i64gather_epi64(vzero, 0xff, vq0, qwords0, 8);
+    const __m512i q2 = _mm512_mask_i64gather_epi64(vzero, 0xff, vq0, qwords0 + 2, 8);
+    const __mmask8 kocc0 = _mm512_test_epi64_mask(q2, vbyte);
+    const __mmask8 kfound0 =
+        kocc0 & _mm512_cmpeq_epi64_mask(_mm512_and_si512(q0, vlow32), vkey);
+    __m512d vresult = _mm512_mask_i64gather_pd(
+        _mm512_setzero_pd(), kfound0, vq0, reinterpret_cast<const double*>(qwords0 + 1), 8);
+    const __mmask8 kneed = static_cast<__mmask8>(~kfound0);
+    if (kneed != 0) {
+      reads += static_cast<unsigned>(__builtin_popcount(kneed));
+      const __m512i vidx1 = _mm512_load_si512(home1[g & 1]);
+      const __m512i vq1 = _mm512_add_epi64(_mm512_add_epi64(vidx1, vidx1), vidx1);
+      const __m512i q0b = _mm512_mask_i64gather_epi64(vzero, kneed, vq1, qwords1, 8);
+      const __m512i q2b = _mm512_mask_i64gather_epi64(vzero, kneed, vq1, qwords1 + 2, 8);
+      const __mmask8 kocc1 = _mm512_test_epi64_mask(q2b, vbyte);
+      const __mmask8 kfound1 =
+          kneed & kocc1 & _mm512_cmpeq_epi64_mask(_mm512_and_si512(q0b, vlow32), vkey);
+      vresult = _mm512_mask_i64gather_pd(vresult, kfound1, vq1,
+                                         reinterpret_cast<const double*>(qwords1 + 1), 8);
+    }
+    _mm512_storeu_pd(out + g * kW, vresult);
+  }
+
+  reads += cuckoo_probe_tail(table, events + groups * kW, count - groups * kW,
+                             out + groups * kW);
+  return reads;
+}
+
+#endif  // ARE_PROBE_BODY_AVX512
+
+}  // namespace
+}  // namespace are::elt::probe

@@ -44,13 +44,17 @@ class RobinHoodTable final : public ILossLookup {
   /// Longest probe chain over all occupied slots (test/diagnostic hook).
   std::uint32_t max_probe_distance() const noexcept;
 
- private:
+  /// Slot layout and the raw array accessors are public for the gathered
+  /// probe kernels (src/elt/probe_dispatch.hpp): a vectorized probe reads
+  /// slots as three 64-bit gathers (event|distance, loss, occupied+pad), so
+  /// the layout below is load-bearing — 24 bytes, qword-aligned fields.
   struct Slot {
     EventId event = 0;
     std::uint32_t distance = 0;
     double loss = 0.0;
     bool occupied = false;
   };
+  static_assert(sizeof(Slot) == 24, "probe kernels gather slots as 3 qwords");
 
   static std::uint64_t hash(EventId event) noexcept {
     // Fibonacci-style 64-bit mix of the 32-bit id.
@@ -60,6 +64,10 @@ class RobinHoodTable final : public ILossLookup {
     return x ^ (x >> 31);
   }
 
+  const Slot* slot_data() const noexcept { return slots_.data(); }
+  std::size_t slot_mask() const noexcept { return mask_; }
+
+ private:
   void insert(EventId event, double loss);
 
   std::vector<Slot> slots_;

@@ -14,6 +14,7 @@
 #include "fault/fault_injection.hpp"
 #include "obs/export.hpp"
 #include "obs/telemetry.hpp"
+#include "simd/dispatch.hpp"
 
 namespace are::obs {
 
@@ -163,6 +164,13 @@ std::string MetricsServer::handle_path(const std::string& path) const {
         "unknown"
 #endif
         << "\"}";
+    // Runtime SIMD dispatch facts: what this host's cpuid reports, which
+    // kernel TUs the binary carries, and the extension kAuto executes —
+    // the fleet-debugging answer to "is this box actually running AVX2?".
+    body << ",\"simd\":{\"detected\":\"" << simd::describe_mask(simd::detected_extensions())
+         << "\",\"compiled\":\"" << simd::describe_mask(simd::compiled_extensions())
+         << "\",\"best\":\"" << simd::name_of(simd::best_extension())
+         << "\",\"reason\":\"" << simd::best_extension_reason() << "\"}";
     body << ",\"uptime_seconds\":" << uptime_seconds;
     body << ",\"gauges\":{";
     for (std::size_t i = 0; i < snapshot.gauges.size(); ++i) {

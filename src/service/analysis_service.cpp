@@ -213,8 +213,20 @@ QuoteResponse AnalysisService::quote(const QuoteRequest& request) {
     registry.counter("service.cache_misses").increment();
   }
 
+  // Delta decision BEFORE admission. Replay needs a ground-up cache
+  // published at this structure generation (terms overrides and windows
+  // never invalidate it); otherwise a cold run may claim the capture slot
+  // and produce one. Resolved first because admission is delta-aware: a
+  // replay performs zero ELT lookups, so it is charged
+  // estimate_replay_cost (~0) instead of the full layers x events
+  // estimate — re-pricing bursts against a warm book no longer consume
+  // the inflight-cost budget cold runs are throttled by.
+  const std::shared_ptr<const core::GroundUpLossCache> replay =
+      request.use_delta ? book.ground_up : nullptr;
+
   const std::uint64_t cost =
-      RequestBroker::estimate_cost(*portfolio, session_.yet_table());
+      replay != nullptr ? RequestBroker::estimate_replay_cost(*portfolio)
+                        : RequestBroker::estimate_cost(*portfolio, session_.yet_table());
   response.admission = broker_.admit(cost);
   if (!response.admission.admitted()) {
     response.source = QuoteSource::kRejected;
@@ -223,11 +235,6 @@ QuoteResponse AnalysisService::quote(const QuoteRequest& request) {
     return finish(std::move(response));
   }
 
-  // Delta decision. Replay needs a ground-up cache published at this
-  // structure generation (terms overrides and windows never invalidate it);
-  // otherwise a cold run may claim the capture slot and produce one.
-  const std::shared_ptr<const core::GroundUpLossCache> replay =
-      request.use_delta ? book.ground_up : nullptr;
   std::shared_ptr<core::GroundUpLossCache> capture;
   if (request.use_delta && replay == nullptr) {
     const std::size_t bytes = core::GroundUpLossCache::estimate_bytes(

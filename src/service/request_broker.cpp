@@ -75,6 +75,10 @@ std::uint64_t RequestBroker::estimate_cost(const core::Portfolio& portfolio,
   return static_cast<std::uint64_t>(portfolio.layers.size()) * yet_table.total_events();
 }
 
+std::uint64_t RequestBroker::estimate_replay_cost(const core::Portfolio& portfolio) noexcept {
+  return static_cast<std::uint64_t>(portfolio.layers.size());
+}
+
 AdmissionDecision RequestBroker::admit(std::uint64_t estimated_cost) {
   auto& registry = obs::TelemetryRegistry::global();
   auto& instruments = BrokerInstruments::get();

@@ -84,6 +84,15 @@ class RequestBroker {
   static std::uint64_t estimate_cost(const core::Portfolio& portfolio,
                                      const yet::YearEventTable& yet_table) noexcept;
 
+  /// Cost of a delta-replay request: ~0. A replay performs ZERO ELT
+  /// lookups (it reads the captured ground-up buffer and runs only the
+  /// occurrence/aggregate sweep, ~22% of a cold run's time and none of its
+  /// lookup cost), so charging it the full estimate_cost would make the
+  /// broker reject or queue exactly the quotes the delta path makes cheap.
+  /// One unit per layer keeps the pairing visible in the inflight gauges
+  /// without consuming meaningful budget.
+  static std::uint64_t estimate_replay_cost(const core::Portfolio& portfolio) noexcept;
+
   /// Admits, queues (blocking until capacity frees), or rejects. Every
   /// admitted call must be paired with release(same cost), even on engine
   /// failure.

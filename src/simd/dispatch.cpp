@@ -1,0 +1,209 @@
+#include "simd/dispatch.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <cpuid.h>
+#define ARE_DISPATCH_X86 1
+#else
+#define ARE_DISPATCH_X86 0
+#endif
+
+namespace are::simd {
+
+namespace {
+
+// One cached resolution per process, refreshable for tests. All fields are
+// written under the mutex exactly once per generation; readers go through
+// resolved() which does the one-time fill.
+struct Resolution {
+  ExtensionMask detected = 0;
+  std::optional<Extension> override_ext;
+  Extension best = Extension::kScalar;
+  std::string why;
+};
+
+std::mutex resolution_mutex;
+Resolution* resolution_cache = nullptr;  // guarded by resolution_mutex
+
+#if ARE_DISPATCH_X86
+std::uint64_t read_xcr0() noexcept {
+  std::uint32_t eax = 0, edx = 0;
+  // xgetbv with xcr=0; only legal once cpuid reports OSXSAVE, which the
+  // caller checks before reading.
+  __asm__ volatile("xgetbv" : "=a"(eax), "=d"(edx) : "c"(0));
+  return (static_cast<std::uint64_t>(edx) << 32) | eax;
+}
+#endif
+
+ExtensionMask detect_host() noexcept {
+#if ARE_DISPATCH_X86
+  std::uint32_t eax = 0, ebx = 0, ecx = 0, edx = 0;
+  std::uint32_t leaf1_ecx = 0, leaf1_edx = 0, leaf7_ebx = 0;
+  if (__get_cpuid(1, &eax, &ebx, &ecx, &edx) != 0) {
+    leaf1_ecx = ecx;
+    leaf1_edx = edx;
+  }
+  if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx) != 0) leaf7_ebx = ebx;
+  // XCR0 is only readable (and only meaningful) when the OS enabled XSAVE.
+  const bool osxsave = (leaf1_ecx & (1u << 27)) != 0;
+  const std::uint64_t xcr0 = osxsave ? read_xcr0() : 0;
+  return extensions_from_cpuid(leaf1_ecx, leaf1_edx, leaf7_ebx, xcr0);
+#elif defined(__ARM_NEON) && defined(__aarch64__)
+  return mask_of(Extension::kScalar) | mask_of(Extension::kNeon);
+#else
+  return mask_of(Extension::kScalar);
+#endif
+}
+
+const Resolution& resolved() {
+  std::lock_guard<std::mutex> guard(resolution_mutex);
+  if (resolution_cache == nullptr) {
+    auto* fresh = new Resolution;
+    fresh->detected = detect_host();
+    const ExtensionMask runnable = fresh->detected & compiled_extensions();
+    if (const char* env = std::getenv("ARE_SIMD_EXT"); env != nullptr && *env != '\0') {
+      if (const auto named = extension_from_name(env); named && mask_has(runnable, *named)) {
+        fresh->override_ext = *named;
+      }
+    }
+    fresh->best =
+        choose_best(fresh->detected, compiled_extensions(), fresh->override_ext, &fresh->why);
+    resolution_cache = fresh;
+  }
+  return *resolution_cache;
+}
+
+}  // namespace
+
+std::string_view name_of(Extension extension) noexcept {
+  switch (extension) {
+    case Extension::kScalar: return "scalar";
+    case Extension::kSse2: return "sse2";
+    case Extension::kAvx2: return "avx2";
+    case Extension::kAvx512: return "avx512";
+    case Extension::kNeon: return "neon";
+  }
+  return "unknown";
+}
+
+std::optional<Extension> extension_from_name(std::string_view name) noexcept {
+  for (const Extension extension : {Extension::kScalar, Extension::kSse2, Extension::kAvx2,
+                                    Extension::kAvx512, Extension::kNeon}) {
+    if (name == name_of(extension)) return extension;
+  }
+  return std::nullopt;
+}
+
+std::size_t lanes_of(Extension extension) noexcept {
+  switch (extension) {
+    case Extension::kScalar: return 1;
+    case Extension::kSse2: return 2;
+    case Extension::kAvx2: return 4;
+    case Extension::kAvx512: return 8;
+    case Extension::kNeon: return 2;
+  }
+  return 1;
+}
+
+std::string describe_mask(ExtensionMask mask) {
+  std::string names;
+  for (const Extension extension : {Extension::kScalar, Extension::kSse2, Extension::kNeon,
+                                    Extension::kAvx2, Extension::kAvx512}) {
+    if (!mask_has(mask, extension)) continue;
+    if (!names.empty()) names += ",";
+    names += name_of(extension);
+  }
+  return names;
+}
+
+ExtensionMask extensions_from_cpuid(std::uint32_t leaf1_ecx, std::uint32_t leaf1_edx,
+                                    std::uint32_t leaf7_ebx, std::uint64_t xcr0) noexcept {
+  ExtensionMask mask = mask_of(Extension::kScalar);
+  if ((leaf1_edx & (1u << 26)) != 0) mask |= mask_of(Extension::kSse2);
+  // AVX2/AVX-512 need the CPU feature bits AND the OS saving the wider
+  // register state: OSXSAVE on, XCR0 SSE+YMM (bits 1,2) for AVX2, plus
+  // opmask+ZMM_hi256+hi16_ZMM (bits 5,6,7) for AVX-512.
+  const bool osxsave = (leaf1_ecx & (1u << 27)) != 0;
+  const bool ymm_saved = osxsave && (xcr0 & 0x6) == 0x6;
+  const bool zmm_saved = ymm_saved && (xcr0 & 0xe0) == 0xe0;
+  const bool avx = (leaf1_ecx & (1u << 28)) != 0;
+  if (avx && ymm_saved && (leaf7_ebx & (1u << 5)) != 0) mask |= mask_of(Extension::kAvx2);
+  if (avx && zmm_saved && (leaf7_ebx & (1u << 16)) != 0) mask |= mask_of(Extension::kAvx512);
+  return mask;
+}
+
+Extension choose_best(ExtensionMask detected, ExtensionMask compiled,
+                      std::optional<Extension> override_ext, std::string* why) {
+  const ExtensionMask runnable = detected & compiled;
+  if (override_ext && mask_has(runnable, *override_ext)) {
+    *why = "ARE_SIMD_EXT=" + std::string(name_of(*override_ext)) + " override";
+    return *override_ext;
+  }
+  // Widest runnable, by lane count then enum order (avx512 > avx2 >
+  // sse2/neon > scalar).
+  Extension best = Extension::kScalar;
+  for (const Extension extension : {Extension::kSse2, Extension::kNeon, Extension::kAvx2,
+                                    Extension::kAvx512}) {
+    if (mask_has(runnable, extension)) best = extension;
+  }
+  // Name which cap bound the choice: an extension the binary carries but
+  // the host lacks means cpuid capped it; the reverse means the build did.
+  std::string reason = "widest of cpuid \xE2\x88\xA9 compiled-in";
+  for (const Extension wider : {Extension::kAvx512, Extension::kAvx2}) {
+    if (lanes_of(wider) <= lanes_of(best) || wider == best) continue;
+    if (mask_has(compiled, wider) && !mask_has(detected, wider)) {
+      reason += "; " + std::string(name_of(wider)) + " kernel compiled in but host cpuid lacks it";
+      break;
+    }
+    if (mask_has(detected, wider) && !mask_has(compiled, wider)) {
+      reason += "; host supports " + std::string(name_of(wider)) +
+                " but its kernel is not compiled into this binary";
+      break;
+    }
+  }
+  *why = std::move(reason);
+  return best;
+}
+
+ExtensionMask detected_extensions() noexcept { return resolved().detected; }
+
+ExtensionMask compiled_extensions() noexcept {
+  // The ARE_KERNEL_TU_* definitions are set by CMake on the whole library
+  // to mirror exactly which src/core/kernel_ext_*.cpp translation units are
+  // in the build — see the "per-extension kernel TUs" stanza there.
+  ExtensionMask mask = mask_of(Extension::kScalar);
+#if defined(ARE_KERNEL_TU_SSE2)
+  mask |= mask_of(Extension::kSse2);
+#endif
+#if defined(ARE_KERNEL_TU_AVX2)
+  mask |= mask_of(Extension::kAvx2);
+#endif
+#if defined(ARE_KERNEL_TU_AVX512)
+  mask |= mask_of(Extension::kAvx512);
+#endif
+#if defined(ARE_KERNEL_TU_NEON)
+  mask |= mask_of(Extension::kNeon);
+#endif
+  return mask;
+}
+
+ExtensionMask runnable_extensions() noexcept {
+  return detected_extensions() & compiled_extensions();
+}
+
+std::optional<Extension> env_override() noexcept { return resolved().override_ext; }
+
+Extension best_extension() noexcept { return resolved().best; }
+
+std::string best_extension_reason() { return resolved().why; }
+
+void dispatch_refresh_for_testing() noexcept {
+  std::lock_guard<std::mutex> guard(resolution_mutex);
+  delete resolution_cache;
+  resolution_cache = nullptr;
+}
+
+}  // namespace are::simd

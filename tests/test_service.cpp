@@ -392,6 +392,11 @@ TEST_F(Service, QuoteColdThenCachedThenDelta) {
   EXPECT_EQ(delta.source, service::QuoteSource::kDelta);
   EXPECT_NE(delta.fingerprint, cold.fingerprint);
 
+  // Delta-aware admission: a replay performs zero ELT lookups, so the broker
+  // charges the nominal per-layer unit, not the cold lookup estimate.
+  EXPECT_EQ(delta.admission.estimated_cost, 2u);  // == layers.size()
+  EXPECT_GT(cold.admission.estimated_cost, delta.admission.estimated_cost);
+
   // The delta result must be bit-identical to a forced-cold run of the same
   // request (cache and delta disabled).
   service::QuoteRequest forced = request;

@@ -13,6 +13,7 @@
 #include "core/engine.hpp"
 #include "core/simd_engine.hpp"
 #include "elt/synthetic.hpp"
+#include "simd/dispatch.hpp"
 #include "simd/trial_batch.hpp"
 #include "simd/vec.hpp"
 #include "yet/generator.hpp"
@@ -166,7 +167,11 @@ TEST(SimdVec, NeonOps) { check_vec_ops<simd::VecD<simd::neon_ext>>(); }
 
 TEST(SimdVec, BestExtensionIsAvailable) {
   EXPECT_TRUE(core::simd_extension_available(core::best_simd_extension()));
-  EXPECT_EQ(core::simd_lane_width(SimdExtension::kAuto), simd::kBestLanes);
+  // kAuto's lane width is the runtime dispatch decision's width, not the
+  // compile-time simd::kBestLanes of this TU — on a baseline build the
+  // runtime choice is wider than anything this TU was compiled with.
+  EXPECT_EQ(core::simd_lane_width(SimdExtension::kAuto),
+            simd::lanes_of(simd::best_extension()));
   EXPECT_EQ(core::simd_lane_width(SimdExtension::kScalar), 1u);
 }
 

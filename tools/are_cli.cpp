@@ -10,6 +10,7 @@
 //   are_cli report    --yet years.yet --elt a.elt ... [terms...]     (EP table to stdout)
 //   are_cli price     --yet years.yet --elt a.elt ... [terms...]     (quote to stdout)
 //   are_cli info      --yet years.yet | --elt book.elt               (describe a file)
+//   are_cli simd-info [--runnable]   (runtime SIMD dispatch facts for this host)
 //   are_cli list-engines [--names] [--bit-identical]   (dump the engine registry)
 //   are_cli list-engines --sinks   (smoke-run every sink-capable engine under a
 //                                   forced-spill budget, byte-diffing vs seq)
@@ -81,6 +82,7 @@
 #include "service/analysis_service.hpp"
 #include "service/server.hpp"
 #include "shard/sharded_run.hpp"
+#include "simd/dispatch.hpp"
 #include "yet/generator.hpp"
 
 namespace {
@@ -100,6 +102,9 @@ commands:
   report             aggregate analysis -> EP table      (--yet F --elt F...)
   price              aggregate analysis -> layer quote   (--yet F --elt F...)
   info               describe a .yet/.elt binary file    (--yet F | --elt F)
+  simd-info          runtime SIMD dispatch facts: cpuid-detected, compiled-in,
+                     and chosen extensions (--runnable: one runnable extension
+                     per line, machine-readable — what CI override loops use)
   list-engines       dump the engine registry            (--names --bit-identical)
                      --sinks: smoke-run every sink-capable engine (forced spill,
                      sharded CSV byte-diffed against the sequential reference)
@@ -340,8 +345,14 @@ void report_execution(const core::InstrumentationSink& sink) {
     std::cerr << "note: OpenMP not compiled in; bit-identical thread-pool fallback ran\n";
   }
   if (sink.simd_extension_used) {
-    std::cerr << "note: simd engine executed extension '"
-              << core::to_string(*sink.simd_extension_used) << "'\n";
+    std::cerr << "note: kernel executed extension '"
+              << core::to_string(*sink.simd_extension_used) << "'";
+    // The runtime dispatch rationale: explicit request, ARE_SIMD_EXT
+    // override, the cpuid / compiled-in cap, or the cache-regime narrowing.
+    if (sink.simd_resolution_note && !sink.simd_resolution_note->empty()) {
+      std::cerr << " (" << *sink.simd_resolution_note << ")";
+    }
+    std::cerr << "\n";
   }
   if (sink.phases) {
     const core::PhaseBreakdown& phases = *sink.phases;
@@ -936,6 +947,30 @@ int cmd_top(const Args& args) {
   return 0;
 }
 
+/// `are_cli simd-info`: what the runtime dispatch layer resolved for this
+/// (binary, host) pair. `--runnable` prints one runnable extension name per
+/// line — the machine-readable form CI's ARE_SIMD_EXT override loop
+/// consumes, so the loop only pins extensions this host can execute.
+int cmd_simd_info(const Args& args) {
+  const simd::ExtensionMask runnable = simd::runnable_extensions();
+  if (args.has("runnable")) {
+    for (int i = 0; i < simd::kNumExtensions; ++i) {
+      const auto extension = static_cast<simd::Extension>(i);
+      if (simd::mask_has(runnable, extension)) std::cout << simd::name_of(extension) << "\n";
+    }
+    return 0;
+  }
+  std::cout << "cpuid detected : " << simd::describe_mask(simd::detected_extensions()) << "\n";
+  std::cout << "compiled in    : " << simd::describe_mask(simd::compiled_extensions()) << "\n";
+  std::cout << "runnable       : " << simd::describe_mask(runnable) << "\n";
+  if (const auto override_ext = simd::env_override()) {
+    std::cout << "ARE_SIMD_EXT   : " << simd::name_of(*override_ext) << "\n";
+  }
+  std::cout << "auto runs      : " << simd::name_of(simd::best_extension()) << " ("
+            << simd::best_extension_reason() << ")\n";
+  return 0;
+}
+
 int cmd_info(const Args& args) {
   if (args.has("yet")) {
     const auto table = load_yet(args.require("yet"));
@@ -976,6 +1011,7 @@ int main(int argc, char** argv) {
     if (command == "report") return cmd_report(args);
     if (command == "price") return cmd_price(args);
     if (command == "info") return cmd_info(args);
+    if (command == "simd-info") return cmd_simd_info(args);
     if (command == "serve") return cmd_serve(args);
     if (command == "quote") return cmd_quote(args);
     if (command == "top") return cmd_top(args);
